@@ -1,0 +1,143 @@
+// Command capstress stress-tests the simulated two-tier website under a
+// chosen TPC-W mix and prints a per-window time series of application
+// health and per-tier telemetry — the raw material of the paper's offline
+// capacity calibration.
+//
+// Usage:
+//
+//	capstress -mix browsing -ebs 400 -duration 1800
+//	capstress -mix ordering -ramp 50:700:10 -step 120
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"hpcap/internal/metrics"
+	"hpcap/internal/pi"
+	"hpcap/internal/server"
+	"hpcap/internal/tpcw"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "capstress:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("capstress", flag.ContinueOnError)
+	mixName := fs.String("mix", "shopping", "traffic mix: browsing|shopping|ordering|unknown")
+	ebs := fs.Int("ebs", 200, "steady emulated-browser population")
+	ramp := fs.String("ramp", "", "ramp start:end:steps (overrides -ebs)")
+	step := fs.Float64("step", 120, "ramp step duration, seconds")
+	duration := fs.Float64("duration", 1800, "steady run duration, seconds")
+	window := fs.Int("window", 30, "reporting window, seconds")
+	seed := fs.Int64("seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	mix, err := mixByName(*mixName)
+	if err != nil {
+		return err
+	}
+	var sched tpcw.Schedule
+	if *ramp != "" {
+		parts := strings.Split(*ramp, ":")
+		if len(parts) != 3 {
+			return fmt.Errorf("bad -ramp %q, want start:end:steps", *ramp)
+		}
+		start, err1 := strconv.Atoi(parts[0])
+		end, err2 := strconv.Atoi(parts[1])
+		steps, err3 := strconv.Atoi(parts[2])
+		if err1 != nil || err2 != nil || err3 != nil {
+			return fmt.Errorf("bad -ramp %q", *ramp)
+		}
+		sched = tpcw.Ramp(mix, start, end, steps, *step)
+	} else {
+		sched = tpcw.Steady(mix, *ebs, *duration)
+	}
+
+	cfg := server.DefaultConfig()
+	cfg.Seed = *seed
+	tb, err := server.NewTestbed(cfg, sched)
+	if err != nil {
+		return err
+	}
+	if err := tb.Start(); err != nil {
+		return err
+	}
+
+	labeler := pi.Labeler{}
+	fmt.Printf("%8s %5s %8s %9s %7s | %6s %6s %7s %7s | %6s %6s %7s %7s | %5s\n",
+		"time(s)", "EBs", "thr/s", "meanRT", "inflight",
+		"appU", "appRQ", "appMiss", "appDil",
+		"dbU", "dbRQ", "dbMiss", "dbDil", "state")
+	total := sched.Duration()
+	for t := 0.0; t < total; t += float64(*window) {
+		var completions, arrivals int
+		var rtW float64
+		var last server.Snapshot
+		var appBusy, dbBusy, appMiss, dbMiss, appDil, dbDil float64
+		for i := 0; i < *window; i++ {
+			s := tb.RunInterval(1)
+			completions += s.Completions
+			arrivals += s.Arrivals
+			rtW += s.MeanRT * float64(s.Completions)
+			appBusy += s.Tiers[server.TierApp].BusySeconds
+			dbBusy += s.Tiers[server.TierDB].BusySeconds
+			appMiss += s.Tiers[server.TierApp].MeanMissRatio
+			dbMiss += s.Tiers[server.TierDB].MeanMissRatio
+			appDil += s.Tiers[server.TierApp].MeanDilation
+			dbDil += s.Tiers[server.TierDB].MeanDilation
+			last = s
+		}
+		w := float64(*window)
+		meanRT := 0.0
+		if completions > 0 {
+			meanRT = rtW / float64(completions)
+		}
+		state := "ok"
+		label := labeler.Label(sampleHealth(meanRT, completions, arrivals, *window))
+		if label == 1 {
+			state = "OVER"
+		}
+		fmt.Printf("%8.0f %5d %8.1f %9.3f %7d | %6.2f %6d %7.3f %7.2f | %6.2f %6d %7.3f %7.2f | %5s\n",
+			t+w, last.ActiveEBs, float64(completions)/w, meanRT, last.InFlight,
+			appBusy/w, last.Tiers[server.TierApp].RunQueue, appMiss/w, appDil/w,
+			dbBusy/w, last.Tiers[server.TierDB].RunQueue, dbMiss/w, dbDil/w,
+			state)
+	}
+	arr, comp, rej, inflight := tb.Conservation()
+	fmt.Printf("\ntotals: arrivals=%d completions=%d rejections=%d in-flight=%d\n",
+		arr, comp, rej, inflight)
+	return nil
+}
+
+func sampleHealth(meanRT float64, completions, arrivals, window int) metrics.Sample {
+	return metrics.Sample{
+		MeanRT:      meanRT,
+		Throughput:  float64(completions) / float64(window),
+		ArrivalRate: float64(arrivals) / float64(window),
+	}
+}
+
+func mixByName(name string) (tpcw.Mix, error) {
+	switch name {
+	case "browsing":
+		return tpcw.Browsing(), nil
+	case "shopping":
+		return tpcw.Shopping(), nil
+	case "ordering":
+		return tpcw.Ordering(), nil
+	case "unknown":
+		return tpcw.Unknown(), nil
+	default:
+		return tpcw.Mix{}, fmt.Errorf("unknown mix %q", name)
+	}
+}

@@ -1,0 +1,42 @@
+package main
+
+import "testing"
+
+func TestMixByName(t *testing.T) {
+	for _, name := range []string{"browsing", "shopping", "ordering", "unknown"} {
+		mix, err := mixByName(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := mix.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	if _, err := mixByName("nope"); err == nil {
+		t.Error("unknown mix not rejected")
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	if err := run([]string{"-mix", "nope"}); err == nil {
+		t.Error("bad mix not rejected")
+	}
+	if err := run([]string{"-ramp", "10:20"}); err == nil {
+		t.Error("malformed ramp not rejected")
+	}
+	if err := run([]string{"-ramp", "a:b:c"}); err == nil {
+		t.Error("non-numeric ramp not rejected")
+	}
+}
+
+func TestRunSteadyShort(t *testing.T) {
+	if err := run([]string{"-mix", "shopping", "-ebs", "20", "-duration", "60", "-window", "30"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRampShort(t *testing.T) {
+	if err := run([]string{"-mix", "ordering", "-ramp", "10:30:2", "-step", "30"}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestLearnerByName(t *testing.T) {
+	for _, name := range []string{"LR", "Naive", "SVM", "TAN", "tan"} {
+		l, err := learnerByName(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if l.New == nil {
+			t.Errorf("%s: nil constructor", name)
+		}
+	}
+	if _, err := learnerByName("forest"); err == nil {
+		t.Error("unknown learner not rejected")
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-scale", "bogus"}); err == nil {
+		t.Error("bogus scale not rejected")
+	}
+	if err := run([]string{"-learner", "bogus"}); err == nil {
+		t.Error("bogus learner not rejected")
+	}
+}
+
+func TestRunQuickPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full training pipeline")
+	}
+	dir := t.TempDir()
+	if err := run([]string{"-out", dir, "-scale", "quick", "-learner", "Naive"}); err != nil {
+		t.Fatal(err)
+	}
+	// Synopsis summaries must be valid JSON with 8 entries
+	// (2 workloads × 2 tiers × 2 levels).
+	raw, err := os.ReadFile(filepath.Join(dir, "synopses.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var summaries []map[string]any
+	if err := json.Unmarshal(raw, &summaries); err != nil {
+		t.Fatal(err)
+	}
+	if len(summaries) != 8 {
+		t.Errorf("summaries = %d, want 8", len(summaries))
+	}
+	// Trace CSVs must exist with header plus rows.
+	for _, mix := range []string{"browsing", "ordering"} {
+		raw, err := os.ReadFile(filepath.Join(dir, "trace_"+mix+".csv"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+		if len(lines) < 20 {
+			t.Errorf("%s trace has only %d lines", mix, len(lines))
+		}
+		if !strings.HasPrefix(lines[0], "time_s,mix,ebs,overload") {
+			t.Errorf("%s trace header %q", mix, lines[0][:40])
+		}
+	}
+}

@@ -1,0 +1,119 @@
+// Bottleneck shifting: run a workload that alternates between DB-heavy
+// browsing and app-heavy ordering traffic and watch the monitor identify
+// the moving bottleneck online from hardware counters, alongside each
+// tier's productivity index.
+//
+//	go run ./examples/bottleneckshift
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hpcap"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	lab := hpcap.NewLab(hpcap.QuickScale())
+	fmt.Println("training the capacity monitor...")
+	monitor, err := lab.TrainMonitor(hpcap.LevelHPC, hpcap.CoordinatorConfig{})
+	if err != nil {
+		return err
+	}
+
+	wb, err := lab.Workload(hpcap.Browsing())
+	if err != nil {
+		return err
+	}
+	wo, err := lab.Workload(hpcap.Ordering())
+	if err != nil {
+		return err
+	}
+	// Overload browsing, recover, overload ordering, recover — twice.
+	sched := hpcap.Schedule{Phases: []hpcap.Phase{
+		{Mix: hpcap.Browsing(), EBs: wb.Knee * 13 / 10, Duration: 300},
+		{Mix: hpcap.Browsing(), EBs: wb.Knee / 2, Duration: 180},
+		{Mix: hpcap.Ordering(), EBs: wo.Knee * 13 / 10, Duration: 300},
+		{Mix: hpcap.Ordering(), EBs: wo.Knee / 2, Duration: 180},
+		{Mix: hpcap.Browsing(), EBs: wb.Knee * 13 / 10, Duration: 300},
+		{Mix: hpcap.Ordering(), EBs: wo.Knee * 13 / 10, Duration: 300},
+	}}
+
+	cfg := hpcap.DefaultServerConfig()
+	cfg.Seed = 9
+	tb, err := hpcap.NewTestbed(cfg, sched)
+	if err != nil {
+		return err
+	}
+	if err := tb.Start(); err != nil {
+		return err
+	}
+	aggApp, err := hpcap.NewAggregator(
+		hpcap.NewHPCCollector(hpcap.TierApp, cfg.App.Machine, 0.02, 1), hpcap.DefaultWindow)
+	if err != nil {
+		return err
+	}
+	aggDB, err := hpcap.NewAggregator(
+		hpcap.NewHPCCollector(hpcap.TierDB, cfg.DB.Machine, 0.02, 2), hpcap.DefaultWindow)
+	if err != nil {
+		return err
+	}
+
+	ipcIdx := index(hpcap.HPCMetricNames, "hpc_ipc")
+	missIdx := index(hpcap.HPCMetricNames, "hpc_l2_miss_ratio")
+
+	monitor.ResetHistory()
+	fmt.Printf("%8s %-9s %5s | %9s %9s | %s\n",
+		"time(s)", "mix", "EBs", "PI(app)", "PI(db)", "monitor verdict")
+	seconds := int(sched.Duration())
+	var lastApp, lastDB hpcap.MetricSample
+	for i := 0; i < seconds; i++ {
+		snap := tb.RunInterval(1)
+		appSample, appDone := aggApp.Push(snap, 1)
+		dbSample, _ := aggDB.Push(snap, 1)
+		if !appDone {
+			continue
+		}
+		lastApp, lastDB = appSample, dbSample
+
+		obs := hpcap.Observation{Time: appSample.Time}
+		obs.Vectors[hpcap.TierApp] = appSample.Values
+		obs.Vectors[hpcap.TierDB] = dbSample.Values
+		p, err := monitor.Predict(obs)
+		if err != nil {
+			return err
+		}
+		verdict := "healthy"
+		if p.Overload {
+			verdict = fmt.Sprintf("OVERLOADED — bottleneck at the %s tier", p.Bottleneck)
+		}
+		phase := sched.At(appSample.Time - 1)
+		fmt.Printf("%8.0f %-9s %5d | %9.1f %9.1f | %s\n",
+			appSample.Time, phase.Mix.Name, phase.EBs,
+			pi(lastApp, ipcIdx, missIdx), pi(lastDB, ipcIdx, missIdx), verdict)
+	}
+	return nil
+}
+
+// pi computes the productivity index IPC / L2-miss-ratio for one window.
+func pi(s hpcap.MetricSample, ipcIdx, missIdx int) float64 {
+	if len(s.Values) == 0 || s.Values[missIdx] <= 0 {
+		return 0
+	}
+	return s.Values[ipcIdx] / s.Values[missIdx]
+}
+
+func index(names []string, want string) int {
+	for i, n := range names {
+		if n == want {
+			return i
+		}
+	}
+	return -1
+}

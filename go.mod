@@ -1,0 +1,3 @@
+module hpcap
+
+go 1.22

@@ -1,0 +1,251 @@
+// Package hpcap is an online capacity measurement system for multi-tier
+// websites driven by hardware performance counter metrics — a faithful
+// reproduction of Rao and Xu, "Online Measurement of the Capacity of
+// Multi-tier Websites Using Hardware Performance Counters" (ICDCS 2008) —
+// together with the complete evaluation substrate the paper used: a
+// simulated two-tier TPC-W testbed, NetBurst-style counter synthesis, a
+// Sysstat-style OS metric collector, and from-scratch implementations of
+// the four synopsis learners (linear regression, naive Bayes, TAN, SVM).
+//
+// The package is a curated facade over the internal packages. The three
+// layers a user touches are:
+//
+//   - Workload and testbed: build a tpcw schedule (Browsing/Shopping/
+//     Ordering mixes, ramps, spikes, interleavings) and run it on the
+//     simulated two-tier site with NewTestbed.
+//   - Capacity monitor: train a Monitor (per-workload, per-tier performance
+//     synopses plus the two-level coordinated predictor) on labeled window
+//     traces and use Predict for online overload/bottleneck inference.
+//   - Experiments: a Lab regenerates every table and figure of the paper's
+//     evaluation (Table I, Figures 3-4, the timing, overhead and ablation
+//     studies) at QuickScale or FullScale.
+//
+// See the runnable programs under examples/ and the experiment CLI at
+// cmd/capbench.
+package hpcap
+
+import (
+	"hpcap/internal/baseline"
+	"hpcap/internal/core"
+	"hpcap/internal/cpu"
+	"hpcap/internal/experiment"
+	"hpcap/internal/metrics"
+	"hpcap/internal/ml"
+	"hpcap/internal/ml/bayes"
+	"hpcap/internal/ml/linreg"
+	"hpcap/internal/ml/svm"
+	"hpcap/internal/osstat"
+	"hpcap/internal/pi"
+	"hpcap/internal/predictor"
+	"hpcap/internal/server"
+	"hpcap/internal/tpcw"
+)
+
+// Workload modeling (TPC-W).
+type (
+	// Mix is a TPC-W traffic mix over the 14 interaction types.
+	Mix = tpcw.Mix
+	// Interaction is one of the 14 TPC-W web interactions.
+	Interaction = tpcw.Interaction
+	// Phase is one segment of a load schedule.
+	Phase = tpcw.Phase
+	// Schedule is a piecewise load program for the emulated browsers.
+	Schedule = tpcw.Schedule
+)
+
+// The TPC-W traffic mixes and workload constructors.
+var (
+	Browsing     = tpcw.Browsing
+	Shopping     = tpcw.Shopping
+	Ordering     = tpcw.Ordering
+	UnknownMix   = tpcw.Unknown
+	FlashVariant = tpcw.FlashVariant
+	NewMix       = tpcw.NewMix
+	Steady       = tpcw.Steady
+	Ramp         = tpcw.Ramp
+	Spike        = tpcw.Spike
+	Interleaved  = tpcw.Interleaved
+	Concat       = tpcw.Concat
+)
+
+// Testbed simulation.
+type (
+	// ServerConfig configures the simulated two-tier site.
+	ServerConfig = server.Config
+	// TierConfig configures one tier.
+	TierConfig = server.TierConfig
+	// Testbed is the simulated two-tier website under TPC-W load.
+	Testbed = server.Testbed
+	// Snapshot is one interval of testbed telemetry.
+	Snapshot = server.Snapshot
+	// TierID names a tier (TierApp, TierDB).
+	TierID = server.TierID
+	// AdmissionState is what an admission controller observes.
+	AdmissionState = server.AdmissionState
+	// AdmissionFunc decides whether to admit a request.
+	AdmissionFunc = server.AdmissionFunc
+)
+
+// Tiers of the testbed.
+const (
+	TierApp  = server.TierApp
+	TierDB   = server.TierDB
+	NumTiers = server.NumTiers
+)
+
+// DefaultServerConfig returns the calibrated two-tier testbed
+// configuration (app ≈ Pentium 4 Tomcat, DB ≈ Pentium D MySQL).
+var DefaultServerConfig = server.DefaultConfig
+
+// NewTestbed builds a simulated website under the given schedule.
+var NewTestbed = server.NewTestbed
+
+// Metric levels.
+type Level = metrics.Level
+
+// The metric sources: the two levels the paper compares plus their
+// combination (the paper's proposed future-work extension).
+const (
+	LevelOS       = metrics.LevelOS
+	LevelHPC      = metrics.LevelHPC
+	LevelCombined = metrics.LevelCombined
+)
+
+// Metric collection.
+type (
+	// HPCCollector synthesizes the hardware-performance-counter view of
+	// a tier (the PerfCtr substitute).
+	HPCCollector = cpu.Collector
+	// OSCollector synthesizes the Sysstat view of a tier (64 metrics).
+	OSCollector = osstat.Collector
+	// MetricAggregator folds 1-second samples into analysis windows.
+	MetricAggregator = metrics.Aggregator
+	// MetricSample is one aggregated window of metrics plus the
+	// application-level health observed over it.
+	MetricSample = metrics.Sample
+)
+
+// Collector constructors and window aggregation.
+var (
+	NewHPCCollector = cpu.NewCollector
+	NewOSCollector  = osstat.NewCollector
+	NewAggregator   = metrics.NewAggregator
+)
+
+// Metric name tables and collection costs.
+var (
+	HPCMetricNames = cpu.MetricNames
+	OSMetricNames  = osstat.MetricNames
+)
+
+// Per-sample collection costs (normalized CPU seconds), reproducing the
+// paper's <0.5% (counters) vs ≈4% (Sysstat) overhead finding.
+const (
+	HPCSampleCost = metrics.HPCSampleCost
+	OSSampleCost  = metrics.OSSampleCost
+	// DefaultWindow is the paper's 30-second aggregation window.
+	DefaultWindow = metrics.DefaultWindow
+)
+
+// Capacity monitor (the paper's contribution).
+type (
+	// Monitor is the trained two-level coordinated capacity measurement
+	// system.
+	Monitor = core.Monitor
+	// MonitorConfig tunes monitor training.
+	MonitorConfig = core.Config
+	// Observation is one window of per-tier metric vectors.
+	Observation = core.Observation
+	// LabeledWindow is a training window with ground truth.
+	LabeledWindow = core.LabeledWindow
+	// TrainingSet is one training workload's labeled trace.
+	TrainingSet = core.TrainingSet
+	// Prediction is the monitor's per-window output.
+	Prediction = core.Prediction
+	// CoordinatorConfig tunes the two-level predictor (h, δ, scheme).
+	CoordinatorConfig = predictor.Config
+	// Scheme is the tie-break inside the ±δ band.
+	Scheme = predictor.Scheme
+	// Labeler derives offline overload ground truth from
+	// application-level health.
+	Labeler = pi.Labeler
+)
+
+// Tie-break schemes.
+const (
+	Optimistic  = predictor.Optimistic
+	Pessimistic = predictor.Pessimistic
+)
+
+// TrainMonitor trains a capacity monitor; see core.Train.
+var TrainMonitor = core.Train
+
+// Learners.
+type Learner = ml.Learner
+
+// The four synopsis builders of the paper.
+var (
+	LinearRegression = linreg.Learner
+	NaiveBayes       = bayes.NaiveLearner
+	TAN              = bayes.TANLearner
+	SVM              = svm.Learner
+)
+
+// Experiments (the paper's evaluation).
+type (
+	// Lab caches workloads and traces shared by the experiments.
+	Lab = experiment.Lab
+	// Scale sizes the generated traces.
+	Scale = experiment.Scale
+	// Workload is a mix with its measured saturation knees.
+	Workload = experiment.Workload
+	// TestKind names one of the four test workloads.
+	TestKind = experiment.TestKind
+	// Trace is a generated labeled run of the testbed.
+	Trace = experiment.Trace
+	// Table1Result is the synopsis accuracy grid (Table I).
+	Table1Result = experiment.Table1Result
+	// Fig3Result is the PI-vs-throughput series (Figure 3).
+	Fig3Result = experiment.Fig3Result
+	// Fig4Result is the coordinated accuracy grid (Figure 4).
+	Fig4Result = experiment.Fig4Result
+	// TimingResult is the learner cost table (§V.B).
+	TimingResult = experiment.TimingResult
+	// OverheadResult is the collection overhead table (§V.D).
+	OverheadResult = experiment.OverheadResult
+	// AblationResult is the history/scheme sensitivity grid (§V.C).
+	AblationResult = experiment.AblationResult
+	// BaselineResult compares conventional detectors with the monitor.
+	BaselineResult = experiment.BaselineResult
+	// LevelResult compares OS, HPC and combined monitors.
+	LevelResult = experiment.LevelResult
+)
+
+// Conventional overload detectors (the comparators of §I/§II.A).
+type (
+	// PIThreshold is the calibrated single-PI rule.
+	PIThreshold = baseline.PIThreshold
+	// RTDetector is the response-time trigger with its dead-time delay.
+	RTDetector = baseline.RTDetector
+	// UtilDetector is the CPU-utilization trigger.
+	UtilDetector = baseline.UtilDetector
+)
+
+// CalibratePIThreshold fits the single-PI rule on a labeled PI series.
+var CalibratePIThreshold = baseline.CalibratePIThreshold
+
+// The four test workloads of the evaluation.
+const (
+	TestBrowsing    = experiment.TestBrowsing
+	TestOrdering    = experiment.TestOrdering
+	TestInterleaved = experiment.TestInterleaved
+	TestUnknown     = experiment.TestUnknown
+)
+
+// Experiment entry points.
+var (
+	NewLab     = experiment.NewLab
+	QuickScale = experiment.QuickScale
+	FullScale  = experiment.FullScale
+	FindKnee   = experiment.FindKnee
+)

@@ -1,0 +1,141 @@
+package hpcap_test
+
+import (
+	"testing"
+
+	"hpcap"
+)
+
+// TestFacadeWorkloadHelpers exercises the re-exported TPC-W surface.
+func TestFacadeWorkloadHelpers(t *testing.T) {
+	for _, mix := range []hpcap.Mix{
+		hpcap.Browsing(), hpcap.Shopping(), hpcap.Ordering(),
+		hpcap.UnknownMix(), hpcap.FlashVariant(hpcap.Browsing()),
+		hpcap.NewMix("custom", 0.3),
+	} {
+		if err := mix.Validate(); err != nil {
+			t.Errorf("%s: %v", mix.Name, err)
+		}
+	}
+	sched := hpcap.Concat(
+		hpcap.Steady(hpcap.Shopping(), 50, 100),
+		hpcap.Ramp(hpcap.Ordering(), 10, 100, 4, 60),
+		hpcap.Spike(hpcap.Browsing(), 40, 200, 120, 60, 2),
+		hpcap.Interleaved(hpcap.Browsing(), hpcap.Ordering(), 80, 300, 4),
+	)
+	if err := sched.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFacadeTestbedRun drives the simulated site through the facade and
+// checks the first-class telemetry.
+func TestFacadeTestbedRun(t *testing.T) {
+	cfg := hpcap.DefaultServerConfig()
+	tb, err := hpcap.NewTestbed(cfg, hpcap.Steady(hpcap.Shopping(), 40, 200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Start(); err != nil {
+		t.Fatal(err)
+	}
+	tb.RunInterval(60)
+	snap := tb.RunInterval(30)
+	if snap.Completions == 0 {
+		t.Error("no completions on a live site")
+	}
+	if snap.Tiers[hpcap.TierApp].BusySeconds <= 0 {
+		t.Error("app tier reports no busy time")
+	}
+
+	// Collectors through the facade.
+	hpc := hpcap.NewHPCCollector(hpcap.TierApp, cfg.App.Machine, 0.02, 1)
+	osc := hpcap.NewOSCollector(hpcap.TierDB, 1024, 0.05, 2)
+	if got := len(hpc.Collect(snap, 30)); got != len(hpcap.HPCMetricNames) {
+		t.Errorf("HPC vector = %d values, want %d", got, len(hpcap.HPCMetricNames))
+	}
+	if got := len(osc.Collect(snap, 30)); got != len(hpcap.OSMetricNames) {
+		t.Errorf("OS vector = %d values, want %d", got, len(hpcap.OSMetricNames))
+	}
+	if len(hpcap.OSMetricNames) != 64 {
+		t.Errorf("OS metric count = %d, want the paper's 64", len(hpcap.OSMetricNames))
+	}
+}
+
+// TestFacadeLabeler checks the health labeler surface.
+func TestFacadeLabeler(t *testing.T) {
+	l := hpcap.Labeler{}
+	if l.Label(hpcap.MetricSample{MeanRT: 5, Throughput: 10, ArrivalRate: 10}) != 1 {
+		t.Error("slow window not labeled overloaded")
+	}
+	if l.Label(hpcap.MetricSample{MeanRT: 0.05, Throughput: 10, ArrivalRate: 10}) != 0 {
+		t.Error("fast window labeled overloaded")
+	}
+}
+
+// TestFacadeCollectionCosts pins the re-exported constants to the paper's
+// overhead story.
+func TestFacadeCollectionCosts(t *testing.T) {
+	if hpcap.HPCSampleCost >= hpcap.OSSampleCost {
+		t.Error("HPC collection must be cheaper than OS collection")
+	}
+	if hpcap.DefaultWindow != 30 {
+		t.Errorf("DefaultWindow = %d, want the paper's 30 s", hpcap.DefaultWindow)
+	}
+}
+
+// TestFacadeTrainMonitor trains a Naive monitor on synthetic windows via
+// the exported TrainMonitor function.
+func TestFacadeTrainMonitor(t *testing.T) {
+	sets := []hpcap.TrainingSet{{Workload: "w"}}
+	for i := 0; i < 40; i++ {
+		over := 0
+		if (i/5)%2 == 1 {
+			over = 1
+		}
+		var vecs [hpcap.NumTiers][]float64
+		for tier := 0; tier < hpcap.NumTiers; tier++ {
+			v := 0.2
+			if over == 1 && tier == 0 {
+				v = 0.9
+			}
+			vecs[tier] = []float64{v + 0.01*float64(i%5)}
+		}
+		sets[0].Windows = append(sets[0].Windows, hpcap.LabeledWindow{
+			Observation: hpcap.Observation{Time: float64(30 * i), Vectors: vecs},
+			Overload:    over,
+			Bottleneck:  hpcap.TierApp,
+		})
+	}
+	m, err := hpcap.TrainMonitor(hpcap.LevelHPC, []string{"x"}, sets, hpcap.MonitorConfig{
+		Learner: hpcap.NaiveBayes(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var obs hpcap.Observation
+	obs.Vectors[0] = []float64{0.95}
+	obs.Vectors[1] = []float64{0.2}
+	p, err := m.Predict(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Overload || p.Bottleneck != hpcap.TierApp {
+		t.Errorf("prediction = %+v, want app-tier overload", p)
+	}
+}
+
+// TestFacadeLearners confirms all four learner constructors work.
+func TestFacadeLearners(t *testing.T) {
+	for _, mk := range []func() hpcap.Learner{
+		hpcap.LinearRegression, hpcap.NaiveBayes, hpcap.TAN, hpcap.SVM,
+	} {
+		l := mk()
+		if l.Name == "" || l.New == nil {
+			t.Errorf("learner %+v incomplete", l)
+		}
+		if c := l.New(); c == nil {
+			t.Errorf("learner %s constructs nil", l.Name)
+		}
+	}
+}

@@ -1,0 +1,173 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCalibratePIThresholdSeparable(t *testing.T) {
+	// Healthy windows have high PI, overloaded low.
+	var series []float64
+	var labels []int
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100; i++ {
+		if i%2 == 0 {
+			series = append(series, 10+rng.Float64())
+			labels = append(labels, 0)
+		} else {
+			series = append(series, 2+rng.Float64())
+			labels = append(labels, 1)
+		}
+	}
+	p, err := CalibratePIThreshold(series, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Threshold < 3 || p.Threshold > 10 {
+		t.Errorf("threshold = %v, want between the clusters", p.Threshold)
+	}
+	correct := 0
+	for i, v := range series {
+		if p.Predict(v) == labels[i] {
+			correct++
+		}
+	}
+	if correct < 100 {
+		t.Errorf("separable calibration got %d/100", correct)
+	}
+}
+
+func TestCalibratePIThresholdErrors(t *testing.T) {
+	if _, err := CalibratePIThreshold(nil, nil); err == nil {
+		t.Error("empty series not rejected")
+	}
+	if _, err := CalibratePIThreshold([]float64{1}, []int{1, 0}); err == nil {
+		t.Error("length mismatch not rejected")
+	}
+	if _, err := CalibratePIThreshold([]float64{1, 2}, []int{0, 0}); err == nil {
+		t.Error("single-class series not rejected")
+	}
+}
+
+func TestRTDetectorLagsByOneWindow(t *testing.T) {
+	d := &RTDetector{Threshold: 1.0}
+	d.Reset()
+	// Window 0: healthy. Window 1: overloaded (RT 5s). Window 2: still
+	// overloaded. The detector cannot fire at window 1 — it has only seen
+	// window 0's response times.
+	if got := d.Predict(0.1); got != 0 {
+		t.Errorf("window 0 = %d", got)
+	}
+	if got := d.Predict(5.0); got != 0 {
+		t.Errorf("window 1 = %d, the RT trigger must not see its own window", got)
+	}
+	if got := d.Predict(5.0); got != 1 {
+		t.Errorf("window 2 = %d, want detection one window late", got)
+	}
+	d.Reset()
+	if got := d.Predict(9.9); got != 0 {
+		t.Errorf("after Reset, first window = %d, want 0", got)
+	}
+}
+
+func TestRTDetectorDefaultThreshold(t *testing.T) {
+	d := &RTDetector{}
+	d.Predict(0.6) // above the default 0.5
+	if got := d.Predict(0.6); got != 1 {
+		t.Error("default conservative threshold (0.5 s) not applied")
+	}
+}
+
+func TestUtilDetector(t *testing.T) {
+	d := &UtilDetector{}
+	if d.Predict(0.95) != 1 {
+		t.Error("pegged CPU not flagged with default threshold")
+	}
+	if d.Predict(0.7) != 0 {
+		t.Error("moderate CPU flagged")
+	}
+	custom := &UtilDetector{Threshold: 0.5}
+	if custom.Predict(0.6) != 1 {
+		t.Error("custom threshold not applied")
+	}
+}
+
+func TestDetectionLag(t *testing.T) {
+	truth := []int{0, 0, 1, 1, 1, 0, 0, 1, 1, 0}
+	// Detector A fires immediately at both onsets.
+	immediate := []int{0, 0, 1, 1, 1, 0, 0, 1, 1, 0}
+	lag, onsets := DetectionLag(truth, immediate)
+	if onsets != 2 {
+		t.Fatalf("onsets = %d, want 2", onsets)
+	}
+	if lag != 0 {
+		t.Errorf("immediate detector lag = %v, want 0", lag)
+	}
+	// Detector B fires one window late each time.
+	late := []int{0, 0, 0, 1, 1, 0, 0, 0, 1, 0}
+	lag, _ = DetectionLag(truth, late)
+	if lag != 1 {
+		t.Errorf("late detector lag = %v, want 1", lag)
+	}
+	// Detector C misses the second episode entirely: lag counts its
+	// full length.
+	missing := []int{0, 0, 1, 1, 1, 0, 0, 0, 0, 0}
+	lag, _ = DetectionLag(truth, missing)
+	if lag != 1 { // (0 + 2)/2
+		t.Errorf("missing detector lag = %v, want 1", lag)
+	}
+}
+
+func TestDetectionLagDegenerate(t *testing.T) {
+	if lag, onsets := DetectionLag(nil, nil); lag != 0 || onsets != 0 {
+		t.Error("empty input should yield zeros")
+	}
+	// No sustained onset (single-window blip).
+	truth := []int{0, 1, 0, 0}
+	preds := []int{0, 0, 0, 0}
+	if _, onsets := DetectionLag(truth, preds); onsets != 0 {
+		t.Error("single-window blip counted as onset")
+	}
+	if lag, onsets := DetectionLag([]int{0, 1}, []int{0}); lag != 0 || onsets != 0 {
+		t.Error("mismatched lengths should yield zeros")
+	}
+}
+
+// Property: the calibrated threshold never performs worse than always
+// predicting one class (BA 0.5) on its own training data.
+func TestCalibrationDominatesConstantProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 60
+		series := make([]float64, n)
+		labels := make([]int, n)
+		for i := range series {
+			series[i] = rng.Float64() * 100
+			labels[i] = rng.Intn(2)
+		}
+		p, err := CalibratePIThreshold(series, labels)
+		if err != nil {
+			return true // single-class draws are legitimately rejected
+		}
+		var tp, tn, pos, neg int
+		for i, v := range series {
+			if labels[i] == 1 {
+				pos++
+				if p.Predict(v) == 1 {
+					tp++
+				}
+			} else {
+				neg++
+				if p.Predict(v) == 0 {
+					tn++
+				}
+			}
+		}
+		ba := (float64(tp)/float64(pos) + float64(tn)/float64(neg)) / 2
+		return ba >= 0.5-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,185 @@
+// Package core assembles the paper's primary contribution: the two-level
+// coordinated website capacity measurement system (§III). A Monitor holds
+// one performance synopsis per (training workload × tier) combination and a
+// coordinated two-level predictor on top; online, each 30-second window of
+// per-tier metric vectors flows through every synopsis to form a Global
+// Pattern Vector, and the coordinated predictor infers the system-wide
+// overload state and — when overloaded — the bottleneck tier.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"hpcap/internal/featsel"
+	"hpcap/internal/metrics"
+	"hpcap/internal/ml"
+	"hpcap/internal/predictor"
+	"hpcap/internal/server"
+	"hpcap/internal/synopsis"
+)
+
+// Observation is one aggregated window of per-tier metric vectors at the
+// monitor's metric level, in the full collector layout.
+type Observation struct {
+	Time    float64
+	Vectors [server.NumTiers][]float64
+}
+
+// LabeledWindow is one training window: the observation plus its offline
+// ground truth.
+type LabeledWindow struct {
+	Observation
+	Overload   int
+	Bottleneck server.TierID
+}
+
+// TrainingSet is the labeled trace of one training workload (e.g. the
+// browsing ramp-up plus spike run).
+type TrainingSet struct {
+	Workload string
+	Windows  []LabeledWindow
+}
+
+// Prediction is the monitor's per-window output.
+type Prediction struct {
+	Overload bool
+	// Bottleneck is meaningful only when Overload is true.
+	Bottleneck server.TierID
+	// GPV is the individual synopses' votes, for diagnostics.
+	GPV []int
+}
+
+// Config tunes monitor training.
+type Config struct {
+	// Learner builds the synopses; zero value is invalid — callers pick
+	// one of the four (the paper recommends TAN).
+	Learner ml.Learner
+	// Synopsis tunes attribute selection.
+	Synopsis synopsis.Config
+	// Coordinator tunes the two-level predictor (h=3, δ=5, optimistic by
+	// default, as in §V.C).
+	Coordinator predictor.Config
+	// TrainPasses is how many passes over the training traces the
+	// coordinated predictor takes; zero selects 12. The GPT×LHT cells
+	// partition the training instances finely, so saturating counters
+	// need several passes to accumulate past the ±δ confidence band.
+	TrainPasses int
+}
+
+// Monitor is the trained capacity measurement system for one metric level.
+type Monitor struct {
+	Level    metrics.Level
+	Synopses []*synopsis.Synopsis
+
+	coordinator *predictor.Predictor
+}
+
+// Train builds a monitor: one synopsis per (training set × tier), then the
+// coordinated predictor over the training traces in order.
+func Train(level metrics.Level, names []string, sets []TrainingSet, cfg Config) (*Monitor, error) {
+	if cfg.Learner.New == nil {
+		return nil, errors.New("core: Config.Learner is required")
+	}
+	if len(sets) == 0 {
+		return nil, errors.New("core: no training sets")
+	}
+	passes := cfg.TrainPasses
+	if passes <= 0 {
+		passes = 12
+	}
+
+	m := &Monitor{Level: level}
+	for _, set := range sets {
+		for tier := server.TierID(0); tier < server.NumTiers; tier++ {
+			d := ml.NewDataset(names)
+			for _, w := range set.Windows {
+				if err := d.Add(w.Vectors[tier], w.Overload); err != nil {
+					return nil, fmt.Errorf("core: training set %s: %w", set.Workload, err)
+				}
+			}
+			syn, err := synopsis.Build(set.Workload, tier, level, cfg.Learner, d, cfg.Synopsis)
+			if err != nil {
+				return nil, fmt.Errorf("core: build synopsis %s/%s: %w", set.Workload, tier, err)
+			}
+			m.Synopses = append(m.Synopses, syn)
+		}
+	}
+
+	coord, err := predictor.New(len(m.Synopses), server.NumTiers, cfg.Coordinator)
+	if err != nil {
+		return nil, err
+	}
+	m.coordinator = coord
+	for pass := 0; pass < passes; pass++ {
+		for _, set := range sets {
+			coord.ResetHistory()
+			for _, w := range set.Windows {
+				gpv := m.gpv(w.Observation)
+				if err := coord.Train(gpv, w.Overload, int(w.Bottleneck)); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	coord.ResetHistory()
+	return m, nil
+}
+
+// gpv runs every synopsis over the observation.
+func (m *Monitor) gpv(obs Observation) []int {
+	gpv := make([]int, len(m.Synopses))
+	for i, syn := range m.Synopses {
+		gpv[i] = syn.Predict(obs.Vectors[syn.Tier])
+	}
+	return gpv
+}
+
+// Predict infers the system state for one window. The monitor keeps the
+// coordinated predictor's temporal history, so observations must arrive in
+// trace order; call ResetHistory between unrelated traces.
+func (m *Monitor) Predict(obs Observation) (Prediction, error) {
+	gpv := m.gpv(obs)
+	over, bott, err := m.coordinator.Predict(gpv)
+	if err != nil {
+		return Prediction{}, err
+	}
+	p := Prediction{Overload: over == 1, GPV: gpv}
+	if over == 1 {
+		p.Bottleneck = server.TierID(bott)
+	}
+	return p, nil
+}
+
+// Feedback lets callers reinforce the last prediction with observed truth —
+// online adaptation beyond the paper's offline training.
+func (m *Monitor) Feedback(overload bool, bottleneck server.TierID) {
+	o := 0
+	if overload {
+		o = 1
+	}
+	m.coordinator.Feedback(o, int(bottleneck))
+}
+
+// ResetHistory clears the coordinated predictor's temporal state (between
+// traces or after long gaps).
+func (m *Monitor) ResetHistory() { m.coordinator.ResetHistory() }
+
+// Coordinator exposes the two-level predictor (diagnostics, ablations).
+func (m *Monitor) Coordinator() *predictor.Predictor { return m.coordinator }
+
+// SynopsisByKey finds a synopsis by its Key(), or nil.
+func (m *Monitor) SynopsisByKey(key string) *synopsis.Synopsis {
+	for _, s := range m.Synopses {
+		if s.Key() == key {
+			return s
+		}
+	}
+	return nil
+}
+
+// DefaultSynopsisConfig returns the paper's synopsis construction settings
+// with a deterministic seed.
+func DefaultSynopsisConfig(seed int64) synopsis.Config {
+	return synopsis.Config{Selection: featsel.Config{Seed: seed}}
+}

@@ -1,0 +1,85 @@
+package experiment
+
+import (
+	"fmt"
+
+	"hpcap/internal/pi"
+	"hpcap/internal/server"
+	"hpcap/internal/tpcw"
+)
+
+// FindKnee locates a mix's saturation knee — the smallest emulated-browser
+// population whose steady state is overloaded by the application-level
+// labeler — by bisection over steady-state runs. It is the offline
+// stress-testing step the paper uses to calibrate thresholds, and it also
+// powers the capacity-planning example.
+func FindKnee(cfg server.Config, mix tpcw.Mix, labeler pi.Labeler, lo, hi int) (int, error) {
+	if lo < 1 || hi <= lo {
+		return 0, fmt.Errorf("experiment: bad knee bracket [%d, %d]", lo, hi)
+	}
+	overAt := func(ebs int) (bool, error) {
+		over, err := steadyOverloaded(cfg, mix, labeler, ebs)
+		if err != nil {
+			return false, err
+		}
+		return over, nil
+	}
+	// Ensure the bracket actually straddles the knee.
+	if over, err := overAt(hi); err != nil {
+		return 0, err
+	} else if !over {
+		return hi, nil // capacity beyond the bracket; report the bound
+	}
+	if over, err := overAt(lo); err != nil {
+		return 0, err
+	} else if over {
+		return lo, nil
+	}
+	for hi-lo > maxInt(2, lo/50) {
+		mid := (lo + hi) / 2
+		over, err := overAt(mid)
+		if err != nil {
+			return 0, err
+		}
+		if over {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi, nil
+}
+
+// steadyOverloaded runs a steady workload and labels its settled state.
+func steadyOverloaded(cfg server.Config, mix tpcw.Mix, labeler pi.Labeler, ebs int) (bool, error) {
+	const warmup, measure = 240, 180
+	tb, err := server.NewTestbed(cfg, tpcw.Steady(mix, ebs, warmup+measure+10))
+	if err != nil {
+		return false, err
+	}
+	if err := tb.Start(); err != nil {
+		return false, err
+	}
+	tb.RunInterval(warmup)
+	var completions, arrivals int
+	var rtWeighted float64
+	for i := 0; i < measure; i++ {
+		s := tb.RunInterval(1)
+		completions += s.Completions
+		arrivals += s.Arrivals
+		rtWeighted += s.MeanRT * float64(s.Completions)
+	}
+	meanRT := 0.0
+	if completions > 0 {
+		meanRT = rtWeighted / float64(completions)
+	}
+	label := labeler.Label(sampleFor(meanRT, completions, arrivals, measure))
+	return label == 1, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,134 @@
+package experiment
+
+import (
+	"fmt"
+
+	"hpcap/internal/pi"
+	"hpcap/internal/server"
+	"hpcap/internal/tpcw"
+)
+
+// Lab bundles the shared state of the evaluation: the testbed
+// configuration, the measured workload knees, and the generated traces,
+// each computed once and cached so that the experiments reproducing
+// different tables and figures share identical inputs (as they did on the
+// paper's physical testbed).
+type Lab struct {
+	Server  server.Config
+	Scale   Scale
+	Labeler pi.Labeler
+	// Seed separates trace randomness between training (Seed+k) and test
+	// (Seed+100+k) runs.
+	Seed int64
+
+	workloads map[string]Workload
+	traces    map[string]*Trace
+}
+
+// NewLab returns a Lab over the default testbed at the given scale.
+func NewLab(scale Scale) *Lab {
+	return &Lab{
+		Server:    server.DefaultConfig(),
+		Scale:     scale,
+		Labeler:   pi.Labeler{},
+		Seed:      1,
+		workloads: make(map[string]Workload),
+		traces:    make(map[string]*Trace),
+	}
+}
+
+// TrainingMixes returns the representative mixes the paper trains on.
+func TrainingMixes() []tpcw.Mix {
+	return []tpcw.Mix{tpcw.Browsing(), tpcw.Ordering()}
+}
+
+// Workload measures (once) and returns the knees of a mix.
+func (l *Lab) Workload(mix tpcw.Mix) (Workload, error) {
+	if w, ok := l.workloads[mix.Name]; ok {
+		return w, nil
+	}
+	w, err := DefineWorkload(l.Server, mix, l.Labeler, l.Scale)
+	if err != nil {
+		return Workload{}, err
+	}
+	l.workloads[mix.Name] = w
+	return w, nil
+}
+
+// generate runs Generate with caching under the given key.
+func (l *Lab) generate(key string, sched tpcw.Schedule, seed int64, overheadOn bool) (*Trace, error) {
+	if tr, ok := l.traces[key]; ok {
+		return tr, nil
+	}
+	tr, err := Generate(TraceConfig{
+		Server:          l.Server,
+		Schedule:        sched,
+		Window:          l.Scale.Window,
+		Warmup:          l.Scale.WarmupWindows,
+		Seed:            seed,
+		Labeler:         l.Labeler,
+		CollectOverhead: overheadOn,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiment: generate %s: %w", key, err)
+	}
+	l.traces[key] = tr
+	return tr, nil
+}
+
+// TrainingTrace returns the cached training trace (ramp-up + spikes +
+// flash) for a mix.
+func (l *Lab) TrainingTrace(mix tpcw.Mix) (*Trace, error) {
+	w, err := l.Workload(mix)
+	if err != nil {
+		return nil, err
+	}
+	return l.generate("train/"+mix.Name, TrainingSchedule(w, l.Scale), l.Seed+int64(len(mix.Name)), false)
+}
+
+// TestKind names the paper's four test workloads (§IV.A).
+type TestKind string
+
+// The four test workloads of the evaluation.
+const (
+	TestBrowsing    TestKind = "browsing"
+	TestOrdering    TestKind = "ordering"
+	TestInterleaved TestKind = "interleaved"
+	TestUnknown     TestKind = "unknown"
+)
+
+// TestKinds returns the four test workloads in the paper's order.
+func TestKinds() []TestKind {
+	return []TestKind{TestOrdering, TestBrowsing, TestInterleaved, TestUnknown}
+}
+
+// TestTrace returns the cached test trace of one kind.
+func (l *Lab) TestTrace(kind TestKind) (*Trace, error) {
+	switch kind {
+	case TestBrowsing, TestOrdering, TestUnknown:
+		mix := tpcw.Browsing()
+		if kind == TestOrdering {
+			mix = tpcw.Ordering()
+		}
+		if kind == TestUnknown {
+			mix = tpcw.Unknown()
+		}
+		w, err := l.Workload(mix)
+		if err != nil {
+			return nil, err
+		}
+		return l.generate("test/"+string(kind), TestSchedule(w, l.Scale), l.Seed+100+int64(len(kind)), false)
+	case TestInterleaved:
+		wb, err := l.Workload(tpcw.Browsing())
+		if err != nil {
+			return nil, err
+		}
+		wo, err := l.Workload(tpcw.Ordering())
+		if err != nil {
+			return nil, err
+		}
+		return l.generate("test/interleaved", InterleavedSchedule(wb, wo, l.Scale), l.Seed+104, false)
+	default:
+		return nil, fmt.Errorf("experiment: unknown test kind %q", kind)
+	}
+}

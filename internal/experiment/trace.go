@@ -1,0 +1,341 @@
+package experiment
+
+import (
+	"fmt"
+
+	"hpcap/internal/cpu"
+	"hpcap/internal/metrics"
+	"hpcap/internal/osstat"
+	"hpcap/internal/pi"
+	"hpcap/internal/server"
+	"hpcap/internal/tpcw"
+)
+
+// Collector noise levels: hardware counters sample precisely; /proc
+// scraping is coarser.
+const (
+	hpcNoise = 0.02
+	osNoise  = 0.05
+)
+
+// Window is one aggregated 30-second observation of the whole testbed at
+// both metric levels, with its offline ground truth.
+type Window struct {
+	Time float64
+	// OS and HPC hold the full metric vector per tier.
+	OS  [server.NumTiers][]float64
+	HPC [server.NumTiers][]float64
+
+	Overload   int
+	Bottleneck server.TierID
+
+	Throughput  float64
+	ArrivalRate float64
+	MeanRT      float64
+	Util        [server.NumTiers]float64
+	// FgUtil excludes idle-priority housekeeping; it is the ground-truth
+	// basis for bottleneck attribution.
+	FgUtil [server.NumTiers]float64
+	EBs    int
+	Mix    string
+}
+
+// Trace is a generated run of the testbed.
+type Trace struct {
+	Windows  []Window
+	OSNames  []string
+	HPCNames []string
+	// Samples per tier of the HPC aggregation, for PI computations.
+	HPCSamples [server.NumTiers][]metrics.Sample
+}
+
+// Vectors returns the per-tier vectors of the window at the given level.
+// LevelCombined concatenates OS and HPC vectors (OS first), the combined
+// monitor proposed by the paper's conclusion.
+func (w *Window) Vectors(level metrics.Level) [server.NumTiers][]float64 {
+	switch level {
+	case metrics.LevelOS:
+		return w.OS
+	case metrics.LevelCombined:
+		var out [server.NumTiers][]float64
+		for tier := range out {
+			v := make([]float64, 0, len(w.OS[tier])+len(w.HPC[tier]))
+			v = append(v, w.OS[tier]...)
+			v = append(v, w.HPC[tier]...)
+			out[tier] = v
+		}
+		return out
+	default:
+		return w.HPC
+	}
+}
+
+// Names returns the metric names for a level.
+func (t *Trace) Names(level metrics.Level) []string {
+	switch level {
+	case metrics.LevelOS:
+		return t.OSNames
+	case metrics.LevelCombined:
+		names := make([]string, 0, len(t.OSNames)+len(t.HPCNames))
+		names = append(names, t.OSNames...)
+		names = append(names, t.HPCNames...)
+		return names
+	default:
+		return t.HPCNames
+	}
+}
+
+// TraceConfig describes one trace generation run.
+type TraceConfig struct {
+	Server   server.Config
+	Schedule tpcw.Schedule
+	Window   int
+	Warmup   int // windows dropped from the head
+	Seed     int64
+	Labeler  pi.Labeler
+	// CollectOverhead charges the testbed the CPU cost of metric
+	// collection itself (both levels), as a deployed monitor would.
+	CollectOverhead bool
+}
+
+// Generate runs the testbed under the schedule and collects the labeled
+// window trace at both metric levels.
+func Generate(cfg TraceConfig) (*Trace, error) {
+	if cfg.Window <= 0 {
+		cfg.Window = metrics.DefaultWindow
+	}
+	srvCfg := cfg.Server
+	srvCfg.Seed = cfg.Seed
+	tb, err := server.NewTestbed(srvCfg, cfg.Schedule)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.CollectOverhead {
+		for tier := server.TierID(0); tier < server.NumTiers; tier++ {
+			tb.AddPeriodicLoad(tier, 1.0, metrics.HPCSampleCost+metrics.OSSampleCost)
+		}
+	}
+	if err := tb.Start(); err != nil {
+		return nil, err
+	}
+
+	type tierCollectors struct {
+		os  *metrics.Aggregator
+		hpc *metrics.Aggregator
+	}
+	machines := [server.NumTiers]server.MachineConfig{srvCfg.App.Machine, srvCfg.DB.Machine}
+	memMB := [server.NumTiers]float64{512, 1024}
+	var coll [server.NumTiers]tierCollectors
+	for tier := server.TierID(0); tier < server.NumTiers; tier++ {
+		osAgg, err := metrics.NewAggregator(
+			osstat.NewCollector(tier, memMB[tier], osNoise, cfg.Seed*10+int64(tier)), cfg.Window)
+		if err != nil {
+			return nil, err
+		}
+		hpcAgg, err := metrics.NewAggregator(
+			cpu.NewCollector(tier, machines[tier], hpcNoise, cfg.Seed*10+int64(tier)+100), cfg.Window)
+		if err != nil {
+			return nil, err
+		}
+		coll[tier] = tierCollectors{os: osAgg, hpc: hpcAgg}
+	}
+
+	trace := &Trace{
+		OSNames:  osstat.MetricNames,
+		HPCNames: cpu.MetricNames,
+	}
+
+	total := cfg.Schedule.Duration()
+	var busyAccum [server.NumTiers]float64
+	var fgBusyAccum [server.NumTiers]float64
+	secInWindow := 0
+	var elapsed float64
+	for elapsed < total {
+		snap := tb.RunInterval(1)
+		elapsed++
+		secInWindow++
+		for tier := server.TierID(0); tier < server.NumTiers; tier++ {
+			busyAccum[tier] += snap.Tiers[tier].BusySeconds
+			fgBusyAccum[tier] += snap.Tiers[tier].FgBusySeconds
+		}
+
+		var w Window
+		complete := false
+		for tier := server.TierID(0); tier < server.NumTiers; tier++ {
+			osSample, osDone := coll[tier].os.Push(snap, 1)
+			hpcSample, hpcDone := coll[tier].hpc.Push(snap, 1)
+			if osDone != hpcDone {
+				return nil, fmt.Errorf("experiment: aggregators out of lockstep")
+			}
+			if !osDone {
+				continue
+			}
+			complete = true
+			w.OS[tier] = osSample.Values
+			w.HPC[tier] = hpcSample.Values
+			trace.HPCSamples[tier] = append(trace.HPCSamples[tier], hpcSample)
+			// App-level health is identical across aggregators; take it
+			// from the last one.
+			w.Time = hpcSample.Time
+			w.Throughput = hpcSample.Throughput
+			w.ArrivalRate = hpcSample.ArrivalRate
+			w.MeanRT = hpcSample.MeanRT
+			w.EBs = hpcSample.ActiveEBs
+		}
+		if !complete {
+			continue
+		}
+		for tier := server.TierID(0); tier < server.NumTiers; tier++ {
+			w.Util[tier] = busyAccum[tier] / float64(secInWindow)
+			w.FgUtil[tier] = fgBusyAccum[tier] / float64(secInWindow)
+			busyAccum[tier] = 0
+			fgBusyAccum[tier] = 0
+		}
+		secInWindow = 0
+		w.Mix = cfg.Schedule.At(w.Time - float64(cfg.Window)/2).Mix.Name
+		w.Overload = cfg.Labeler.Label(metrics.Sample{
+			MeanRT:      w.MeanRT,
+			Throughput:  w.Throughput,
+			ArrivalRate: w.ArrivalRate,
+		})
+		w.Bottleneck = busierTier(w.FgUtil)
+		trace.Windows = append(trace.Windows, w)
+	}
+
+	if cfg.Warmup > 0 && cfg.Warmup < len(trace.Windows) {
+		trace.Windows = trace.Windows[cfg.Warmup:]
+		for tier := range trace.HPCSamples {
+			trace.HPCSamples[tier] = trace.HPCSamples[tier][cfg.Warmup:]
+		}
+	}
+	return trace, nil
+}
+
+// busierTier returns the tier with the highest request-processing
+// utilization — the offline ground truth for bottleneck identification.
+func busierTier(util [server.NumTiers]float64) server.TierID {
+	best := server.TierID(0)
+	for t := server.TierID(1); t < server.NumTiers; t++ {
+		if util[t] > util[best] {
+			best = t
+		}
+	}
+	return best
+}
+
+// frac scales a knee by a fraction, never below 1 EB.
+func frac(knee int, f float64) int {
+	v := int(float64(knee)*f + 0.5)
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
+// Workload bundles a traffic mix with its measured saturation knees: the EB
+// population at which the mix itself saturates the site, and the (higher)
+// population at which its flash-crowd variant — the same traffic class with
+// catalog-heavy queries damped — saturates it. Knees come from offline
+// stress testing (FindKnee), mirroring how the paper calibrates thresholds
+// empirically.
+type Workload struct {
+	Mix       tpcw.Mix
+	Knee      int
+	Flash     tpcw.Mix
+	FlashKnee int
+}
+
+// DefineWorkload measures both knees of a mix on the given server
+// configuration.
+func DefineWorkload(cfg server.Config, mix tpcw.Mix, labeler pi.Labeler, s Scale) (Workload, error) {
+	knee, err := FindKnee(cfg, mix, labeler, s.KneeLo, s.KneeHi)
+	if err != nil {
+		return Workload{}, fmt.Errorf("experiment: knee of %s: %w", mix.Name, err)
+	}
+	flash := tpcw.FlashVariant(mix)
+	flashKnee, err := FindKnee(cfg, flash, labeler, s.KneeLo, s.KneeHi*3)
+	if err != nil {
+		return Workload{}, fmt.Errorf("experiment: knee of %s: %w", flash.Name, err)
+	}
+	return Workload{Mix: mix, Knee: knee, Flash: flash, FlashKnee: flashKnee}, nil
+}
+
+// TrainingSchedule composes the paper's training workload for one mix
+// around its measured saturation knee: a coarse ramp-up, a fine ramp
+// through the gray zone, plateaus just below and just above saturation,
+// flash-crowd phases of light-query volume, a recovery, spike cycles of
+// occasional extreme bursts, and a deep-overload dwell (§IV.A).
+func TrainingSchedule(w Workload, s Scale) tpcw.Schedule {
+	phase := func(f float64, units float64) tpcw.Schedule {
+		return tpcw.Steady(w.Mix, frac(w.Knee, f), units*s.StepSec)
+	}
+	return tpcw.Concat(
+		tpcw.Ramp(w.Mix, frac(w.Knee, 0.30), frac(w.Knee, 0.75), 4, s.StepSec),
+		tpcw.Ramp(w.Mix, frac(w.Knee, 0.80), frac(w.Knee, 1.25), 10, s.StepSec),
+		phase(0.92, 3),
+		phase(1.08, 3),
+		// Flash crowd: heavy volume of light requests, busy but healthy.
+		tpcw.Steady(w.Flash, frac(w.FlashKnee, 0.90), 3*s.StepSec),
+		// Think-time variation decouples offered load from the session
+		// count: a large disengaged population stays healthy, a small
+		// eager one overloads.
+		tpcw.Schedule{Phases: []tpcw.Phase{
+			{Mix: w.Mix, EBs: frac(w.Knee, 1.8), Duration: 2 * s.StepSec, ThinkScale: 2.2},
+			{Mix: w.Mix, EBs: frac(w.Knee, 0.62), Duration: 2 * s.StepSec, ThinkScale: 0.48},
+		}},
+		phase(0.60, 2),
+		tpcw.Spike(w.Mix, frac(w.Knee, 0.50), frac(w.Knee, 1.50), 2*s.StepSec, s.StepSec, 2),
+		phase(1.60, 2),
+	)
+}
+
+// TestSchedule composes a test workload for one mix: ramps, near-knee
+// plateaus, flash-crowd phases (including one just past the flash knee — a
+// genuinely hard "excessive load" overload), a recovery, and a spike, with
+// a different composition from the training runs.
+func TestSchedule(w Workload, s Scale) tpcw.Schedule {
+	phase := func(f float64, units float64) tpcw.Schedule {
+		return tpcw.Steady(w.Mix, frac(w.Knee, f), units*s.StepSec)
+	}
+	return tpcw.Concat(
+		tpcw.Ramp(w.Mix, frac(w.Knee, 0.40), frac(w.Knee, 1.20), 6, s.StepSec),
+		phase(0.88, 3),
+		phase(1.35, 2),
+		tpcw.Steady(w.Flash, frac(w.FlashKnee, 0.92), 2*s.StepSec),
+		tpcw.Steady(w.Flash, frac(w.FlashKnee, 1.06), s.StepSec),
+		tpcw.Schedule{Phases: []tpcw.Phase{
+			{Mix: w.Mix, EBs: frac(w.Knee, 1.6), Duration: s.StepSec, ThinkScale: 2.0},
+			{Mix: w.Mix, EBs: frac(w.Knee, 0.7), Duration: s.StepSec, ThinkScale: 0.52},
+		}},
+		phase(0.55, 2),
+		tpcw.Spike(w.Mix, frac(w.Knee, 0.60), frac(w.Knee, 1.45), 2*s.StepSec, s.StepSec, 1),
+		phase(1.15, 2),
+	)
+}
+
+// InterleavedSchedule alternates browsing and ordering below and above
+// their respective knees — the paper's bottleneck-shifting test, in which
+// any interval carries either mix and the bottleneck moves between tiers.
+func InterleavedSchedule(browsing, ordering Workload, s Scale) tpcw.Schedule {
+	period := 4 * s.StepSec
+	var phases []tpcw.Phase
+	fracs := []float64{0.85, 1.25, 0.7, 1.15}
+	for i := 0; i < s.InterleavePhases; i++ {
+		f := fracs[(i/2)%len(fracs)]
+		w := browsing
+		if i%2 == 1 {
+			w = ordering
+		}
+		phases = append(phases, tpcw.Phase{Mix: w.Mix, EBs: frac(w.Knee, f), Duration: period})
+	}
+	return tpcw.Schedule{Phases: phases}
+}
+
+// sampleFor packages window health for the labeler.
+func sampleFor(meanRT float64, completions, arrivals, seconds int) metrics.Sample {
+	return metrics.Sample{
+		MeanRT:      meanRT,
+		Throughput:  float64(completions) / float64(seconds),
+		ArrivalRate: float64(arrivals) / float64(seconds),
+	}
+}

@@ -1,0 +1,151 @@
+// Package featsel implements the paper's attribute selection (§II.B.2):
+// candidate attributes are ranked by information gain against the class
+// variable, then added to the synopsis one at a time — keeping an addition
+// only if it improves the synopsis's 10-fold cross-validated balanced
+// accuracy — so that only the most relevant low-level metrics enter a
+// synopsis.
+package featsel
+
+import (
+	"errors"
+	"sort"
+
+	"hpcap/internal/ml"
+	"hpcap/internal/stats"
+)
+
+// Config tunes the selection loop.
+type Config struct {
+	// MaxAttrs caps the number of selected attributes (the paper keeps
+	// synopses small); zero selects 8.
+	MaxAttrs int
+	// Folds is the cross-validation fold count; zero selects 10, as in
+	// the paper.
+	Folds int
+	// MinGain is the minimum CV balanced-accuracy improvement required to
+	// keep a newly added attribute; zero selects 0.01 (additions must buy
+	// real accuracy, or synopses overfit the training workload).
+	MinGain float64
+	// Patience is how many consecutive non-improving candidates to try
+	// before stopping; zero selects 3.
+	Patience int
+	// Bins is the discretization granularity for information gain; zero
+	// selects 10.
+	Bins int
+	// Seed drives fold shuffling.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxAttrs <= 0 {
+		c.MaxAttrs = 8
+	}
+	if c.Folds <= 0 {
+		c.Folds = 10
+	}
+	if c.MinGain <= 0 {
+		c.MinGain = 0.01
+	}
+	if c.Patience <= 0 {
+		c.Patience = 3
+	}
+	if c.Bins <= 0 {
+		c.Bins = 10
+	}
+	return c
+}
+
+// Ranked is one attribute with its information gain.
+type Ranked struct {
+	Attr int
+	Gain float64
+}
+
+// RankByInformationGain returns all attributes ordered by decreasing
+// information gain with the class variable, computed on equal-frequency
+// discretized values.
+func RankByInformationGain(d *ml.Dataset, bins int) ([]Ranked, error) {
+	if d.Len() == 0 {
+		return nil, ml.ErrNoData
+	}
+	if bins <= 1 {
+		bins = 10
+	}
+	out := make([]Ranked, 0, d.NumAttrs())
+	for j := 0; j < d.NumAttrs(); j++ {
+		col := d.Column(j)
+		disc, err := stats.NewEqualFrequency(col, bins)
+		if err != nil {
+			return nil, err
+		}
+		ig, err := stats.InformationGain(disc.BinAll(col), d.Y)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Ranked{Attr: j, Gain: ig})
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Gain > out[j].Gain })
+	return out, nil
+}
+
+// Result is the outcome of a selection run.
+type Result struct {
+	Attrs []int   // selected attribute indices, in selection order
+	CV    float64 // cross-validated balanced accuracy of the final subset
+}
+
+// Select runs the paper's iterative wrapper: walk candidates in information
+// gain order, adding each attribute and keeping it only if the learner's
+// cross-validated balanced accuracy improves.
+func Select(l ml.Learner, d *ml.Dataset, cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
+	if d.Len() < cfg.Folds {
+		return Result{}, errors.New("featsel: too few instances for cross validation")
+	}
+	ranked, err := RankByInformationGain(d, cfg.Bins)
+	if err != nil {
+		return Result{}, err
+	}
+
+	var selected []int
+	best := 0.5 // balanced accuracy of an empty (constant) synopsis
+	misses := 0
+	for _, cand := range ranked {
+		if len(selected) >= cfg.MaxAttrs {
+			break
+		}
+		if misses >= cfg.Patience && len(selected) > 0 {
+			break
+		}
+		trial := append(append([]int(nil), selected...), cand.Attr)
+		proj, err := d.Project(trial)
+		if err != nil {
+			return Result{}, err
+		}
+		cv, err := ml.CrossValidate(l, proj, cfg.Folds, cfg.Seed)
+		if err != nil {
+			return Result{}, err
+		}
+		if cv >= best+cfg.MinGain {
+			selected = trial
+			best = cv
+			misses = 0
+		} else {
+			misses++
+		}
+	}
+	// Degenerate data (nothing helps): fall back to the top-ranked
+	// attribute so a synopsis always has an input.
+	if len(selected) == 0 && len(ranked) > 0 {
+		selected = []int{ranked[0].Attr}
+		proj, err := d.Project(selected)
+		if err != nil {
+			return Result{}, err
+		}
+		best, err = ml.CrossValidate(l, proj, cfg.Folds, cfg.Seed)
+		if err != nil {
+			return Result{}, err
+		}
+	}
+	return Result{Attrs: selected, CV: best}, nil
+}

@@ -1,0 +1,90 @@
+// Package bayes implements the two Bayesian synopsis builders of the paper:
+// Naive Bayes with Gaussian attribute likelihoods, and Tree-Augmented Naive
+// Bayes (TAN), which relaxes Naive Bayes's independence assumption by
+// letting each attribute additionally depend on one other attribute chosen
+// by a maximum-spanning-tree over conditional mutual information (the
+// Chow-Liu construction). The paper finds TAN the best accuracy/runtime
+// trade-off of the four learners (§V.B).
+package bayes
+
+import (
+	"math"
+
+	"hpcap/internal/ml"
+	"hpcap/internal/stats"
+)
+
+// Naive is a Gaussian Naive Bayes classifier.
+type Naive struct {
+	prior [2]float64
+	mean  [][2]float64
+	std   [][2]float64
+}
+
+// NewNaive returns an untrained Gaussian Naive Bayes classifier.
+func NewNaive() *Naive { return &Naive{} }
+
+// NaiveLearner returns the ml.Learner for Naive Bayes.
+func NaiveLearner() ml.Learner {
+	return ml.Learner{Name: "Naive", New: func() ml.Classifier { return NewNaive() }}
+}
+
+// Fit estimates class priors and per-class Gaussian attribute likelihoods.
+func (n *Naive) Fit(d *ml.Dataset) error {
+	if d.Len() == 0 {
+		return ml.ErrNoData
+	}
+	n0, n1 := d.ClassCounts()
+	if n0 == 0 || n1 == 0 {
+		return ml.ErrOneClass
+	}
+	total := float64(d.Len())
+	// Laplace-smoothed priors.
+	n.prior[0] = (float64(n0) + 1) / (total + 2)
+	n.prior[1] = (float64(n1) + 1) / (total + 2)
+
+	p := d.NumAttrs()
+	n.mean = make([][2]float64, p)
+	n.std = make([][2]float64, p)
+	for j := 0; j < p; j++ {
+		var vals [2][]float64
+		for i, row := range d.X {
+			c := d.Y[i]
+			vals[c] = append(vals[c], row[j])
+		}
+		for c := 0; c < 2; c++ {
+			n.mean[j][c] = stats.Mean(vals[c])
+			sd := stats.StdDev(vals[c])
+			if sd < 1e-9 {
+				sd = 1e-9
+			}
+			n.std[j][c] = sd
+		}
+	}
+	return nil
+}
+
+// Predict returns the maximum-posterior class.
+func (n *Naive) Predict(x []float64) int {
+	if n.mean == nil {
+		return 0
+	}
+	var logp [2]float64
+	for c := 0; c < 2; c++ {
+		logp[c] = math.Log(n.prior[c])
+		for j, v := range x {
+			if j >= len(n.mean) {
+				break
+			}
+			pdf := stats.GaussianPDF(v, n.mean[j][c], n.std[j][c])
+			if pdf < 1e-300 {
+				pdf = 1e-300
+			}
+			logp[c] += math.Log(pdf)
+		}
+	}
+	if logp[1] > logp[0] {
+		return 1
+	}
+	return 0
+}

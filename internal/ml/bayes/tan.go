@@ -1,0 +1,219 @@
+package bayes
+
+import (
+	"math"
+
+	"hpcap/internal/ml"
+	"hpcap/internal/stats"
+)
+
+// DefaultBins is the number of equal-frequency discretization bins TAN uses
+// per attribute.
+const DefaultBins = 5
+
+// TAN is a Tree-Augmented Naive Bayes classifier over discretized
+// attributes.
+type TAN struct {
+	// Bins is the number of discretization bins; zero selects DefaultBins.
+	Bins int
+
+	disc   []*stats.Discretizer
+	parent []int // parent attribute index, -1 for the root
+	prior  [2]float64
+	// rootCPT[c][bin] is P(root = bin | class = c).
+	// cpt[j][c][pbin][bin] is P(Aj = bin | class = c, parent(Aj) = pbin).
+	rootCPT [2][]float64
+	cpt     [][2][][]float64
+	root    int
+}
+
+// NewTAN returns an untrained TAN classifier with default binning.
+func NewTAN() *TAN { return &TAN{} }
+
+// TANLearner returns the ml.Learner for TAN.
+func TANLearner() ml.Learner {
+	return ml.Learner{Name: "TAN", New: func() ml.Classifier { return NewTAN() }}
+}
+
+// Fit learns the Chow-Liu structure and conditional probability tables.
+func (t *TAN) Fit(d *ml.Dataset) error {
+	if d.Len() == 0 {
+		return ml.ErrNoData
+	}
+	n0, n1 := d.ClassCounts()
+	if n0 == 0 || n1 == 0 {
+		return ml.ErrOneClass
+	}
+	bins := t.Bins
+	if bins <= 0 {
+		bins = DefaultBins
+	}
+	p := d.NumAttrs()
+
+	// Discretize every attribute on the training distribution.
+	t.disc = make([]*stats.Discretizer, p)
+	discX := make([][]int, p)
+	for j := 0; j < p; j++ {
+		disc, err := stats.NewEqualFrequency(d.Column(j), bins)
+		if err != nil {
+			return err
+		}
+		t.disc[j] = disc
+		discX[j] = disc.BinAll(d.Column(j))
+	}
+
+	// Priors with Laplace smoothing.
+	total := float64(d.Len())
+	t.prior[0] = (float64(n0) + 1) / (total + 2)
+	t.prior[1] = (float64(n1) + 1) / (total + 2)
+
+	// Structure: maximum spanning tree over conditional mutual
+	// information I(Ai; Aj | C), rooted at attribute 0.
+	t.root = 0
+	t.parent = maxSpanningTree(p, func(i, j int) float64 {
+		cmi, err := stats.ConditionalMutualInformation(discX[i], discX[j], d.Y)
+		if err != nil {
+			return 0
+		}
+		return cmi
+	})
+
+	// CPTs with Laplace smoothing.
+	t.cpt = make([][2][][]float64, p)
+	for c := 0; c < 2; c++ {
+		t.rootCPT[c] = make([]float64, t.disc[t.root].Bins())
+	}
+	for j := 0; j < p; j++ {
+		if j == t.root {
+			continue
+		}
+		pb := t.disc[t.parent[j]].Bins()
+		jb := t.disc[j].Bins()
+		for c := 0; c < 2; c++ {
+			t.cpt[j][c] = make([][]float64, pb)
+			for k := range t.cpt[j][c] {
+				t.cpt[j][c][k] = make([]float64, jb)
+			}
+		}
+	}
+
+	// Count.
+	for i := range d.X {
+		c := d.Y[i]
+		t.rootCPT[c][discX[t.root][i]]++
+		for j := 0; j < p; j++ {
+			if j == t.root {
+				continue
+			}
+			pbin := discX[t.parent[j]][i]
+			t.cpt[j][c][pbin][discX[j][i]]++
+		}
+	}
+	// Normalize with Laplace smoothing.
+	for c := 0; c < 2; c++ {
+		normalizeLaplace(t.rootCPT[c])
+		for j := 0; j < p; j++ {
+			if j == t.root {
+				continue
+			}
+			for k := range t.cpt[j][c] {
+				normalizeLaplace(t.cpt[j][c][k])
+			}
+		}
+	}
+	return nil
+}
+
+// normalizeLaplace converts counts into Laplace-smoothed probabilities in
+// place.
+func normalizeLaplace(counts []float64) {
+	var total float64
+	for _, v := range counts {
+		total += v
+	}
+	denom := total + float64(len(counts))
+	for i := range counts {
+		counts[i] = (counts[i] + 1) / denom
+	}
+}
+
+// Parents exposes the learned tree structure (parent attribute per
+// attribute; -1 for the root). It is nil before Fit.
+func (t *TAN) Parents() []int {
+	if t.parent == nil {
+		return nil
+	}
+	out := make([]int, len(t.parent))
+	copy(out, t.parent)
+	out[t.root] = -1
+	return out
+}
+
+// Predict returns the maximum-posterior class.
+func (t *TAN) Predict(x []float64) int {
+	if t.disc == nil {
+		return 0
+	}
+	p := len(t.disc)
+	bins := make([]int, p)
+	for j := 0; j < p && j < len(x); j++ {
+		bins[j] = t.disc[j].Bin(x[j])
+	}
+	var logp [2]float64
+	for c := 0; c < 2; c++ {
+		logp[c] = math.Log(t.prior[c]) + math.Log(t.rootCPT[c][bins[t.root]])
+		for j := 0; j < p; j++ {
+			if j == t.root {
+				continue
+			}
+			logp[c] += math.Log(t.cpt[j][c][bins[t.parent[j]]][bins[j]])
+		}
+	}
+	if logp[1] > logp[0] {
+		return 1
+	}
+	return 0
+}
+
+// maxSpanningTree runs Prim's algorithm over the complete graph on p nodes
+// with the given symmetric edge weight, returning each node's parent in a
+// tree rooted at node 0 (parent[0] = 0, ignored by callers).
+func maxSpanningTree(p int, weight func(i, j int) float64) []int {
+	parent := make([]int, p)
+	if p == 0 {
+		return parent
+	}
+	inTree := make([]bool, p)
+	best := make([]float64, p)
+	bestFrom := make([]int, p)
+	for i := range best {
+		best[i] = math.Inf(-1)
+	}
+	inTree[0] = true
+	for j := 1; j < p; j++ {
+		best[j] = weight(0, j)
+		bestFrom[j] = 0
+	}
+	for added := 1; added < p; added++ {
+		pick := -1
+		for j := 0; j < p; j++ {
+			if !inTree[j] && (pick == -1 || best[j] > best[pick]) {
+				pick = j
+			}
+		}
+		if pick == -1 {
+			break
+		}
+		inTree[pick] = true
+		parent[pick] = bestFrom[pick]
+		for j := 0; j < p; j++ {
+			if !inTree[j] {
+				if w := weight(pick, j); w > best[j] {
+					best[j] = w
+					bestFrom[j] = pick
+				}
+			}
+		}
+	}
+	return parent
+}

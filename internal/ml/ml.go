@@ -1,0 +1,259 @@
+// Package ml provides the machine-learning substrate the paper adapts from
+// WEKA (§IV.B): dataset handling, the classifier interface implemented by
+// the four synopsis builders (linear regression, naive Bayes, TAN, SVM),
+// stratified k-fold cross validation, and the Balanced Accuracy metric used
+// throughout the evaluation (§IV.A).
+package ml
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+)
+
+// Dataset is a fixed-width table of instances with binary class labels
+// (0 = underload, 1 = overload in the capacity-measurement setting).
+type Dataset struct {
+	AttrNames []string
+	X         [][]float64
+	Y         []int
+}
+
+// NewDataset returns an empty dataset over the named attributes.
+func NewDataset(attrNames []string) *Dataset {
+	names := make([]string, len(attrNames))
+	copy(names, attrNames)
+	return &Dataset{AttrNames: names}
+}
+
+// Add appends one instance. The value vector is copied.
+func (d *Dataset) Add(values []float64, label int) error {
+	if len(values) != len(d.AttrNames) {
+		return fmt.Errorf("ml: instance has %d values, dataset has %d attributes",
+			len(values), len(d.AttrNames))
+	}
+	if label != 0 && label != 1 {
+		return fmt.Errorf("ml: label must be 0 or 1, got %d", label)
+	}
+	row := make([]float64, len(values))
+	copy(row, values)
+	d.X = append(d.X, row)
+	d.Y = append(d.Y, label)
+	return nil
+}
+
+// Len returns the number of instances.
+func (d *Dataset) Len() int { return len(d.X) }
+
+// NumAttrs returns the number of attributes.
+func (d *Dataset) NumAttrs() int { return len(d.AttrNames) }
+
+// ClassCounts returns the number of instances labeled 0 and 1.
+func (d *Dataset) ClassCounts() (n0, n1 int) {
+	for _, y := range d.Y {
+		if y == 1 {
+			n1++
+		} else {
+			n0++
+		}
+	}
+	return n0, n1
+}
+
+// Column returns a copy of one attribute column.
+func (d *Dataset) Column(j int) []float64 {
+	col := make([]float64, len(d.X))
+	for i, row := range d.X {
+		col[i] = row[j]
+	}
+	return col
+}
+
+// Project returns a new dataset containing only the attributes at the given
+// indices (rows share no storage with the original).
+func (d *Dataset) Project(attrs []int) (*Dataset, error) {
+	names := make([]string, len(attrs))
+	for i, a := range attrs {
+		if a < 0 || a >= d.NumAttrs() {
+			return nil, fmt.Errorf("ml: attribute index %d out of range", a)
+		}
+		names[i] = d.AttrNames[a]
+	}
+	out := NewDataset(names)
+	for i, row := range d.X {
+		vals := make([]float64, len(attrs))
+		for k, a := range attrs {
+			vals[k] = row[a]
+		}
+		out.X = append(out.X, vals)
+		out.Y = append(out.Y, d.Y[i])
+	}
+	return out, nil
+}
+
+// Subset returns a dataset view containing the rows at the given indices
+// (rows are shared, not copied).
+func (d *Dataset) Subset(rows []int) *Dataset {
+	out := NewDataset(d.AttrNames)
+	out.X = make([][]float64, 0, len(rows))
+	out.Y = make([]int, 0, len(rows))
+	for _, r := range rows {
+		out.X = append(out.X, d.X[r])
+		out.Y = append(out.Y, d.Y[r])
+	}
+	return out
+}
+
+// Classifier is a trainable binary classifier over continuous attributes.
+type Classifier interface {
+	// Fit trains on the dataset, replacing any previous model.
+	Fit(d *Dataset) error
+	// Predict returns the predicted class (0 or 1) for one instance.
+	Predict(x []float64) int
+}
+
+// Learner constructs fresh classifiers; it is what synopsis builders and
+// cross validation consume so that every fold trains an independent model.
+type Learner struct {
+	Name string
+	New  func() Classifier
+}
+
+// ErrNoData is returned when fitting an empty dataset.
+var ErrNoData = errors.New("ml: empty training set")
+
+// ErrOneClass is returned when the training set contains a single class;
+// callers typically fall back to majority prediction.
+var ErrOneClass = errors.New("ml: training set has a single class")
+
+// Confusion is a binary confusion matrix.
+type Confusion struct {
+	TP, TN, FP, FN int
+}
+
+// Add records one (truth, prediction) pair.
+func (c *Confusion) Add(truth, pred int) {
+	switch {
+	case truth == 1 && pred == 1:
+		c.TP++
+	case truth == 0 && pred == 0:
+		c.TN++
+	case truth == 0 && pred == 1:
+		c.FP++
+	default:
+		c.FN++
+	}
+}
+
+// Accuracy returns plain accuracy; 0 if empty.
+func (c Confusion) Accuracy() float64 {
+	total := c.TP + c.TN + c.FP + c.FN
+	if total == 0 {
+		return 0
+	}
+	return float64(c.TP+c.TN) / float64(total)
+}
+
+// BalancedAccuracy returns the mean of the true-positive and true-negative
+// rates — the paper's evaluation metric (§IV.A). If one class is absent
+// from the truth, the other class's rate is reported alone so that a
+// degenerate test set does not divide by zero.
+func (c Confusion) BalancedAccuracy() float64 {
+	pos := c.TP + c.FN
+	neg := c.TN + c.FP
+	switch {
+	case pos == 0 && neg == 0:
+		return 0
+	case pos == 0:
+		return float64(c.TN) / float64(neg)
+	case neg == 0:
+		return float64(c.TP) / float64(pos)
+	default:
+		tpr := float64(c.TP) / float64(pos)
+		tnr := float64(c.TN) / float64(neg)
+		return (tpr + tnr) / 2
+	}
+}
+
+// Evaluate trains nothing: it runs a fitted classifier over a test set and
+// returns the confusion matrix.
+func Evaluate(c Classifier, test *Dataset) Confusion {
+	var conf Confusion
+	for i, row := range test.X {
+		conf.Add(test.Y[i], c.Predict(row))
+	}
+	return conf
+}
+
+// StratifiedFolds partitions row indices into k folds preserving class
+// proportions, shuffled deterministically by seed.
+func StratifiedFolds(d *Dataset, k int, seed int64) ([][]int, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("ml: need at least 2 folds, got %d", k)
+	}
+	if d.Len() < k {
+		return nil, fmt.Errorf("ml: %d instances cannot fill %d folds", d.Len(), k)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var pos, neg []int
+	for i, y := range d.Y {
+		if y == 1 {
+			pos = append(pos, i)
+		} else {
+			neg = append(neg, i)
+		}
+	}
+	rng.Shuffle(len(pos), func(i, j int) { pos[i], pos[j] = pos[j], pos[i] })
+	rng.Shuffle(len(neg), func(i, j int) { neg[i], neg[j] = neg[j], neg[i] })
+
+	folds := make([][]int, k)
+	deal := func(rows []int) {
+		for i, r := range rows {
+			folds[i%k] = append(folds[i%k], r)
+		}
+	}
+	deal(pos)
+	deal(neg)
+	return folds, nil
+}
+
+// CrossValidate runs stratified k-fold cross validation of the learner on
+// the dataset and returns the pooled balanced accuracy. A fold whose
+// training partition fails to fit (e.g. one-class) falls back to
+// majority-class prediction for that fold, as WEKA does.
+func CrossValidate(l Learner, d *Dataset, k int, seed int64) (float64, error) {
+	folds, err := StratifiedFolds(d, k, seed)
+	if err != nil {
+		return 0, err
+	}
+	var conf Confusion
+	for fi, test := range folds {
+		var trainRows []int
+		for fj, f := range folds {
+			if fj != fi {
+				trainRows = append(trainRows, f...)
+			}
+		}
+		train := d.Subset(trainRows)
+		c := l.New()
+		if err := c.Fit(train); err != nil {
+			maj := majorityClass(train)
+			for _, r := range test {
+				conf.Add(d.Y[r], maj)
+			}
+			continue
+		}
+		for _, r := range test {
+			conf.Add(d.Y[r], c.Predict(d.X[r]))
+		}
+	}
+	return conf.BalancedAccuracy(), nil
+}
+
+func majorityClass(d *Dataset) int {
+	n0, n1 := d.ClassCounts()
+	if n1 > n0 {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,48 @@
+package ml
+
+import "hpcap/internal/stats"
+
+// Scaler standardizes attributes to zero mean and unit variance using
+// statistics learned from a training set. Linear regression and the SVM use
+// it so that metrics spanning ten orders of magnitude (cycle rates vs.
+// ratios) contribute comparably.
+type Scaler struct {
+	Mean []float64
+	Std  []float64
+}
+
+// FitScaler learns per-attribute standardization from the dataset.
+func FitScaler(d *Dataset) *Scaler {
+	n := d.NumAttrs()
+	s := &Scaler{Mean: make([]float64, n), Std: make([]float64, n)}
+	for j := 0; j < n; j++ {
+		col := d.Column(j)
+		s.Mean[j] = stats.Mean(col)
+		s.Std[j] = stats.StdDev(col)
+		if s.Std[j] < 1e-12 {
+			s.Std[j] = 1 // constant attribute: pass through centered
+		}
+	}
+	return s
+}
+
+// Apply standardizes one instance into a new slice.
+func (s *Scaler) Apply(x []float64) []float64 {
+	out := make([]float64, len(x))
+	for j := range x {
+		if j >= len(s.Mean) {
+			break
+		}
+		out[j] = (x[j] - s.Mean[j]) / s.Std[j]
+	}
+	return out
+}
+
+// ApplyAll standardizes every row of the dataset into a new matrix.
+func (s *Scaler) ApplyAll(d *Dataset) [][]float64 {
+	out := make([][]float64, d.Len())
+	for i, row := range d.X {
+		out[i] = s.Apply(row)
+	}
+	return out
+}

@@ -1,0 +1,232 @@
+// Package svm implements the support-vector-machine synopsis builder using
+// sequential minimal optimization (SMO) with an RBF kernel on standardized
+// attributes. In the paper's measurements the SVM attains accuracy
+// comparable to TAN but is by far the most expensive to train (1710 ms vs
+// 50 ms for TAN), which this from-scratch implementation reproduces in
+// shape.
+package svm
+
+import (
+	"math"
+	"math/rand"
+
+	"hpcap/internal/ml"
+)
+
+// Classifier is a binary soft-margin SVM trained with SMO.
+type Classifier struct {
+	// C is the soft-margin penalty; zero selects 1.
+	C float64
+	// Gamma is the RBF width; zero selects 1/numAttributes.
+	Gamma float64
+	// Tol is the KKT violation tolerance; zero selects 1e-3.
+	Tol float64
+	// MaxPasses bounds the number of full passes without updates; zero
+	// selects 8.
+	MaxPasses int
+	// Seed drives the deterministic second-index choice.
+	Seed int64
+
+	scaler *ml.Scaler
+	x      [][]float64
+	y      []float64 // ±1
+	alpha  []float64
+	b      float64
+	gamma  float64
+}
+
+// New returns an SVM with default hyperparameters.
+func New() *Classifier { return &Classifier{} }
+
+// Learner returns the ml.Learner for the SVM.
+func Learner() ml.Learner {
+	return ml.Learner{Name: "SVM", New: func() ml.Classifier { return New() }}
+}
+
+// Fit trains the SVM with simplified SMO.
+func (c *Classifier) Fit(d *ml.Dataset) error {
+	if d.Len() == 0 {
+		return ml.ErrNoData
+	}
+	n0, n1 := d.ClassCounts()
+	if n0 == 0 || n1 == 0 {
+		return ml.ErrOneClass
+	}
+	cost := c.C
+	if cost <= 0 {
+		cost = 1
+	}
+	tol := c.Tol
+	if tol <= 0 {
+		tol = 1e-3
+	}
+	maxPasses := c.MaxPasses
+	if maxPasses <= 0 {
+		maxPasses = 8
+	}
+	c.gamma = c.Gamma
+	if c.gamma <= 0 {
+		c.gamma = 1 / float64(d.NumAttrs())
+	}
+
+	c.scaler = ml.FitScaler(d)
+	c.x = c.scaler.ApplyAll(d)
+	n := d.Len()
+	c.y = make([]float64, n)
+	for i, label := range d.Y {
+		if label == 1 {
+			c.y[i] = 1
+		} else {
+			c.y[i] = -1
+		}
+	}
+	c.alpha = make([]float64, n)
+	c.b = 0
+
+	// Precompute the kernel matrix; training sets here are hundreds of
+	// instances, so n² stays small.
+	k := make([][]float64, n)
+	for i := range k {
+		k[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := c.rbf(c.x[i], c.x[j])
+			k[i][j] = v
+			k[j][i] = v
+		}
+	}
+
+	fOut := func(i int) float64 {
+		s := c.b
+		for j := 0; j < n; j++ {
+			if c.alpha[j] > 0 {
+				s += c.alpha[j] * c.y[j] * k[i][j]
+			}
+		}
+		return s
+	}
+
+	rng := rand.New(rand.NewSource(c.Seed + 1))
+	passes := 0
+	for passes < maxPasses {
+		changed := 0
+		for i := 0; i < n; i++ {
+			ei := fOut(i) - c.y[i]
+			if (c.y[i]*ei < -tol && c.alpha[i] < cost) ||
+				(c.y[i]*ei > tol && c.alpha[i] > 0) {
+				j := rng.Intn(n - 1)
+				if j >= i {
+					j++
+				}
+				ej := fOut(j) - c.y[j]
+
+				ai, aj := c.alpha[i], c.alpha[j]
+				var lo, hi float64
+				if c.y[i] != c.y[j] {
+					lo = math.Max(0, aj-ai)
+					hi = math.Min(cost, cost+aj-ai)
+				} else {
+					lo = math.Max(0, ai+aj-cost)
+					hi = math.Min(cost, ai+aj)
+				}
+				if lo == hi {
+					continue
+				}
+				eta := 2*k[i][j] - k[i][i] - k[j][j]
+				if eta >= 0 {
+					continue
+				}
+				ajNew := aj - c.y[j]*(ei-ej)/eta
+				if ajNew > hi {
+					ajNew = hi
+				} else if ajNew < lo {
+					ajNew = lo
+				}
+				if math.Abs(ajNew-aj) < 1e-5 {
+					continue
+				}
+				aiNew := ai + c.y[i]*c.y[j]*(aj-ajNew)
+
+				b1 := c.b - ei - c.y[i]*(aiNew-ai)*k[i][i] - c.y[j]*(ajNew-aj)*k[i][j]
+				b2 := c.b - ej - c.y[i]*(aiNew-ai)*k[i][j] - c.y[j]*(ajNew-aj)*k[j][j]
+				switch {
+				case aiNew > 0 && aiNew < cost:
+					c.b = b1
+				case ajNew > 0 && ajNew < cost:
+					c.b = b2
+				default:
+					c.b = (b1 + b2) / 2
+				}
+				c.alpha[i], c.alpha[j] = aiNew, ajNew
+				changed++
+			}
+		}
+		if changed == 0 {
+			passes++
+		} else {
+			passes = 0
+		}
+	}
+
+	// Keep only the support vectors for prediction.
+	var sx [][]float64
+	var sy, sa []float64
+	for i := 0; i < n; i++ {
+		if c.alpha[i] > 1e-9 {
+			sx = append(sx, c.x[i])
+			sy = append(sy, c.y[i])
+			sa = append(sa, c.alpha[i])
+		}
+	}
+	c.x, c.y, c.alpha = sx, sy, sa
+	return nil
+}
+
+// NumSupportVectors returns the size of the trained model.
+func (c *Classifier) NumSupportVectors() int { return len(c.alpha) }
+
+// Decision returns the signed decision value for one instance.
+func (c *Classifier) Decision(x []float64) float64 {
+	if c.scaler == nil {
+		return 0
+	}
+	z := c.scaler.Apply(x)
+	s := c.b
+	for i := range c.alpha {
+		s += c.alpha[i] * c.y[i] * c.rbf(c.x[i], z)
+	}
+	return s
+}
+
+// Predict returns 1 for a positive decision value and 0 otherwise.
+func (c *Classifier) Predict(x []float64) int {
+	if c.Decision(x) >= 0 {
+		return 1
+	}
+	return 0
+}
+
+// Alphas exposes the support-vector coefficients (for invariant tests).
+func (c *Classifier) Alphas() []float64 {
+	out := make([]float64, len(c.alpha))
+	copy(out, c.alpha)
+	return out
+}
+
+// EffectiveC returns the soft-margin penalty in use.
+func (c *Classifier) EffectiveC() float64 {
+	if c.C <= 0 {
+		return 1
+	}
+	return c.C
+}
+
+func (c *Classifier) rbf(a, b []float64) float64 {
+	var ss float64
+	for i := range a {
+		d := a[i] - b[i]
+		ss += d * d
+	}
+	return math.Exp(-c.gamma * ss)
+}

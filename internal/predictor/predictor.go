@@ -1,0 +1,290 @@
+// Package predictor implements the paper's coordinated two-level predictor
+// (§III.C), a structure borrowed from the two-level adaptive branch
+// predictors of Yeh and Patt:
+//
+//   - The first level is a Global Pattern Table (GPT) with one entry per
+//     possible Global Pattern Vector (GPV) — the m-bit vector of the m
+//     individual synopses' predictions in the current sampling interval.
+//   - The second level holds, per GPT entry, a Local History Table (LHT)
+//     indexed by the last h coordinated predictions; each LHT entry is a
+//     saturating counter Hc (the Local History Bits) trained by
+//     incrementing on overloaded instances and decrementing otherwise.
+//   - The coordinated prediction is C = λ(Hc): overload above +δ,
+//     underload below −δ, and a configurable optimistic/pessimistic
+//     tie-break φ inside [−δ, +δ].
+//   - A Bottleneck Pattern Table (BPT), indexed by GPV, holds per-tier
+//     Bottleneck Vectors; the bottleneck prediction is the arg-max tier,
+//     and it is consulted only when the system state is predicted
+//     overloaded.
+package predictor
+
+import (
+	"fmt"
+)
+
+// Scheme selects the tie-break φ(Hc) inside the [−δ, +δ] uncertainty band.
+type Scheme int
+
+// Tie-break schemes (§III.D).
+const (
+	// Optimistic predicts underload when uncertain.
+	Optimistic Scheme = iota + 1
+	// Pessimistic predicts overload when uncertain.
+	Pessimistic
+)
+
+// String names the scheme.
+func (s Scheme) String() string {
+	switch s {
+	case Optimistic:
+		return "optimistic"
+	case Pessimistic:
+		return "pessimistic"
+	default:
+		return fmt.Sprintf("Scheme(%d)", int(s))
+	}
+}
+
+// Config tunes the predictor. The paper's evaluation uses 3 history bits,
+// δ=5 and the optimistic scheme.
+type Config struct {
+	// HistoryBits is h, the local-history length; zero selects 3.
+	HistoryBits int
+	// Delta is the confidence threshold δ; zero selects 5. Negative
+	// values select a zero threshold (always decisive).
+	Delta int
+	// Scheme is the tie-break; zero selects Optimistic.
+	Scheme Scheme
+	// CounterMax saturates |Hc|; zero selects 64.
+	CounterMax int
+}
+
+func (c Config) withDefaults() Config {
+	if c.HistoryBits == 0 {
+		c.HistoryBits = 3
+	}
+	if c.Delta == 0 {
+		c.Delta = 5
+	}
+	if c.Delta < 0 {
+		c.Delta = 0
+	}
+	if c.Scheme == 0 {
+		c.Scheme = Optimistic
+	}
+	if c.CounterMax <= 0 {
+		c.CounterMax = 64
+	}
+	return c
+}
+
+// Predictor is the trained two-level coordinated predictor.
+type Predictor struct {
+	cfg   Config
+	m     int // number of synopses
+	tiers int
+
+	// lht[gpv][history] = Hc.
+	lht [][]int
+	// bpt[gpv][tier] = bottleneck counter.
+	bpt [][]int
+	// history is the register of the last h coordinated predictions.
+	history int
+
+	// last* remember the cells used by the most recent Predict so that
+	// online Feedback can reinforce them.
+	lastGPV     int
+	lastHistory int
+	lastValid   bool
+}
+
+// New builds a predictor for m synopses and the given number of tiers.
+func New(m, tiers int, cfg Config) (*Predictor, error) {
+	if m < 1 || m > 16 {
+		return nil, fmt.Errorf("predictor: m = %d synopses out of range [1,16]", m)
+	}
+	if tiers < 1 {
+		return nil, fmt.Errorf("predictor: tiers = %d must be positive", tiers)
+	}
+	cfg = cfg.withDefaults()
+	if cfg.HistoryBits < 1 || cfg.HistoryBits > 12 {
+		return nil, fmt.Errorf("predictor: history bits %d out of range [1,12]", cfg.HistoryBits)
+	}
+	gptSize := 1 << m
+	lhtSize := 1 << cfg.HistoryBits
+	p := &Predictor{cfg: cfg, m: m, tiers: tiers}
+	p.lht = make([][]int, gptSize)
+	p.bpt = make([][]int, gptSize)
+	for i := range p.lht {
+		p.lht[i] = make([]int, lhtSize)
+		p.bpt[i] = make([]int, tiers)
+	}
+	return p, nil
+}
+
+// Config returns the effective configuration.
+func (p *Predictor) Config() Config { return p.cfg }
+
+// gpvIndex packs the m synopsis predictions into a GPT index.
+func (p *Predictor) gpvIndex(gpv []int) (int, error) {
+	if len(gpv) != p.m {
+		return 0, fmt.Errorf("predictor: GPV has %d bits, want %d", len(gpv), p.m)
+	}
+	idx := 0
+	for i, b := range gpv {
+		if b != 0 && b != 1 {
+			return 0, fmt.Errorf("predictor: GPV bit %d is %d, want 0 or 1", i, b)
+		}
+		idx |= b << i
+	}
+	return idx, nil
+}
+
+// lambda applies the decision function λ(Hc).
+func (p *Predictor) lambda(hc int) int {
+	switch {
+	case hc > p.cfg.Delta:
+		return 1
+	case hc < -p.cfg.Delta:
+		return 0
+	case p.cfg.Scheme == Pessimistic:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// shift pushes a prediction into the history register.
+func (p *Predictor) shift(pred int) {
+	mask := (1 << p.cfg.HistoryBits) - 1
+	p.history = ((p.history << 1) | (pred & 1)) & mask
+}
+
+// ResetHistory clears the local-history register (e.g. between traces).
+func (p *Predictor) ResetHistory() {
+	p.history = 0
+	p.lastValid = false
+}
+
+// Train consumes one training instance: the synopses' GPV, the true
+// overload label, and the bottleneck tier (ignored unless the instance is
+// overloaded, mirroring the paper's training of the BPT on overloaded
+// instances). The history register records the coordinated predictions
+// made along the way ("the last h prediction results", §III.C), exactly as
+// online prediction does, so instances must be presented in trace order.
+func (p *Predictor) Train(gpv []int, overload int, bottleneck int) error {
+	idx, err := p.gpvIndex(gpv)
+	if err != nil {
+		return err
+	}
+	if overload != 0 && overload != 1 {
+		return fmt.Errorf("predictor: overload label %d, want 0 or 1", overload)
+	}
+	hc := &p.lht[idx][p.history]
+	pred := p.lambda(*hc)
+	// Saturating update toward the truth.
+	if overload == 1 {
+		if *hc < p.cfg.CounterMax {
+			*hc++
+		}
+	} else {
+		if *hc > -p.cfg.CounterMax {
+			*hc--
+		}
+	}
+	// Bottleneck vector: reinforce the true bottleneck on overloaded
+	// instances, decay the others.
+	if overload == 1 {
+		if bottleneck < 0 || bottleneck >= p.tiers {
+			return fmt.Errorf("predictor: bottleneck tier %d out of range", bottleneck)
+		}
+		for t := 0; t < p.tiers; t++ {
+			if t == bottleneck {
+				if p.bpt[idx][t] < p.cfg.CounterMax {
+					p.bpt[idx][t]++
+				}
+			} else if p.bpt[idx][t] > -p.cfg.CounterMax {
+				p.bpt[idx][t]--
+			}
+		}
+	}
+	p.shift(pred)
+	return nil
+}
+
+// Predict makes the coordinated prediction for one sampling interval. The
+// bottleneck tier is only meaningful when overload is 1 (the bottleneck
+// predictor is invoked on predicted overload, per the paper); it is -1
+// otherwise. Predict advances the history register with its own output.
+func (p *Predictor) Predict(gpv []int) (overload int, bottleneck int, err error) {
+	idx, err := p.gpvIndex(gpv)
+	if err != nil {
+		return 0, -1, err
+	}
+	hc := p.lht[idx][p.history]
+	overload = p.lambda(hc)
+	bottleneck = -1
+	if overload == 1 {
+		bottleneck = p.argmaxBottleneck(idx)
+	}
+	p.lastGPV = idx
+	p.lastHistory = p.history
+	p.lastValid = true
+	p.shift(overload)
+	return overload, bottleneck, nil
+}
+
+// Feedback reinforces the cells used by the most recent Predict with the
+// observed truth, and corrects the history register so it records the
+// actual outcome rather than the prediction — an online-adaptation
+// extension beyond the paper's offline training. It is a no-op before any
+// Predict.
+func (p *Predictor) Feedback(overload int, bottleneck int) {
+	if !p.lastValid {
+		return
+	}
+	mask := (1 << p.cfg.HistoryBits) - 1
+	p.history = ((p.lastHistory << 1) | (overload & 1)) & mask
+	hc := &p.lht[p.lastGPV][p.lastHistory]
+	if overload == 1 {
+		if *hc < p.cfg.CounterMax {
+			*hc++
+		}
+		if bottleneck >= 0 && bottleneck < p.tiers {
+			for t := 0; t < p.tiers; t++ {
+				if t == bottleneck {
+					if p.bpt[p.lastGPV][t] < p.cfg.CounterMax {
+						p.bpt[p.lastGPV][t]++
+					}
+				} else if p.bpt[p.lastGPV][t] > -p.cfg.CounterMax {
+					p.bpt[p.lastGPV][t]--
+				}
+			}
+		}
+	} else if *hc > -p.cfg.CounterMax {
+		*hc--
+	}
+}
+
+// argmaxBottleneck returns λb(bK...b1) = arg max over tier counters.
+func (p *Predictor) argmaxBottleneck(idx int) int {
+	best := 0
+	for t := 1; t < p.tiers; t++ {
+		if p.bpt[idx][t] > p.bpt[idx][best] {
+			best = t
+		}
+	}
+	return best
+}
+
+// Counter exposes one Hc value (for tests and diagnostics).
+func (p *Predictor) Counter(gpv []int, history int) (int, error) {
+	idx, err := p.gpvIndex(gpv)
+	if err != nil {
+		return 0, err
+	}
+	if history < 0 || history >= len(p.lht[idx]) {
+		return 0, fmt.Errorf("predictor: history index %d out of range", history)
+	}
+	return p.lht[idx][history], nil
+}

@@ -1,0 +1,115 @@
+// Package sim provides the discrete-event simulation kernel that drives the
+// multi-tier website testbed. Time is virtual (seconds as float64), events
+// execute in (time, insertion-order) order, and all randomness flows from
+// explicitly seeded sources, so every simulation in this repository is fully
+// deterministic and runs orders of magnitude faster than real time.
+package sim
+
+import (
+	"container/heap"
+	"math"
+)
+
+// Engine is a discrete-event simulator. The zero value is not usable; create
+// one with NewEngine.
+type Engine struct {
+	clock  float64
+	seq    uint64
+	events eventHeap
+}
+
+// NewEngine returns an Engine with the clock at zero and no pending events.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time in seconds.
+func (e *Engine) Now() float64 { return e.clock }
+
+// Pending returns the number of scheduled events not yet executed.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Schedule arranges for fn to run delay seconds after the current virtual
+// time. A negative delay is treated as zero. Events scheduled for the same
+// instant run in scheduling order.
+func (e *Engine) Schedule(delay float64, fn func()) {
+	if delay < 0 || math.IsNaN(delay) {
+		delay = 0
+	}
+	e.At(e.clock+delay, fn)
+}
+
+// At arranges for fn to run at absolute virtual time t. Times in the past
+// are clamped to the current time.
+func (e *Engine) At(t float64, fn func()) {
+	if t < e.clock || math.IsNaN(t) {
+		t = e.clock
+	}
+	e.seq++
+	heap.Push(&e.events, &event{time: t, seq: e.seq, fn: fn})
+}
+
+// Step executes the next pending event, advancing the clock to its time.
+// It reports whether an event was executed.
+func (e *Engine) Step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(*event)
+	e.clock = ev.time
+	ev.fn()
+	return true
+}
+
+// RunUntil executes events in order until the clock would pass t or no
+// events remain. Events scheduled exactly at t are executed. On return the
+// clock is at min(t, time of last executed event) — callers that need the
+// clock pinned at t should schedule a sentinel event.
+func (e *Engine) RunUntil(t float64) {
+	for len(e.events) > 0 && e.events[0].time <= t {
+		e.Step()
+	}
+	if e.clock < t && len(e.events) == 0 {
+		e.clock = t
+	}
+}
+
+// Run executes all pending events, including events scheduled by events, and
+// returns when the queue is empty. Simulations with self-perpetuating event
+// chains (e.g. periodic samplers) must use RunUntil instead.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// event is a scheduled callback.
+type event struct {
+	time float64
+	seq  uint64 // tie-break: FIFO among same-time events
+	fn   func()
+}
+
+// eventHeap is a min-heap over (time, seq).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(*event)) }
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}

@@ -1,0 +1,105 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Source produces the random variates used by the workload and server
+// models. It wraps math/rand with the distributions common in web-workload
+// modeling (exponential think times, log-normal service times, bounded
+// Pareto object sizes) and is deterministic for a given seed.
+type Source struct {
+	rng *rand.Rand
+}
+
+// NewSource returns a Source seeded with seed.
+func NewSource(seed int64) *Source {
+	return &Source{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Fork derives an independent deterministic sub-stream, so components can be
+// given their own randomness without cross-coupling event orders.
+func (s *Source) Fork() *Source {
+	return NewSource(s.rng.Int63())
+}
+
+// Float64 returns a uniform variate in [0, 1).
+func (s *Source) Float64() float64 { return s.rng.Float64() }
+
+// Intn returns a uniform int in [0, n).
+func (s *Source) Intn(n int) int { return s.rng.Intn(n) }
+
+// Exp returns an exponential variate with the given mean.
+func (s *Source) Exp(mean float64) float64 {
+	if mean <= 0 {
+		return 0
+	}
+	return s.rng.ExpFloat64() * mean
+}
+
+// LogNormal returns a log-normal variate parameterized by the desired mean
+// and coefficient of variation (cv = stddev/mean) of the resulting
+// distribution. Service times of web and database requests are classically
+// modeled as log-normal.
+func (s *Source) LogNormal(mean, cv float64) float64 {
+	if mean <= 0 {
+		return 0
+	}
+	if cv <= 0 {
+		return mean
+	}
+	sigma2 := math.Log(1 + cv*cv)
+	mu := math.Log(mean) - sigma2/2
+	return math.Exp(mu + math.Sqrt(sigma2)*s.rng.NormFloat64())
+}
+
+// Normal returns a normal variate with the given mean and standard
+// deviation.
+func (s *Source) Normal(mean, stddev float64) float64 {
+	return mean + stddev*s.rng.NormFloat64()
+}
+
+// BoundedPareto returns a Pareto variate with shape alpha truncated to
+// [lo, hi]. It models heavy-tailed quantities such as result-set sizes.
+func (s *Source) BoundedPareto(alpha, lo, hi float64) float64 {
+	if lo <= 0 || hi <= lo || alpha <= 0 {
+		return lo
+	}
+	u := s.rng.Float64()
+	la := math.Pow(lo, alpha)
+	ha := math.Pow(hi, alpha)
+	x := math.Pow(-(u*ha-u*la-ha)/(ha*la), -1/alpha)
+	if x < lo {
+		x = lo
+	}
+	if x > hi {
+		x = hi
+	}
+	return x
+}
+
+// Pick returns an index in [0, len(weights)) with probability proportional
+// to weights[i]. All-zero or empty weights return 0.
+func (s *Source) Pick(weights []float64) int {
+	var total float64
+	for _, w := range weights {
+		if w > 0 {
+			total += w
+		}
+	}
+	if total <= 0 {
+		return 0
+	}
+	r := s.rng.Float64() * total
+	for i, w := range weights {
+		if w <= 0 {
+			continue
+		}
+		if r < w {
+			return i
+		}
+		r -= w
+	}
+	return len(weights) - 1
+}

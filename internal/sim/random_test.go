@@ -1,0 +1,158 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSourceDeterminism(t *testing.T) {
+	a := NewSource(7)
+	b := NewSource(7)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+}
+
+func TestForkIndependence(t *testing.T) {
+	a := NewSource(7)
+	fork := a.Fork()
+	// The fork must be deterministic given the parent seed.
+	b := NewSource(7)
+	forkB := b.Fork()
+	for i := 0; i < 50; i++ {
+		if fork.Float64() != forkB.Float64() {
+			t.Fatal("forks of identical parents diverged")
+		}
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	s := NewSource(42)
+	const n = 20000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += s.Exp(3)
+	}
+	mean := sum / n
+	if math.Abs(mean-3) > 0.1 {
+		t.Errorf("Exp(3) sample mean = %v, want ≈3", mean)
+	}
+	if s.Exp(0) != 0 || s.Exp(-1) != 0 {
+		t.Error("Exp with non-positive mean should return 0")
+	}
+}
+
+func TestLogNormalMoments(t *testing.T) {
+	s := NewSource(42)
+	const n = 50000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		x := s.LogNormal(10, 0.5)
+		sum += x
+		sumSq += x * x
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	cv := math.Sqrt(variance) / mean
+	if math.Abs(mean-10) > 0.3 {
+		t.Errorf("LogNormal mean = %v, want ≈10", mean)
+	}
+	if math.Abs(cv-0.5) > 0.05 {
+		t.Errorf("LogNormal cv = %v, want ≈0.5", cv)
+	}
+}
+
+func TestLogNormalDegenerate(t *testing.T) {
+	s := NewSource(1)
+	if got := s.LogNormal(0, 0.5); got != 0 {
+		t.Errorf("LogNormal(0, _) = %v, want 0", got)
+	}
+	if got := s.LogNormal(5, 0); got != 5 {
+		t.Errorf("LogNormal(5, 0) = %v, want 5", got)
+	}
+}
+
+func TestBoundedParetoWithinBounds(t *testing.T) {
+	s := NewSource(11)
+	for i := 0; i < 10000; i++ {
+		x := s.BoundedPareto(1.2, 1, 100)
+		if x < 1 || x > 100 {
+			t.Fatalf("BoundedPareto out of range: %v", x)
+		}
+	}
+}
+
+func TestBoundedParetoDegenerate(t *testing.T) {
+	s := NewSource(1)
+	if got := s.BoundedPareto(1.5, 0, 10); got != 0 {
+		t.Errorf("lo<=0: got %v, want 0", got)
+	}
+	if got := s.BoundedPareto(1.5, 5, 5); got != 5 {
+		t.Errorf("hi<=lo: got %v, want 5", got)
+	}
+}
+
+func TestPickDistribution(t *testing.T) {
+	s := NewSource(3)
+	weights := []float64{1, 3, 0, 6}
+	counts := make([]int, len(weights))
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[s.Pick(weights)]++
+	}
+	if counts[2] != 0 {
+		t.Errorf("zero-weight index picked %d times", counts[2])
+	}
+	// Expected proportions 0.1, 0.3, 0, 0.6.
+	if math.Abs(float64(counts[0])/n-0.1) > 0.01 {
+		t.Errorf("index 0 frequency %v, want ≈0.1", float64(counts[0])/n)
+	}
+	if math.Abs(float64(counts[3])/n-0.6) > 0.01 {
+		t.Errorf("index 3 frequency %v, want ≈0.6", float64(counts[3])/n)
+	}
+}
+
+func TestPickDegenerate(t *testing.T) {
+	s := NewSource(3)
+	if got := s.Pick(nil); got != 0 {
+		t.Errorf("Pick(nil) = %d, want 0", got)
+	}
+	if got := s.Pick([]float64{0, 0}); got != 0 {
+		t.Errorf("Pick(zeros) = %d, want 0", got)
+	}
+	// Negative weights are ignored.
+	if got := s.Pick([]float64{-5, 1}); got != 1 {
+		t.Errorf("Pick with negative weight = %d, want 1", got)
+	}
+}
+
+// Property: Pick always returns a valid index with positive weight (when one
+// exists).
+func TestPickValidIndexProperty(t *testing.T) {
+	f := func(seed int64, raw []float64) bool {
+		s := NewSource(seed)
+		if len(raw) == 0 {
+			return s.Pick(raw) == 0
+		}
+		idx := s.Pick(raw)
+		if idx < 0 || idx >= len(raw) {
+			return false
+		}
+		anyPositive := false
+		for _, w := range raw {
+			if w > 0 && !math.IsInf(w, 1) && !math.IsNaN(w) {
+				anyPositive = true
+			}
+		}
+		if !anyPositive {
+			return idx == 0
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

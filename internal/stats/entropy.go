@@ -1,0 +1,127 @@
+package stats
+
+import "math"
+
+// Entropy returns the Shannon entropy (base 2) of a discrete distribution
+// given as counts. Zero counts contribute nothing; a zero total yields 0.
+func Entropy(counts []int) float64 {
+	var total int
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	var h float64
+	for _, c := range counts {
+		if c == 0 {
+			continue
+		}
+		p := float64(c) / float64(total)
+		h -= p * math.Log2(p)
+	}
+	return h
+}
+
+// EntropyLabels returns the Shannon entropy (base 2) of a label sequence.
+func EntropyLabels(labels []int) float64 {
+	counts := map[int]int{}
+	for _, l := range labels {
+		counts[l]++
+	}
+	cs := make([]int, 0, len(counts))
+	for _, c := range counts {
+		cs = append(cs, c)
+	}
+	return Entropy(cs)
+}
+
+// InformationGain returns IG(C; A) = H(C) - H(C|A) for a discretized
+// attribute with values xs (bin indices) and class labels cs. This is the
+// relevance measure the paper borrows from information theory for attribute
+// selection (§II.B.2).
+func InformationGain(xs, cs []int) (float64, error) {
+	if len(xs) != len(cs) {
+		return 0, ErrLengthMismatch
+	}
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	hc := EntropyLabels(cs)
+
+	// Partition class labels by attribute value.
+	byValue := map[int][]int{}
+	for i, x := range xs {
+		byValue[x] = append(byValue[x], cs[i])
+	}
+	var hcGivenA float64
+	n := float64(len(xs))
+	for _, sub := range byValue {
+		hcGivenA += float64(len(sub)) / n * EntropyLabels(sub)
+	}
+	return hc - hcGivenA, nil
+}
+
+// MutualInformation returns I(X; Y) in bits for two discrete variables.
+func MutualInformation(xs, ys []int) (float64, error) {
+	if len(xs) != len(ys) {
+		return 0, ErrLengthMismatch
+	}
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	n := float64(len(xs))
+	joint := map[[2]int]float64{}
+	px := map[int]float64{}
+	py := map[int]float64{}
+	for i := range xs {
+		joint[[2]int{xs[i], ys[i]}]++
+		px[xs[i]]++
+		py[ys[i]]++
+	}
+	var mi float64
+	for k, c := range joint {
+		pxy := c / n
+		mi += pxy * math.Log2(pxy/((px[k[0]]/n)*(py[k[1]]/n)))
+	}
+	if mi < 0 { // floating-point noise on independent variables
+		mi = 0
+	}
+	return mi, nil
+}
+
+// ConditionalMutualInformation returns I(X; Y | Z) in bits for discrete
+// variables. It is the edge weight of the Chow-Liu tree in TAN structure
+// learning, with Z the class variable.
+func ConditionalMutualInformation(xs, ys, zs []int) (float64, error) {
+	if len(xs) != len(ys) || len(xs) != len(zs) {
+		return 0, ErrLengthMismatch
+	}
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	n := float64(len(xs))
+
+	jointXYZ := map[[3]int]float64{}
+	jointXZ := map[[2]int]float64{}
+	jointYZ := map[[2]int]float64{}
+	pz := map[int]float64{}
+	for i := range xs {
+		jointXYZ[[3]int{xs[i], ys[i], zs[i]}]++
+		jointXZ[[2]int{xs[i], zs[i]}]++
+		jointYZ[[2]int{ys[i], zs[i]}]++
+		pz[zs[i]]++
+	}
+	var cmi float64
+	for k, c := range jointXYZ {
+		x, y, z := k[0], k[1], k[2]
+		pxyz := c / n
+		num := pxyz * (pz[z] / n)
+		den := (jointXZ[[2]int{x, z}] / n) * (jointYZ[[2]int{y, z}] / n)
+		cmi += pxyz * math.Log2(num/den)
+	}
+	if cmi < 0 {
+		cmi = 0
+	}
+	return cmi, nil
+}

@@ -1,0 +1,77 @@
+package tpcw
+
+import "hpcap/internal/sim"
+
+// DefaultThinkTime is the mean think time between web interactions of an
+// emulated browser, per the TPC-W remote browser emulator specification
+// (negative-exponentially distributed, mean 7 seconds).
+const DefaultThinkTime = 7.0
+
+// Browser is one emulated browser (EB) of the RBE. It draws its next
+// interaction from the active mix and sleeps an exponential think time
+// between interactions. The session flow keeps a small amount of state so
+// that order-process interactions follow browse interactions more naturally
+// than i.i.d. sampling: after adding to the cart, an EB is biased toward
+// continuing the checkout chain.
+type Browser struct {
+	ID        int
+	MeanThink float64
+
+	rng     *sim.Source
+	sampler *Sampler
+	// lastOrder tracks whether the previous interaction was part of the
+	// ordering process, to emit short checkout chains.
+	lastOrder Interaction
+}
+
+// NewBrowser returns an EB with its own deterministic random sub-stream.
+func NewBrowser(id int, mix Mix, rng *sim.Source) *Browser {
+	return &Browser{
+		ID:        id,
+		MeanThink: DefaultThinkTime,
+		rng:       rng,
+		sampler:   mix.Sampler(),
+	}
+}
+
+// SetMix switches the browser to a new traffic mix (used by interleaved
+// schedules).
+func (b *Browser) SetMix(mix Mix) {
+	b.sampler = mix.Sampler()
+}
+
+// SetThinkScale adjusts the mean think time to scale × the TPC-W default
+// (scale ≤ 0 restores the default).
+func (b *Browser) SetThinkScale(scale float64) {
+	if scale <= 0 {
+		scale = 1
+	}
+	b.MeanThink = DefaultThinkTime * scale
+}
+
+// checkoutSuccessor maps an order-process interaction to its natural
+// follow-up in the TPC-W purchase flow.
+var checkoutSuccessor = map[Interaction]Interaction{
+	ShoppingCart:         CustomerRegistration,
+	CustomerRegistration: BuyRequest,
+	BuyRequest:           BuyConfirm,
+}
+
+// Next returns the browser's next interaction type.
+func (b *Browser) Next() Interaction {
+	// With 60% probability continue an in-progress checkout chain; this
+	// produces the bursty order sequences real sessions exhibit without
+	// changing the long-run mix much (chains are short).
+	if succ, ok := checkoutSuccessor[b.lastOrder]; ok && b.rng.Float64() < 0.6 {
+		b.lastOrder = succ
+		return succ
+	}
+	next := b.sampler.Sample(b.rng)
+	b.lastOrder = next
+	return next
+}
+
+// Think returns the next think-time duration in seconds.
+func (b *Browser) Think() float64 {
+	return b.rng.Exp(b.MeanThink)
+}

@@ -1,0 +1,204 @@
+package tpcw
+
+import (
+	"math"
+	"testing"
+
+	"hpcap/internal/sim"
+)
+
+func TestSteadySchedule(t *testing.T) {
+	s := Steady(Browsing(), 50, 300)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Duration() != 300 {
+		t.Errorf("Duration = %v, want 300", s.Duration())
+	}
+	p := s.At(150)
+	if p.EBs != 50 || p.Mix.Name != "browsing" {
+		t.Errorf("At(150) = %+v", p)
+	}
+}
+
+func TestRampSchedule(t *testing.T) {
+	s := Ramp(Ordering(), 10, 100, 10, 60)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Phases) != 10 {
+		t.Fatalf("phases = %d, want 10", len(s.Phases))
+	}
+	if s.Phases[0].EBs != 10 {
+		t.Errorf("first phase EBs = %d, want 10", s.Phases[0].EBs)
+	}
+	if s.Phases[9].EBs != 100 {
+		t.Errorf("last phase EBs = %d, want 100", s.Phases[9].EBs)
+	}
+	// Monotone non-decreasing.
+	for i := 1; i < len(s.Phases); i++ {
+		if s.Phases[i].EBs < s.Phases[i-1].EBs {
+			t.Errorf("ramp not monotone at %d: %d < %d", i, s.Phases[i].EBs, s.Phases[i-1].EBs)
+		}
+	}
+}
+
+func TestRampSingleStep(t *testing.T) {
+	s := Ramp(Ordering(), 10, 100, 0, 60)
+	if len(s.Phases) != 1 {
+		t.Fatalf("phases = %d, want 1", len(s.Phases))
+	}
+	if s.Phases[0].EBs != 10 {
+		t.Errorf("single-step ramp EBs = %d, want start", s.Phases[0].EBs)
+	}
+}
+
+func TestSpikeSchedule(t *testing.T) {
+	s := Spike(Browsing(), 40, 200, 300, 60, 3)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Phases) != 6 {
+		t.Fatalf("phases = %d, want 6", len(s.Phases))
+	}
+	if s.Phases[0].EBs != 40 || s.Phases[1].EBs != 200 {
+		t.Errorf("spike pattern wrong: %d, %d", s.Phases[0].EBs, s.Phases[1].EBs)
+	}
+	if s.Duration() != 3*(300+60) {
+		t.Errorf("Duration = %v, want %v", s.Duration(), 3*(300+60))
+	}
+}
+
+func TestInterleavedSchedule(t *testing.T) {
+	s := Interleaved(Browsing(), Ordering(), 80, 600, 4)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Phases) != 4 {
+		t.Fatalf("phases = %d, want 4", len(s.Phases))
+	}
+	wantNames := []string{"browsing", "ordering", "browsing", "ordering"}
+	for i, p := range s.Phases {
+		if p.Mix.Name != wantNames[i] {
+			t.Errorf("phase %d mix = %s, want %s", i, p.Mix.Name, wantNames[i])
+		}
+	}
+}
+
+func TestScheduleAtBoundaries(t *testing.T) {
+	s := Concat(Steady(Browsing(), 10, 100), Steady(Ordering(), 20, 100))
+	if got := s.At(0).EBs; got != 10 {
+		t.Errorf("At(0).EBs = %d, want 10", got)
+	}
+	if got := s.At(99.9).EBs; got != 10 {
+		t.Errorf("At(99.9).EBs = %d, want 10", got)
+	}
+	if got := s.At(100).EBs; got != 20 {
+		t.Errorf("At(100).EBs = %d, want 20", got)
+	}
+	// Beyond the end: final phase persists.
+	if got := s.At(1e9).EBs; got != 20 {
+		t.Errorf("At(inf).EBs = %d, want 20", got)
+	}
+}
+
+func TestScheduleValidateErrors(t *testing.T) {
+	if err := (Schedule{}).Validate(); err == nil {
+		t.Error("empty schedule not rejected")
+	}
+	bad := Schedule{Phases: []Phase{{Mix: Browsing(), EBs: 10, Duration: 0}}}
+	if err := bad.Validate(); err == nil {
+		t.Error("zero duration not rejected")
+	}
+	bad2 := Schedule{Phases: []Phase{{Mix: Browsing(), EBs: -1, Duration: 10}}}
+	if err := bad2.Validate(); err == nil {
+		t.Error("negative EBs not rejected")
+	}
+}
+
+func TestEmptyScheduleAt(t *testing.T) {
+	var s Schedule
+	p := s.At(10)
+	if p.EBs != 0 {
+		t.Errorf("empty schedule At = %+v, want zero phase", p)
+	}
+}
+
+func TestBrowserThinkTime(t *testing.T) {
+	rng := sim.NewSource(5)
+	b := NewBrowser(1, Browsing(), rng)
+	const n = 20000
+	var sum float64
+	for i := 0; i < n; i++ {
+		th := b.Think()
+		if th < 0 {
+			t.Fatalf("negative think time %v", th)
+		}
+		sum += th
+	}
+	mean := sum / n
+	if math.Abs(mean-DefaultThinkTime) > 0.3 {
+		t.Errorf("mean think = %v, want ≈%v", mean, DefaultThinkTime)
+	}
+}
+
+func TestBrowserMixRoughlyPreserved(t *testing.T) {
+	// Even with checkout chaining, the long-run order fraction should stay
+	// in the neighborhood of the configured mix.
+	rng := sim.NewSource(5)
+	b := NewBrowser(1, Ordering(), rng)
+	const n = 100000
+	var orders int
+	for i := 0; i < n; i++ {
+		if b.Next().IsOrder() {
+			orders++
+		}
+	}
+	got := float64(orders) / n
+	if got < 0.45 || got > 0.75 {
+		t.Errorf("long-run order fraction = %v, want in [0.45, 0.75]", got)
+	}
+}
+
+func TestBrowserSetMix(t *testing.T) {
+	rng := sim.NewSource(5)
+	b := NewBrowser(1, Browsing(), rng)
+	b.SetMix(Ordering())
+	const n = 50000
+	var orders int
+	for i := 0; i < n; i++ {
+		if b.Next().IsOrder() {
+			orders++
+		}
+	}
+	if float64(orders)/n < 0.4 {
+		t.Errorf("after SetMix(ordering), order fraction = %v, want > 0.4", float64(orders)/n)
+	}
+}
+
+func TestBrowserCheckoutChains(t *testing.T) {
+	// A ShoppingCart interaction should sometimes be followed by
+	// CustomerRegistration (the checkout chain).
+	rng := sim.NewSource(77)
+	b := NewBrowser(1, Ordering(), rng)
+	chained := 0
+	carts := 0
+	prev := Interaction(0)
+	for i := 0; i < 50000; i++ {
+		cur := b.Next()
+		if prev == ShoppingCart {
+			carts++
+			if cur == CustomerRegistration {
+				chained++
+			}
+		}
+		prev = cur
+	}
+	if carts == 0 {
+		t.Fatal("no shopping cart interactions generated")
+	}
+	frac := float64(chained) / float64(carts)
+	if frac < 0.4 {
+		t.Errorf("checkout chain rate = %v, want ≥0.4", frac)
+	}
+}
