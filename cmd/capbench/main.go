@@ -14,9 +14,11 @@
 //	capbench -exp baselines           # single-PI / RT / util baselines vs the monitor
 //	capbench -exp levels              # OS vs HPC vs combined OS+HPC monitors
 //	capbench -scale quick             # fast, smaller traces
+//	capbench -parallel 4              # bound experiment fan-out to 4 workers
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -39,6 +41,7 @@ func run(args []string) error {
 	scaleName := fs.String("scale", "full", "trace scale: quick|full")
 	seed := fs.Int64("seed", 1, "master random seed")
 	csv := fs.String("csv", "", "write the Figure 3 series to this CSV file")
+	par := fs.Int("parallel", 0, "worker bound for experiment fan-out; 0 = GOMAXPROCS, 1 = sequential (results are identical either way)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -54,12 +57,21 @@ func run(args []string) error {
 	}
 	lab := experiment.NewLab(scale)
 	lab.Seed = *seed
+	lab.Workers = *par
 
 	wanted := map[string]bool{}
 	for _, e := range strings.Split(*exp, ",") {
 		wanted[strings.TrimSpace(e)] = true
 	}
 	all := wanted["all"]
+
+	if all {
+		// Generate every shared trace up front with full fan-out; the
+		// experiments then run over warm caches.
+		if err := lab.Prewarm(context.Background()); err != nil {
+			return err
+		}
+	}
 
 	if all || wanted["table1a"] {
 		res, err := lab.RunTable1(experiment.TestBrowsing)

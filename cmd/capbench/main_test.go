@@ -28,6 +28,15 @@ func TestRunTimingQuick(t *testing.T) {
 	}
 }
 
+func TestRunParallelFlag(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a trace generation")
+	}
+	if err := run([]string{"-exp", "timing", "-scale", "quick", "-parallel", "4"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestWriteFig3CSV(t *testing.T) {
 	res := &experiment.Fig3Result{
 		Workload: "ordering",

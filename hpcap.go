@@ -150,8 +150,13 @@ const (
 // Capacity monitor (the paper's contribution).
 type (
 	// Monitor is the trained two-level coordinated capacity measurement
-	// system.
+	// system. A trained Monitor is safe for concurrent use: give each
+	// concurrent prediction stream its own MonitorSession (NewSession).
 	Monitor = core.Monitor
+	// MonitorSession is one independent prediction stream over a shared
+	// trained Monitor: it owns its temporal history while reading the
+	// shared synopses and predictor tables.
+	MonitorSession = core.Session
 	// MonitorConfig tunes monitor training.
 	MonitorConfig = core.Config
 	// Observation is one window of per-tier metric vectors.

@@ -123,6 +123,16 @@ func TestFacadeTrainMonitor(t *testing.T) {
 	if !p.Overload || p.Bottleneck != hpcap.TierApp {
 		t.Errorf("prediction = %+v, want app-tier overload", p)
 	}
+
+	// A concurrent caller takes its own session over the shared monitor.
+	var sess *hpcap.MonitorSession = m.NewSession()
+	sp, err := sess.Predict(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Overload != p.Overload || sp.Bottleneck != p.Bottleneck {
+		t.Errorf("session prediction %+v differs from monitor prediction %+v", sp, p)
+	}
 }
 
 // TestFacadeLearners confirms all four learner constructors work.

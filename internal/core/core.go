@@ -5,6 +5,12 @@
 // per-tier metric vectors flows through every synopsis to form a Global
 // Pattern Vector, and the coordinated predictor infers the system-wide
 // overload state and — when overloaded — the bottleneck tier.
+//
+// A trained Monitor is safe for concurrent use: the synopses and the
+// predictor's trained tables are read-mostly shared state, and each
+// prediction stream's temporal history lives in a Session (NewSession).
+// The Monitor's own Predict/Feedback/ResetHistory remain the single-stream
+// API; they serialize on an internal default session.
 package core
 
 import (
@@ -137,10 +143,19 @@ func (m *Monitor) gpv(obs Observation) []int {
 
 // Predict infers the system state for one window. The monitor keeps the
 // coordinated predictor's temporal history, so observations must arrive in
-// trace order; call ResetHistory between unrelated traces.
+// trace order; call ResetHistory between unrelated traces. Concurrent
+// callers are serialized on one shared history stream — callers that need
+// independent streams (parallel evaluations, concurrent serving) should
+// take a Session each via NewSession.
 func (m *Monitor) Predict(obs Observation) (Prediction, error) {
+	return m.predict(obs, m.coordinator.Predict)
+}
+
+// predict folds one observation through the synopses and the given
+// coordinated-predictor entry point.
+func (m *Monitor) predict(obs Observation, coord func([]int) (int, int, error)) (Prediction, error) {
 	gpv := m.gpv(obs)
-	over, bott, err := m.coordinator.Predict(gpv)
+	over, bott, err := coord(gpv)
 	if err != nil {
 		return Prediction{}, err
 	}
@@ -150,6 +165,41 @@ func (m *Monitor) Predict(obs Observation) (Prediction, error) {
 	}
 	return p, nil
 }
+
+// Session is one prediction stream over a shared trained Monitor: it owns
+// its h-bit temporal history while reading the shared synopses and
+// predictor tables. Sessions are cheap; give each concurrent caller its
+// own. A single Session must not be used from multiple goroutines at once.
+type Session struct {
+	m     *Monitor
+	coord *predictor.Session
+}
+
+// NewSession returns an independent prediction stream with a cleared
+// history register.
+func (m *Monitor) NewSession() *Session {
+	return &Session{m: m, coord: m.coordinator.NewSession()}
+}
+
+// Predict infers the system state for one window of this session's stream;
+// see Monitor.Predict.
+func (s *Session) Predict(obs Observation) (Prediction, error) {
+	return s.m.predict(obs, s.coord.Predict)
+}
+
+// Feedback reinforces the session's last prediction with observed truth;
+// see Monitor.Feedback.
+func (s *Session) Feedback(overload bool, bottleneck server.TierID) {
+	o := 0
+	if overload {
+		o = 1
+	}
+	s.coord.Feedback(o, int(bottleneck))
+}
+
+// ResetHistory clears the session's temporal state (between traces or
+// after long gaps).
+func (s *Session) ResetHistory() { s.coord.ResetHistory() }
 
 // Feedback lets callers reinforce the last prediction with observed truth —
 // online adaptation beyond the paper's offline training.

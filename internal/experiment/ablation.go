@@ -1,10 +1,12 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"hpcap/internal/metrics"
+	"hpcap/internal/parallel"
 	"hpcap/internal/predictor"
 )
 
@@ -26,35 +28,50 @@ type AblationResult struct {
 }
 
 // RunAblation sweeps history length h ∈ {1..5} and both schemes on the
-// interleaved and ordering test workloads with HPC metrics.
+// interleaved and ordering test workloads with HPC metrics. All
+// (scheme × h × workload) cells fan out across the Lab's workers; the two
+// cells sharing a configuration share its once-trained monitor, and rows
+// assemble in the sequential sweep order.
 func (l *Lab) RunAblation() (*AblationResult, error) {
-	res := &AblationResult{}
+	type spec struct {
+		scheme predictor.Scheme
+		h      int
+		kind   TestKind
+	}
+	var specs []spec
 	for _, scheme := range []predictor.Scheme{predictor.Optimistic, predictor.Pessimistic} {
 		for h := 1; h <= 5; h++ {
-			cfg := predictor.Config{HistoryBits: h, Delta: 5, Scheme: scheme}
-			monitor, err := l.TrainMonitor(metrics.LevelHPC, cfg)
-			if err != nil {
-				return nil, fmt.Errorf("experiment: ablation h=%d %s: %w", h, scheme, err)
-			}
 			for _, kind := range []TestKind{TestOrdering, TestInterleaved} {
-				test, err := l.TestTrace(kind)
-				if err != nil {
-					return nil, err
-				}
-				over, _, err := EvaluateMonitor(monitor, test)
-				if err != nil {
-					return nil, err
-				}
-				res.Rows = append(res.Rows, AblationRow{
-					HistoryBits: h,
-					Scheme:      scheme,
-					Workload:    kind,
-					Overload:    over,
-				})
+				specs = append(specs, spec{scheme, h, kind})
 			}
 		}
 	}
-	return res, nil
+	rows, err := parallel.Map(context.Background(), len(specs), l.workers(), func(i int) (AblationRow, error) {
+		sp := specs[i]
+		cfg := predictor.Config{HistoryBits: sp.h, Delta: 5, Scheme: sp.scheme}
+		monitor, err := l.TrainMonitor(metrics.LevelHPC, cfg)
+		if err != nil {
+			return AblationRow{}, fmt.Errorf("experiment: ablation h=%d %s: %w", sp.h, sp.scheme, err)
+		}
+		test, err := l.TestTrace(sp.kind)
+		if err != nil {
+			return AblationRow{}, err
+		}
+		over, _, err := EvaluateMonitor(monitor, test)
+		if err != nil {
+			return AblationRow{}, err
+		}
+		return AblationRow{
+			HistoryBits: sp.h,
+			Scheme:      sp.scheme,
+			Workload:    sp.kind,
+			Overload:    over,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &AblationResult{Rows: rows}, nil
 }
 
 // Row returns the row for (h, scheme, workload), or nil.

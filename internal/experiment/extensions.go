@@ -1,12 +1,14 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"hpcap/internal/baseline"
 	"hpcap/internal/core"
 	"hpcap/internal/metrics"
+	"hpcap/internal/parallel"
 	"hpcap/internal/pi"
 	"hpcap/internal/predictor"
 	"hpcap/internal/server"
@@ -32,30 +34,34 @@ type BaselineResult struct {
 // monitor on the four test workloads, reporting balanced accuracy and
 // detection lag at overload onsets. The PI threshold is calibrated
 // offline, per tier, on the training traces, and the better tier is
-// reported — the strongest version of the single-PI rule.
+// reported — the strongest version of the single-PI rule. The per-tier
+// calibrations and the per-workload evaluations each fan out across the
+// Lab's workers; the coordinated monitor is shared and each evaluation
+// replays through a private session, so rows match a sequential run.
 func (l *Lab) RunBaselines() (*BaselineResult, error) {
-	res := &BaselineResult{}
-
 	// Calibrate PI thresholds per tier on the concatenated training data.
-	piDefs := [server.NumTiers]pi.Definition{}
-	piThresholds := [server.NumTiers]*baseline.PIThreshold{}
-	for tier := server.TierID(0); tier < server.NumTiers; tier++ {
+	type calibration struct {
+		def pi.Definition
+		th  *baseline.PIThreshold
+	}
+	cals, err := parallel.Map(context.Background(), int(server.NumTiers), l.workers(), func(t int) (calibration, error) {
+		tier := server.TierID(t)
 		var series []float64
 		var labels []int
 		var def pi.Definition
 		for _, mix := range TrainingMixes() {
 			tr, err := l.TrainingTrace(mix)
 			if err != nil {
-				return nil, err
+				return calibration{}, err
 			}
 			sel, err := pi.Select(pi.DefaultCandidates(), tr.HPCNames, tr.HPCSamples[tier])
 			if err != nil {
-				return nil, err
+				return calibration{}, err
 			}
 			def = sel.Definition
 			s, err := pi.Series(sel.Definition, tr.HPCNames, tr.HPCSamples[tier])
 			if err != nil {
-				return nil, err
+				return calibration{}, err
 			}
 			series = append(series, s...)
 			for _, w := range tr.Windows {
@@ -64,10 +70,12 @@ func (l *Lab) RunBaselines() (*BaselineResult, error) {
 		}
 		th, err := baseline.CalibratePIThreshold(series, labels)
 		if err != nil {
-			return nil, fmt.Errorf("experiment: calibrate PI threshold (%s): %w", tier, err)
+			return calibration{}, fmt.Errorf("experiment: calibrate PI threshold (%s): %w", tier, err)
 		}
-		piDefs[tier] = def
-		piThresholds[tier] = th
+		return calibration{def, th}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 
 	monitor, err := l.TrainMonitor(metrics.LevelHPC, predictor.Config{})
@@ -75,7 +83,9 @@ func (l *Lab) RunBaselines() (*BaselineResult, error) {
 		return nil, err
 	}
 
-	for _, kind := range TestKinds() {
+	kinds := TestKinds()
+	rowGroups, err := parallel.Map(context.Background(), len(kinds), l.workers(), func(k int) ([]BaselineRow, error) {
+		kind := kinds[k]
 		test, err := l.TestTrace(kind)
 		if err != nil {
 			return nil, err
@@ -84,24 +94,25 @@ func (l *Lab) RunBaselines() (*BaselineResult, error) {
 		for i, w := range test.Windows {
 			truth[i] = w.Overload
 		}
+		var rows []BaselineRow
 
 		// Single-PI thresholds, one per tier; report the better tier.
 		bestPI := BaselineRow{Detector: "pi-threshold", Workload: kind, Overload: -1}
 		for tier := server.TierID(0); tier < server.NumTiers; tier++ {
-			series, err := pi.Series(piDefs[tier], test.HPCNames, test.HPCSamples[tier])
+			series, err := pi.Series(cals[tier].def, test.HPCNames, test.HPCSamples[tier])
 			if err != nil {
 				return nil, err
 			}
 			preds := make([]int, len(series))
 			for i, v := range series {
-				preds[i] = piThresholds[tier].Predict(v)
+				preds[i] = cals[tier].th.Predict(v)
 			}
 			row := scoreRow("pi-threshold", kind, truth, preds)
 			if row.Overload > bestPI.Overload {
 				bestPI = row
 			}
 		}
-		res.Rows = append(res.Rows, bestPI)
+		rows = append(rows, bestPI)
 
 		// Response-time trigger at the conservative half-SLA setting.
 		rt := &baseline.RTDetector{Threshold: 0.5}
@@ -110,7 +121,7 @@ func (l *Lab) RunBaselines() (*BaselineResult, error) {
 		for i, w := range test.Windows {
 			preds[i] = rt.Predict(w.MeanRT)
 		}
-		res.Rows = append(res.Rows, scoreRow("rt-threshold", kind, truth, preds))
+		rows = append(rows, scoreRow("rt-threshold", kind, truth, preds))
 
 		// Utilization trigger on the busier tier's total utilization.
 		util := &baseline.UtilDetector{}
@@ -121,12 +132,13 @@ func (l *Lab) RunBaselines() (*BaselineResult, error) {
 			}
 			preds[i] = util.Predict(u)
 		}
-		res.Rows = append(res.Rows, scoreRow("util-threshold", kind, truth, preds))
+		rows = append(rows, scoreRow("util-threshold", kind, truth, preds))
 
-		// The coordinated hardware-counter monitor.
-		monitor.ResetHistory()
+		// The coordinated hardware-counter monitor, through a private
+		// session so concurrent workloads don't share a history stream.
+		sess := monitor.NewSession()
 		for i, w := range test.Windows {
-			p, err := monitor.Predict(core.Observation{Time: w.Time, Vectors: w.HPC})
+			p, err := sess.Predict(core.Observation{Time: w.Time, Vectors: w.HPC})
 			if err != nil {
 				return nil, err
 			}
@@ -135,7 +147,15 @@ func (l *Lab) RunBaselines() (*BaselineResult, error) {
 				preds[i] = 1
 			}
 		}
-		res.Rows = append(res.Rows, scoreRow("coordinated-hpc", kind, truth, preds))
+		rows = append(rows, scoreRow("coordinated-hpc", kind, truth, preds))
+		return rows, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &BaselineResult{}
+	for _, rows := range rowGroups {
+		res.Rows = append(res.Rows, rows...)
 	}
 	return res, nil
 }
@@ -259,26 +279,39 @@ type LevelResult struct {
 
 // RunLevelComparison trains a coordinated monitor per metric level
 // (including the combined level) and evaluates all four test workloads.
+// The (level × workload) cells fan out across the Lab's workers; rows
+// assemble in the sequential sweep order.
 func (l *Lab) RunLevelComparison() (*LevelResult, error) {
-	res := &LevelResult{}
+	type spec struct {
+		level metrics.Level
+		kind  TestKind
+	}
+	var specs []spec
 	for _, level := range metrics.Levels() {
-		monitor, err := l.TrainMonitor(level, predictor.Config{})
-		if err != nil {
-			return nil, fmt.Errorf("experiment: level %s: %w", level, err)
-		}
 		for _, kind := range TestKinds() {
-			test, err := l.TestTrace(kind)
-			if err != nil {
-				return nil, err
-			}
-			over, _, err := EvaluateMonitor(monitor, test)
-			if err != nil {
-				return nil, err
-			}
-			res.Rows = append(res.Rows, LevelRow{Level: level, Workload: kind, Overload: over})
+			specs = append(specs, spec{level, kind})
 		}
 	}
-	return res, nil
+	rows, err := parallel.Map(context.Background(), len(specs), l.workers(), func(i int) (LevelRow, error) {
+		sp := specs[i]
+		monitor, err := l.TrainMonitor(sp.level, predictor.Config{})
+		if err != nil {
+			return LevelRow{}, fmt.Errorf("experiment: level %s: %w", sp.level, err)
+		}
+		test, err := l.TestTrace(sp.kind)
+		if err != nil {
+			return LevelRow{}, err
+		}
+		over, _, err := EvaluateMonitor(monitor, test)
+		if err != nil {
+			return LevelRow{}, err
+		}
+		return LevelRow{Level: sp.level, Workload: sp.kind, Overload: over}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &LevelResult{Rows: rows}, nil
 }
 
 // Row returns the row for (level, workload), or nil.

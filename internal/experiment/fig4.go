@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -8,6 +9,7 @@ import (
 	"hpcap/internal/metrics"
 	"hpcap/internal/ml"
 	"hpcap/internal/ml/bayes"
+	"hpcap/internal/parallel"
 	"hpcap/internal/predictor"
 )
 
@@ -30,13 +32,22 @@ type Fig4Result struct {
 
 // TrainMonitor assembles the paper's coordinated system at one metric
 // level: TAN synopses per (training mix × tier), a coordinated predictor
-// with the given configuration, trained on the training traces.
+// with the given configuration, trained on the training traces. Monitors
+// are trained once per (level, config, learner) and cached; the shared
+// instance is safe for concurrent prediction through per-caller sessions
+// (core.Monitor.NewSession). Callers that adapt a monitor online with
+// Feedback should train a private one via core.Train instead.
 func (l *Lab) TrainMonitor(level metrics.Level, coordCfg predictor.Config) (*core.Monitor, error) {
 	return l.TrainMonitorWith(level, coordCfg, bayes.TANLearner())
 }
 
 // TrainMonitorWith is TrainMonitor with an explicit synopsis learner.
 func (l *Lab) TrainMonitorWith(level metrics.Level, coordCfg predictor.Config, learner ml.Learner) (*core.Monitor, error) {
+	return l.monitor(level, coordCfg, learner)
+}
+
+// trainMonitor performs the actual (uncached) monitor training.
+func (l *Lab) trainMonitor(level metrics.Level, coordCfg predictor.Config, learner ml.Learner) (*core.Monitor, error) {
 	var sets []core.TrainingSet
 	var names []string
 	for _, mix := range TrainingMixes() {
@@ -65,13 +76,16 @@ func (l *Lab) TrainMonitorWith(level metrics.Level, coordCfg predictor.Config, l
 // EvaluateMonitor runs a trained monitor over a test trace and returns the
 // overload balanced accuracy and the bottleneck identification accuracy.
 // Bottleneck accuracy is measured over truly overloaded windows: the
-// predictor must both flag the overload and name the busier tier.
+// predictor must both flag the overload and name the busier tier. The
+// evaluation replays through a private session, so any number of
+// evaluations may share one monitor concurrently without perturbing each
+// other's temporal history.
 func EvaluateMonitor(m *core.Monitor, test *Trace) (overloadBA, bottleneckAcc float64, err error) {
-	m.ResetHistory()
+	sess := m.NewSession()
 	var conf ml.Confusion
 	var overWindows, bottRight int
 	for _, w := range test.Windows {
-		p, err := m.Predict(core.Observation{Time: w.Time, Vectors: w.Vectors(m.Level)})
+		p, err := sess.Predict(core.Observation{Time: w.Time, Vectors: w.Vectors(m.Level)})
 		if err != nil {
 			return 0, 0, err
 		}
@@ -101,32 +115,46 @@ func (l *Lab) RunFig4() (*Fig4Result, error) {
 }
 
 // RunFig4With runs the Figure 4 grid under a custom coordinator
-// configuration (used by the ablation).
+// configuration (used by the ablation). The (level × workload) cells fan
+// out across the Lab's workers; rows are assembled in the sequential
+// order, and every cell's inputs are cached once-guarded, so the result is
+// identical to a sequential run.
 func (l *Lab) RunFig4With(cfg predictor.Config) (*Fig4Result, error) {
-	res := &Fig4Result{Config: cfg}
+	type spec struct {
+		level metrics.Level
+		kind  TestKind
+	}
+	var specs []spec
 	for _, level := range []metrics.Level{metrics.LevelOS, metrics.LevelHPC} {
-		monitor, err := l.TrainMonitor(level, cfg)
-		if err != nil {
-			return nil, fmt.Errorf("experiment: train %s monitor: %w", level, err)
-		}
 		for _, kind := range TestKinds() {
-			test, err := l.TestTrace(kind)
-			if err != nil {
-				return nil, err
-			}
-			over, bott, err := EvaluateMonitor(monitor, test)
-			if err != nil {
-				return nil, err
-			}
-			res.Rows = append(res.Rows, Fig4Row{
-				Workload:   kind,
-				Level:      level,
-				Overload:   over,
-				Bottleneck: bott,
-			})
+			specs = append(specs, spec{level, kind})
 		}
 	}
-	return res, nil
+	rows, err := parallel.Map(context.Background(), len(specs), l.workers(), func(i int) (Fig4Row, error) {
+		sp := specs[i]
+		monitor, err := l.TrainMonitor(sp.level, cfg)
+		if err != nil {
+			return Fig4Row{}, fmt.Errorf("experiment: train %s monitor: %w", sp.level, err)
+		}
+		test, err := l.TestTrace(sp.kind)
+		if err != nil {
+			return Fig4Row{}, err
+		}
+		over, bott, err := EvaluateMonitor(monitor, test)
+		if err != nil {
+			return Fig4Row{}, err
+		}
+		return Fig4Row{
+			Workload:   sp.kind,
+			Level:      sp.level,
+			Overload:   over,
+			Bottleneck: bott,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Fig4Result{Config: cfg, Rows: rows}, nil
 }
 
 // Row returns the row for (workload, level), or nil.

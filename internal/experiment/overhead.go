@@ -1,10 +1,12 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"hpcap/internal/metrics"
+	"hpcap/internal/parallel"
 	"hpcap/internal/server"
 	"hpcap/internal/tpcw"
 )
@@ -51,18 +53,31 @@ func (l *Lab) RunOverhead() (*OverheadResult, error) {
 		{"os", metrics.OSSampleCost},
 	}
 	// The paper averages five executions; run-to-run variation at deep
-	// saturation would otherwise swamp sub-percent effects.
+	// saturation would otherwise swamp sub-percent effects. Each of the
+	// regime×run executions is an independent seeded simulation, so all of
+	// them fan out across the Lab's workers; the per-regime means are then
+	// accumulated in run order, keeping the floating-point sums — and thus
+	// the result — identical to a sequential run.
 	const runs = 5
+	type measurement struct{ thr, rt float64 }
+	samples, err := parallel.Map(context.Background(), len(regimes)*runs, l.workers(), func(i int) (measurement, error) {
+		regime := regimes[i/runs]
+		r := i % runs
+		thr, rt, err := l.overheadRun(ebs, duration, regime.cost, int64(r))
+		if err != nil {
+			return measurement{}, fmt.Errorf("experiment: overhead regime %s: %w", regime.name, err)
+		}
+		return measurement{thr, rt}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	res := &OverheadResult{EBs: ebs}
-	for _, regime := range regimes {
+	for ri, regime := range regimes {
 		var thrSum, rtSum float64
 		for r := 0; r < runs; r++ {
-			thr, rt, err := l.overheadRun(ebs, duration, regime.cost, int64(r))
-			if err != nil {
-				return nil, fmt.Errorf("experiment: overhead regime %s: %w", regime.name, err)
-			}
-			thrSum += thr
-			rtSum += rt
+			thrSum += samples[ri*runs+r].thr
+			rtSum += samples[ri*runs+r].rt
 		}
 		res.Rows = append(res.Rows, OverheadRow{
 			Regime:     regime.name,

@@ -1,0 +1,79 @@
+package experiment
+
+import (
+	"context"
+	"testing"
+
+	"hpcap/internal/core"
+	"hpcap/internal/metrics"
+	"hpcap/internal/predictor"
+)
+
+// benchLab returns a prewarmed QuickScale lab so the Table I benchmarks
+// time the experiment grid itself (32 synopsis builds + evaluations per
+// run), not the one-off trace generation.
+func benchLab(b *testing.B, workers int) *Lab {
+	b.Helper()
+	l := NewLab(QuickScale())
+	l.Workers = workers
+	if err := l.Prewarm(context.Background()); err != nil {
+		b.Fatal(err)
+	}
+	return l
+}
+
+// BenchmarkLabTable1Sequential is the Workers=1 baseline for the parallel
+// fan-out: the 32-cell Table I(a) grid built strictly one cell at a time.
+func BenchmarkLabTable1Sequential(b *testing.B) {
+	l := benchLab(b, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := l.RunTable1(TestBrowsing); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLabTable1Parallel runs the same grid with the default
+// (GOMAXPROCS) worker bound. Output is byte-identical to the sequential
+// run — the determinism golden test enforces that — so the two benchmarks
+// differ only in scheduling.
+func BenchmarkLabTable1Parallel(b *testing.B) {
+	l := benchLab(b, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := l.RunTable1(TestBrowsing); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMonitorPredictParallel hammers one shared trained monitor from
+// concurrent goroutines, each predicting through its own session — the
+// online serving shape: one trained system, many inference streams.
+func BenchmarkMonitorPredictParallel(b *testing.B) {
+	l := benchLab(b, 0)
+	m, err := l.TrainMonitor(metrics.LevelHPC, predictor.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	test, err := l.TestTrace(TestOrdering)
+	if err != nil {
+		b.Fatal(err)
+	}
+	obs := make([]core.Observation, len(test.Windows))
+	for i, w := range test.Windows {
+		obs[i] = core.Observation{Time: w.Time, Vectors: w.Vectors(m.Level)}
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		sess := m.NewSession()
+		i := 0
+		for pb.Next() {
+			if _, err := sess.Predict(obs[i%len(obs)]); err != nil {
+				b.Fatal(err)
+			}
+			i++
+		}
+	})
+}

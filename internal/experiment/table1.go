@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -11,6 +12,7 @@ import (
 	"hpcap/internal/ml/bayes"
 	"hpcap/internal/ml/linreg"
 	"hpcap/internal/ml/svm"
+	"hpcap/internal/parallel"
 	"hpcap/internal/server"
 	"hpcap/internal/synopsis"
 	"hpcap/internal/tpcw"
@@ -81,34 +83,50 @@ func EvaluateSynopsis(syn *synopsis.Synopsis, test *Trace) float64 {
 
 // RunTable1 reproduces Table I(a) (testKind = browsing) or I(b)
 // (testKind = ordering): every (training workload × tier × level × learner)
-// synopsis evaluated on the test input.
+// synopsis evaluated on the test input. The 32 cells are independent given
+// the cached traces, so they fan out across the Lab's workers; cells are
+// assembled in the sequential loop order, making the result byte-identical
+// to a Workers=1 run.
 func (l *Lab) RunTable1(testKind TestKind) (*Table1Result, error) {
 	test, err := l.TestTrace(testKind)
 	if err != nil {
 		return nil, err
 	}
-	res := &Table1Result{TestInput: string(testKind)}
+	type spec struct {
+		mix     tpcw.Mix
+		tier    server.TierID
+		level   metrics.Level
+		learner ml.Learner
+	}
+	var specs []spec
 	for _, mix := range TrainingMixes() {
 		for tier := server.TierID(0); tier < server.NumTiers; tier++ {
 			for _, level := range []metrics.Level{metrics.LevelOS, metrics.LevelHPC} {
 				for _, learner := range Learners() {
-					syn, err := l.BuildSynopsis(mix, tier, level, learner)
-					if err != nil {
-						return nil, fmt.Errorf("experiment: table1 %s/%s/%s/%s: %w",
-							mix.Name, tier, level, learner.Name, err)
-					}
-					res.Cells = append(res.Cells, Table1Cell{
-						Workload: mix.Name,
-						Tier:     tier,
-						Level:    level,
-						Learner:  learner.Name,
-						BA:       EvaluateSynopsis(syn, test),
-					})
+					specs = append(specs, spec{mix, tier, level, learner})
 				}
 			}
 		}
 	}
-	return res, nil
+	cells, err := parallel.Map(context.Background(), len(specs), l.workers(), func(i int) (Table1Cell, error) {
+		sp := specs[i]
+		syn, err := l.BuildSynopsis(sp.mix, sp.tier, sp.level, sp.learner)
+		if err != nil {
+			return Table1Cell{}, fmt.Errorf("experiment: table1 %s/%s/%s/%s: %w",
+				sp.mix.Name, sp.tier, sp.level, sp.learner.Name, err)
+		}
+		return Table1Cell{
+			Workload: sp.mix.Name,
+			Tier:     sp.tier,
+			Level:    sp.level,
+			Learner:  sp.learner.Name,
+			BA:       EvaluateSynopsis(syn, test),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Table1Result{TestInput: string(testKind), Cells: cells}, nil
 }
 
 // Cell returns the accuracy of one cell, or -1 if absent.

@@ -16,10 +16,19 @@
 //     Bottleneck Vectors; the bottleneck prediction is the arg-max tier,
 //     and it is consulted only when the system state is predicted
 //     overloaded.
+//
+// Concurrency: after training, the GPT/LHT/BPT tables are read-mostly and
+// shared; the h-bit history register is per-prediction-stream state. A
+// Session carries one stream's register, so any number of goroutines may
+// predict concurrently over one trained Predictor, each through its own
+// Session. The Predictor's own Predict/Feedback/ResetHistory methods
+// operate on a mutex-guarded default session, which keeps the historical
+// single-stream API safe (if serialized) under concurrent use.
 package predictor
 
 import (
 	"fmt"
+	"sync"
 )
 
 // Scheme selects the tie-break φ(Hc) inside the [−δ, +δ] uncertainty band.
@@ -78,24 +87,24 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Predictor is the trained two-level coordinated predictor.
+// Predictor is the trained two-level coordinated predictor. The tables are
+// shared by all Sessions; mu guards them (writes come from Train and
+// Feedback only, so prediction traffic runs under read locks).
 type Predictor struct {
 	cfg   Config
 	m     int // number of synopses
 	tiers int
 
+	mu sync.RWMutex
 	// lht[gpv][history] = Hc.
 	lht [][]int
 	// bpt[gpv][tier] = bottleneck counter.
 	bpt [][]int
-	// history is the register of the last h coordinated predictions.
-	history int
 
-	// last* remember the cells used by the most recent Predict so that
-	// online Feedback can reinforce them.
-	lastGPV     int
-	lastHistory int
-	lastValid   bool
+	// def is the default session behind the Predictor's own
+	// Predict/Feedback/ResetHistory methods; defMu serializes it.
+	defMu sync.Mutex
+	def   Session
 }
 
 // New builds a predictor for m synopses and the given number of tiers.
@@ -119,11 +128,33 @@ func New(m, tiers int, cfg Config) (*Predictor, error) {
 		p.lht[i] = make([]int, lhtSize)
 		p.bpt[i] = make([]int, tiers)
 	}
+	p.def.p = p
 	return p, nil
 }
 
 // Config returns the effective configuration.
 func (p *Predictor) Config() Config { return p.cfg }
+
+// Session is one prediction stream over a shared trained Predictor: the
+// h-bit register of the stream's last coordinated predictions plus the
+// cells its most recent Predict consulted (for Feedback). Sessions are
+// cheap; give each concurrent caller its own. A Session must not itself be
+// used from multiple goroutines at once.
+type Session struct {
+	p *Predictor
+	// history is the register of the last h coordinated predictions.
+	history int
+
+	// last* remember the cells used by the most recent Predict so that
+	// online Feedback can reinforce them.
+	lastGPV     int
+	lastHistory int
+	lastValid   bool
+}
+
+// NewSession returns an independent prediction stream with a cleared
+// history register.
+func (p *Predictor) NewSession() *Session { return &Session{p: p} }
 
 // gpvIndex packs the m synopsis predictions into a GPT index.
 func (p *Predictor) gpvIndex(gpv []int) (int, error) {
@@ -154,16 +185,86 @@ func (p *Predictor) lambda(hc int) int {
 	}
 }
 
-// shift pushes a prediction into the history register.
-func (p *Predictor) shift(pred int) {
-	mask := (1 << p.cfg.HistoryBits) - 1
-	p.history = ((p.history << 1) | (pred & 1)) & mask
+// shift pushes a prediction into the session's history register.
+func (s *Session) shift(pred int) {
+	mask := (1 << s.p.cfg.HistoryBits) - 1
+	s.history = ((s.history << 1) | (pred & 1)) & mask
 }
 
-// ResetHistory clears the local-history register (e.g. between traces).
+// ResetHistory clears the session's local-history register (e.g. between
+// traces).
+func (s *Session) ResetHistory() {
+	s.history = 0
+	s.lastValid = false
+}
+
+// Predict makes the coordinated prediction for one sampling interval of
+// this session's stream. The bottleneck tier is only meaningful when
+// overload is 1 (the bottleneck predictor is invoked on predicted
+// overload, per the paper); it is -1 otherwise. Predict advances the
+// session's history register with its own output.
+func (s *Session) Predict(gpv []int) (overload int, bottleneck int, err error) {
+	p := s.p
+	idx, err := p.gpvIndex(gpv)
+	if err != nil {
+		return 0, -1, err
+	}
+	p.mu.RLock()
+	hc := p.lht[idx][s.history]
+	overload = p.lambda(hc)
+	bottleneck = -1
+	if overload == 1 {
+		bottleneck = p.argmaxBottleneck(idx)
+	}
+	p.mu.RUnlock()
+	s.lastGPV = idx
+	s.lastHistory = s.history
+	s.lastValid = true
+	s.shift(overload)
+	return overload, bottleneck, nil
+}
+
+// Feedback reinforces the cells used by the session's most recent Predict
+// with the observed truth, and corrects the history register so it records
+// the actual outcome rather than the prediction — an online-adaptation
+// extension beyond the paper's offline training. It is a no-op before any
+// Predict.
+func (s *Session) Feedback(overload int, bottleneck int) {
+	if !s.lastValid {
+		return
+	}
+	p := s.p
+	mask := (1 << p.cfg.HistoryBits) - 1
+	s.history = ((s.lastHistory << 1) | (overload & 1)) & mask
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	hc := &p.lht[s.lastGPV][s.lastHistory]
+	if overload == 1 {
+		if *hc < p.cfg.CounterMax {
+			*hc++
+		}
+		if bottleneck >= 0 && bottleneck < p.tiers {
+			for t := 0; t < p.tiers; t++ {
+				if t == bottleneck {
+					if p.bpt[s.lastGPV][t] < p.cfg.CounterMax {
+						p.bpt[s.lastGPV][t]++
+					}
+				} else if p.bpt[s.lastGPV][t] > -p.cfg.CounterMax {
+					p.bpt[s.lastGPV][t]--
+				}
+			}
+		}
+	} else if *hc > -p.cfg.CounterMax {
+		*hc--
+	}
+}
+
+// ResetHistory clears the default session's local-history register (e.g.
+// between traces).
 func (p *Predictor) ResetHistory() {
-	p.history = 0
-	p.lastValid = false
+	p.defMu.Lock()
+	defer p.defMu.Unlock()
+	p.def.ResetHistory()
 }
 
 // Train consumes one training instance: the synopses' GPV, the true
@@ -172,7 +273,10 @@ func (p *Predictor) ResetHistory() {
 // instances). The history register records the coordinated predictions
 // made along the way ("the last h prediction results", §III.C), exactly as
 // online prediction does, so instances must be presented in trace order.
+// Train drives the default session's register.
 func (p *Predictor) Train(gpv []int, overload int, bottleneck int) error {
+	p.defMu.Lock()
+	defer p.defMu.Unlock()
 	idx, err := p.gpvIndex(gpv)
 	if err != nil {
 		return err
@@ -180,7 +284,12 @@ func (p *Predictor) Train(gpv []int, overload int, bottleneck int) error {
 	if overload != 0 && overload != 1 {
 		return fmt.Errorf("predictor: overload label %d, want 0 or 1", overload)
 	}
-	hc := &p.lht[idx][p.history]
+	if overload == 1 && (bottleneck < 0 || bottleneck >= p.tiers) {
+		return fmt.Errorf("predictor: bottleneck tier %d out of range", bottleneck)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	hc := &p.lht[idx][p.def.history]
 	pred := p.lambda(*hc)
 	// Saturating update toward the truth.
 	if overload == 1 {
@@ -195,9 +304,6 @@ func (p *Predictor) Train(gpv []int, overload int, bottleneck int) error {
 	// Bottleneck vector: reinforce the true bottleneck on overloaded
 	// instances, decay the others.
 	if overload == 1 {
-		if bottleneck < 0 || bottleneck >= p.tiers {
-			return fmt.Errorf("predictor: bottleneck tier %d out of range", bottleneck)
-		}
 		for t := 0; t < p.tiers; t++ {
 			if t == bottleneck {
 				if p.bpt[idx][t] < p.cfg.CounterMax {
@@ -208,65 +314,29 @@ func (p *Predictor) Train(gpv []int, overload int, bottleneck int) error {
 			}
 		}
 	}
-	p.shift(pred)
+	p.def.shift(pred)
 	return nil
 }
 
-// Predict makes the coordinated prediction for one sampling interval. The
-// bottleneck tier is only meaningful when overload is 1 (the bottleneck
-// predictor is invoked on predicted overload, per the paper); it is -1
-// otherwise. Predict advances the history register with its own output.
+// Predict makes the coordinated prediction on the default session; see
+// Session.Predict. Concurrent callers are serialized — give each its own
+// Session instead.
 func (p *Predictor) Predict(gpv []int) (overload int, bottleneck int, err error) {
-	idx, err := p.gpvIndex(gpv)
-	if err != nil {
-		return 0, -1, err
-	}
-	hc := p.lht[idx][p.history]
-	overload = p.lambda(hc)
-	bottleneck = -1
-	if overload == 1 {
-		bottleneck = p.argmaxBottleneck(idx)
-	}
-	p.lastGPV = idx
-	p.lastHistory = p.history
-	p.lastValid = true
-	p.shift(overload)
-	return overload, bottleneck, nil
+	p.defMu.Lock()
+	defer p.defMu.Unlock()
+	return p.def.Predict(gpv)
 }
 
-// Feedback reinforces the cells used by the most recent Predict with the
-// observed truth, and corrects the history register so it records the
-// actual outcome rather than the prediction — an online-adaptation
-// extension beyond the paper's offline training. It is a no-op before any
-// Predict.
+// Feedback reinforces the default session's most recent Predict; see
+// Session.Feedback.
 func (p *Predictor) Feedback(overload int, bottleneck int) {
-	if !p.lastValid {
-		return
-	}
-	mask := (1 << p.cfg.HistoryBits) - 1
-	p.history = ((p.lastHistory << 1) | (overload & 1)) & mask
-	hc := &p.lht[p.lastGPV][p.lastHistory]
-	if overload == 1 {
-		if *hc < p.cfg.CounterMax {
-			*hc++
-		}
-		if bottleneck >= 0 && bottleneck < p.tiers {
-			for t := 0; t < p.tiers; t++ {
-				if t == bottleneck {
-					if p.bpt[p.lastGPV][t] < p.cfg.CounterMax {
-						p.bpt[p.lastGPV][t]++
-					}
-				} else if p.bpt[p.lastGPV][t] > -p.cfg.CounterMax {
-					p.bpt[p.lastGPV][t]--
-				}
-			}
-		}
-	} else if *hc > -p.cfg.CounterMax {
-		*hc--
-	}
+	p.defMu.Lock()
+	defer p.defMu.Unlock()
+	p.def.Feedback(overload, bottleneck)
 }
 
-// argmaxBottleneck returns λb(bK...b1) = arg max over tier counters.
+// argmaxBottleneck returns λb(bK...b1) = arg max over tier counters. The
+// caller must hold mu.
 func (p *Predictor) argmaxBottleneck(idx int) int {
 	best := 0
 	for t := 1; t < p.tiers; t++ {
@@ -283,6 +353,8 @@ func (p *Predictor) Counter(gpv []int, history int) (int, error) {
 	if err != nil {
 		return 0, err
 	}
+	p.mu.RLock()
+	defer p.mu.RUnlock()
 	if history < 0 || history >= len(p.lht[idx]) {
 		return 0, fmt.Errorf("predictor: history index %d out of range", history)
 	}

@@ -1,6 +1,9 @@
 package stats
 
-import "math"
+import (
+	"math"
+	"sort"
+)
 
 // Entropy returns the Shannon entropy (base 2) of a discrete distribution
 // given as counts. Zero counts contribute nothing; a zero total yields 0.
@@ -24,14 +27,17 @@ func Entropy(counts []int) float64 {
 }
 
 // EntropyLabels returns the Shannon entropy (base 2) of a label sequence.
+// Counts are accumulated in sorted label order: floating-point sums are not
+// associative, so summing in map iteration order would make the result (and
+// everything ranked by it) vary between runs in the last ulp.
 func EntropyLabels(labels []int) float64 {
 	counts := map[int]int{}
 	for _, l := range labels {
 		counts[l]++
 	}
 	cs := make([]int, 0, len(counts))
-	for _, c := range counts {
-		cs = append(cs, c)
+	for _, k := range sortedIntKeys(counts) {
+		cs = append(cs, counts[k])
 	}
 	return Entropy(cs)
 }
@@ -49,20 +55,29 @@ func InformationGain(xs, cs []int) (float64, error) {
 	}
 	hc := EntropyLabels(cs)
 
-	// Partition class labels by attribute value.
+	// Partition class labels by attribute value; accumulate the conditional
+	// entropy in sorted value order for run-to-run determinism.
 	byValue := map[int][]int{}
 	for i, x := range xs {
 		byValue[x] = append(byValue[x], cs[i])
 	}
+	values := make([]int, 0, len(byValue))
+	for v := range byValue {
+		values = append(values, v)
+	}
+	sort.Ints(values)
 	var hcGivenA float64
 	n := float64(len(xs))
-	for _, sub := range byValue {
+	for _, v := range values {
+		sub := byValue[v]
 		hcGivenA += float64(len(sub)) / n * EntropyLabels(sub)
 	}
 	return hc - hcGivenA, nil
 }
 
 // MutualInformation returns I(X; Y) in bits for two discrete variables.
+// The sum walks the joint support in sorted order so the result is
+// bit-identical across runs.
 func MutualInformation(xs, ys []int) (float64, error) {
 	if len(xs) != len(ys) {
 		return 0, ErrLengthMismatch
@@ -80,8 +95,8 @@ func MutualInformation(xs, ys []int) (float64, error) {
 		py[ys[i]]++
 	}
 	var mi float64
-	for k, c := range joint {
-		pxy := c / n
+	for _, k := range sortedPairKeys(joint) {
+		pxy := joint[k] / n
 		mi += pxy * math.Log2(pxy/((px[k[0]]/n)*(py[k[1]]/n)))
 	}
 	if mi < 0 { // floating-point noise on independent variables
@@ -92,7 +107,8 @@ func MutualInformation(xs, ys []int) (float64, error) {
 
 // ConditionalMutualInformation returns I(X; Y | Z) in bits for discrete
 // variables. It is the edge weight of the Chow-Liu tree in TAN structure
-// learning, with Z the class variable.
+// learning, with Z the class variable. The sum walks the joint support in
+// sorted order so the result is bit-identical across runs.
 func ConditionalMutualInformation(xs, ys, zs []int) (float64, error) {
 	if len(xs) != len(ys) || len(xs) != len(zs) {
 		return 0, ErrLengthMismatch
@@ -112,10 +128,23 @@ func ConditionalMutualInformation(xs, ys, zs []int) (float64, error) {
 		jointYZ[[2]int{ys[i], zs[i]}]++
 		pz[zs[i]]++
 	}
+	keys := make([][3]int, 0, len(jointXYZ))
+	for k := range jointXYZ {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		if keys[i][1] != keys[j][1] {
+			return keys[i][1] < keys[j][1]
+		}
+		return keys[i][2] < keys[j][2]
+	})
 	var cmi float64
-	for k, c := range jointXYZ {
+	for _, k := range keys {
 		x, y, z := k[0], k[1], k[2]
-		pxyz := c / n
+		pxyz := jointXYZ[k] / n
 		num := pxyz * (pz[z] / n)
 		den := (jointXZ[[2]int{x, z}] / n) * (jointYZ[[2]int{y, z}] / n)
 		cmi += pxyz * math.Log2(num/den)
@@ -124,4 +153,31 @@ func ConditionalMutualInformation(xs, ys, zs []int) (float64, error) {
 		cmi = 0
 	}
 	return cmi, nil
+}
+
+// sortedIntKeys returns the keys of an int-keyed count map in increasing
+// order.
+func sortedIntKeys[V any](m map[int]V) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// sortedPairKeys returns the keys of a pair-keyed map in lexicographic
+// order.
+func sortedPairKeys[V any](m map[[2]int]V) [][2]int {
+	keys := make([][2]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	return keys
 }
