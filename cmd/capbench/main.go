@@ -59,9 +59,18 @@ func run(args []string) error {
 	lab.Seed = *seed
 	lab.Workers = *par
 
+	known := map[string]bool{
+		"all": true, "table1a": true, "table1b": true, "fig3": true,
+		"fig4": true, "fig4a": true, "fig4b": true, "timing": true,
+		"overhead": true, "ablation": true, "baselines": true, "levels": true,
+	}
 	wanted := map[string]bool{}
 	for _, e := range strings.Split(*exp, ",") {
-		wanted[strings.TrimSpace(e)] = true
+		name := strings.TrimSpace(e)
+		if !known[name] {
+			return fmt.Errorf("unknown experiment %q", name)
+		}
+		wanted[name] = true
 	}
 	all := wanted["all"]
 

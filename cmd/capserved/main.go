@@ -1,0 +1,278 @@
+// Command capserved is the online serving daemon: the paper's measurement
+// system run as a service instead of an offline evaluation. It trains a
+// coordinated monitor at the chosen scale, simulates a fleet of monitored
+// sites under rotated burst schedules, streams every site's per-second
+// counter samples through the serving pipeline (internal/serve), prints
+// each overload/bottleneck decision as it is made, and — when -addr is
+// set — exposes the pipeline's counters over HTTP as expvar JSON
+// (/debug/vars) and Prometheus text (/metrics).
+//
+// Usage:
+//
+//	capserved -scale quick -sites 3 -duration 900   # simulate and exit
+//	capserved -addr :8080 -hold                     # keep /metrics up after the run
+//	capserved -admission 8                          # close the loop: shed load when overloaded
+//	capserved -level os                             # monitor on OS metrics instead of counters
+package main
+
+import (
+	"expvar"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"sync"
+
+	"hpcap/internal/cpu"
+	"hpcap/internal/experiment"
+	"hpcap/internal/metrics"
+	"hpcap/internal/osstat"
+	"hpcap/internal/predictor"
+	"hpcap/internal/serve"
+	"hpcap/internal/server"
+	"hpcap/internal/tpcw"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "capserved:", err)
+		os.Exit(1)
+	}
+}
+
+// simSite is one simulated monitored website: a testbed under its own
+// burst schedule plus the per-tier collectors that sample it.
+type simSite struct {
+	name string
+	tb   *server.Testbed
+	coll [server.NumTiers][]metrics.Collector
+}
+
+// collect concatenates the site's tier collectors into one sample vector
+// (one collector at the OS or HPC level; both, OS first, at the combined
+// level — matching experiment.Trace vector layout).
+func (s *simSite) collect(tier server.TierID, snap server.Snapshot) []float64 {
+	var v []float64
+	for _, c := range s.coll[tier] {
+		v = append(v, c.Collect(snap, 1)...)
+	}
+	return v
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("capserved", flag.ContinueOnError)
+	scaleName := fs.String("scale", "quick", "training scale: quick|full")
+	levelName := fs.String("level", "hpc", "metric level to monitor at: os|hpc|combined")
+	sites := fs.Int("sites", 2, "number of simulated monitored sites")
+	duration := fs.Float64("duration", 600, "simulated seconds to stream per site")
+	seed := fs.Int64("seed", 1, "master random seed")
+	admission := fs.Int("admission", 0, "admission valve worker bound under overload; 0 leaves sites uncontrolled")
+	addr := fs.String("addr", "", "HTTP listen address for /metrics, /debug/vars, /healthz; empty disables HTTP")
+	hold := fs.Bool("hold", false, "keep the HTTP endpoint up after the simulated run completes")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var scale experiment.Scale
+	switch *scaleName {
+	case "quick":
+		scale = experiment.QuickScale()
+	case "full":
+		scale = experiment.FullScale()
+	default:
+		return fmt.Errorf("unknown scale %q", *scaleName)
+	}
+	var level metrics.Level
+	switch *levelName {
+	case "os":
+		level = metrics.LevelOS
+	case "hpc":
+		level = metrics.LevelHPC
+	case "combined":
+		level = metrics.LevelCombined
+	default:
+		return fmt.Errorf("unknown metric level %q", *levelName)
+	}
+	if *sites < 1 {
+		return fmt.Errorf("need at least one site, got %d", *sites)
+	}
+
+	fmt.Fprintf(out, "training %s monitor at %s scale...\n", level, scale.Name)
+	lab := experiment.NewLab(scale)
+	lab.Seed = *seed
+	monitor, err := lab.TrainMonitor(level, predictor.Config{})
+	if err != nil {
+		return fmt.Errorf("train monitor: %w", err)
+	}
+	wb, err := lab.Workload(tpcw.Browsing())
+	if err != nil {
+		return err
+	}
+	wo, err := lab.Workload(tpcw.Ordering())
+	if err != nil {
+		return err
+	}
+
+	pipe, err := serve.NewPipeline(monitor, serve.Config{
+		Window: scale.Window,
+		OnDecision: func(d serve.Decision) {
+			bott := "-"
+			if d.Prediction.Overload {
+				bott = d.Prediction.Bottleneck.String()
+			}
+			flag := ""
+			if d.Degraded {
+				flag = fmt.Sprintf(" degraded(missing %d)", d.Missing)
+			}
+			fmt.Fprintf(out, "t=%6.0f %-8s overload=%-5t bottleneck=%-3s gpv=%v%s\n",
+				d.Time, d.Site, d.Prediction.Overload, bott, d.Prediction.GPV, flag)
+		},
+	})
+	if err != nil {
+		return fmt.Errorf("build pipeline: %w", err)
+	}
+	if *addr != "" {
+		if err := startHTTP(*addr, pipe); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "serving metrics on %s\n", *addr)
+	}
+
+	fleet := make([]*simSite, *sites)
+	for i := range fleet {
+		name := fmt.Sprintf("site-%d", i+1)
+		s, err := newSimSite(name, lab.Server, level, i, wb, wo, *seed, *duration)
+		if err != nil {
+			return fmt.Errorf("build %s: %w", name, err)
+		}
+		if *admission > 0 {
+			s.tb.SetAdmission(pipe.AdmissionValve(name, *admission))
+		}
+		if err := s.tb.Start(); err != nil {
+			return err
+		}
+		fleet[i] = s
+	}
+
+	// Advance all sites in 1-second lockstep, streaming every tier's
+	// sample into the pipeline as it is collected.
+	for elapsed := 0.0; elapsed < *duration; elapsed++ {
+		for _, s := range fleet {
+			snap := s.tb.RunInterval(1)
+			for tier := server.TierID(0); tier < server.NumTiers; tier++ {
+				pipe.Ingest(serve.Sample{
+					Site:   s.name,
+					Tier:   tier,
+					Time:   snap.Time,
+					Values: s.collect(tier, snap),
+				})
+			}
+		}
+	}
+	pipe.Flush()
+
+	fmt.Fprintln(out)
+	for _, st := range pipe.Stats() {
+		fmt.Fprintf(out, "%-8s windows=%d degraded=%d dropped=%d overloads=%d disagreement=%.1f%% mean-predict=%s\n",
+			st.Site, st.WindowsDecided, st.WindowsDegraded, st.WindowsDropped,
+			st.Overloads, st.DisagreementRate()*100, st.MeanPredictLatency())
+	}
+	if *admission > 0 {
+		for _, s := range fleet {
+			arrivals, completions, rejections, inFlight := s.tb.Conservation()
+			fmt.Fprintf(out, "%-8s arrivals=%d completions=%d rejections=%d in-flight=%d\n",
+				s.name, arrivals, completions, rejections, inFlight)
+		}
+	}
+
+	if *hold && *addr != "" {
+		fmt.Fprintln(out, "run complete; holding HTTP endpoint (interrupt to exit)")
+		select {}
+	}
+	return nil
+}
+
+// newSimSite builds one monitored site. Sites alternate between the
+// browsing and ordering mixes and rotate their burst phase so the fleet
+// does not overload in lockstep; each has its own seed.
+func newSimSite(name string, base server.Config, level metrics.Level, index int, wb, wo experiment.Workload, seed int64, duration float64) (*simSite, error) {
+	w := wb
+	if index%2 == 1 {
+		w = wo
+	}
+	ebs := func(f float64) int {
+		n := int(float64(w.Knee)*f + 0.5)
+		if n < 1 {
+			n = 1
+		}
+		return n
+	}
+	// One cycle: cruise below the knee, burst past it, recover. Rotating
+	// the cruise length staggers the bursts across the fleet.
+	cruise := 120.0 + 30.0*float64(index%4)
+	cycle := tpcw.Concat(
+		tpcw.Steady(w.Mix, ebs(0.70), cruise),
+		tpcw.Steady(w.Mix, ebs(1.45), 120),
+		tpcw.Steady(w.Mix, ebs(0.55), 60),
+	)
+	sched := cycle
+	for sched.Duration() < duration {
+		sched = tpcw.Concat(sched, cycle)
+	}
+
+	cfg := base
+	cfg.Seed = seed + 1000*int64(index+1)
+	tb, err := server.NewTestbed(cfg, sched)
+	if err != nil {
+		return nil, err
+	}
+	s := &simSite{name: name, tb: tb}
+	machines := [server.NumTiers]server.MachineConfig{cfg.App.Machine, cfg.DB.Machine}
+	memMB := [server.NumTiers]float64{512, 1024}
+	for tier := server.TierID(0); tier < server.NumTiers; tier++ {
+		osColl := osstat.NewCollector(tier, memMB[tier], 0.05, cfg.Seed*10+int64(tier))
+		hpcColl := cpu.NewCollector(tier, machines[tier], 0.02, cfg.Seed*10+int64(tier)+100)
+		switch level {
+		case metrics.LevelOS:
+			s.coll[tier] = []metrics.Collector{osColl}
+		case metrics.LevelHPC:
+			s.coll[tier] = []metrics.Collector{hpcColl}
+		default: // combined: OS first, matching experiment.Trace layout
+			s.coll[tier] = []metrics.Collector{osColl, hpcColl}
+		}
+	}
+	return s, nil
+}
+
+// expvarOnce guards the process-wide expvar registration (run may be
+// invoked more than once in tests).
+var expvarOnce sync.Once
+
+// startHTTP exposes the pipeline over HTTP: Prometheus text at /metrics,
+// expvar JSON at /debug/vars, and a liveness probe at /healthz.
+func startHTTP(addr string, pipe *serve.Pipeline) error {
+	expvarOnce.Do(func() {
+		expvar.Publish("capserved", expvar.Func(func() any { return pipe.Stats() }))
+	})
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		if err := pipe.WriteMetrics(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	// Bind synchronously so a bad -addr fails the run instead of being
+	// logged from a goroutine; serving itself lasts the process lifetime.
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("http: %w", err)
+	}
+	go func() { _ = (&http.Server{Handler: mux}).Serve(ln) }()
+	return nil
+}

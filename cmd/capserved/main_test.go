@@ -1,0 +1,84 @@
+package main
+
+import (
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestRunQuick drives the daemon end to end at quick scale with HTTP off:
+// train, simulate two sites, stream, decide, and print the summary.
+func TestRunQuick(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{
+		"-scale", "quick", "-sites", "2", "-duration", "180", "-admission", "8",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"training HPC monitor at quick scale",
+		"site-1", "site-2",
+		"windows=6", // 180 simulated seconds / 30-second windows
+		"rejections=",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q in:\n%s", want, got)
+		}
+	}
+}
+
+// TestHTTPEndpoints binds a loopback port and probes /healthz and
+// /metrics after a short run.
+func TestHTTPEndpoints(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("free port: %v", err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	var out strings.Builder
+	if err := run([]string{
+		"-scale", "quick", "-sites", "1", "-duration", "60", "-addr", addr,
+	}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for path, want := range map[string]string{
+		"/healthz":    "ok",
+		"/metrics":    `capserved_windows_decided_total{site="site-1"} 2`,
+		"/debug/vars": `"capserved"`,
+	} {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatalf("read %s: %v", path, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s: status %d", path, resp.StatusCode)
+		}
+		if !strings.Contains(string(body), want) {
+			t.Errorf("GET %s: missing %q in:\n%s", path, want, body)
+		}
+	}
+}
+
+// TestBadFlags pins the error paths.
+func TestBadFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-scale", "medium"},
+		{"-level", "gpu"},
+		{"-sites", "0"},
+	} {
+		if err := run(args, io.Discard); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}

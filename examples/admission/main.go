@@ -109,7 +109,9 @@ func replay(monitor *hpcap.Monitor, sched hpcap.Schedule, controlled bool) (thr,
 		return 0, 0, 0, err
 	}
 
-	monitor.ResetHistory()
+	// A fresh session per replay keeps the two runs' temporal histories
+	// independent while sharing the trained monitor.
+	sess := monitor.NewSession()
 	const slaRT = 1.0
 	var completed, good int
 	var rtWeighted float64
@@ -132,7 +134,7 @@ func replay(monitor *hpcap.Monitor, sched hpcap.Schedule, controlled bool) (thr,
 		obs := hpcap.Observation{Time: appSample.Time}
 		obs.Vectors[hpcap.TierApp] = appSample.Values
 		obs.Vectors[hpcap.TierDB] = dbSample.Values
-		p, err := monitor.Predict(obs)
+		p, err := sess.Predict(obs)
 		if err != nil {
 			return 0, 0, 0, err
 		}

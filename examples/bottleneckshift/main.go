@@ -68,7 +68,7 @@ func run() error {
 	ipcIdx := index(hpcap.HPCMetricNames, "hpc_ipc")
 	missIdx := index(hpcap.HPCMetricNames, "hpc_l2_miss_ratio")
 
-	monitor.ResetHistory()
+	sess := monitor.NewSession()
 	fmt.Printf("%8s %-9s %5s | %9s %9s | %s\n",
 		"time(s)", "mix", "EBs", "PI(app)", "PI(db)", "monitor verdict")
 	seconds := int(sched.Duration())
@@ -85,7 +85,7 @@ func run() error {
 		obs := hpcap.Observation{Time: appSample.Time}
 		obs.Vectors[hpcap.TierApp] = appSample.Values
 		obs.Vectors[hpcap.TierDB] = dbSample.Values
-		p, err := monitor.Predict(obs)
+		p, err := sess.Predict(obs)
 		if err != nil {
 			return err
 		}

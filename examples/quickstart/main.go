@@ -41,10 +41,12 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	monitor.ResetHistory()
+	// Each prediction stream takes its own session over the shared
+	// monitor; the session owns the temporal history.
+	sess := monitor.NewSession()
 	correct := 0
 	for _, w := range test.Windows {
-		p, err := monitor.Predict(hpcap.Observation{Time: w.Time, Vectors: w.HPC})
+		p, err := sess.Predict(hpcap.Observation{Time: w.Time, Vectors: w.HPC})
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,39 @@
+package hpcap_test
+
+import (
+	"context"
+	"os/exec"
+	"testing"
+	"time"
+)
+
+// TestExamplesSmoke builds and runs every example program end to end —
+// they all operate at QuickScale, so each is a few seconds of work. The
+// test shells out to the go tool; it is skipped under -short and when the
+// toolchain is unavailable.
+func TestExamplesSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("example runs are slow; skipped in -short")
+	}
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go tool not on PATH")
+	}
+	for _, name := range []string{
+		"quickstart", "admission", "bottleneckshift", "capacityplan", "serving",
+	} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+			defer cancel()
+			cmd := exec.CommandContext(ctx, "go", "run", "./examples/"+name)
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("go run ./examples/%s: %v\n%s", name, err, out)
+			}
+			if len(out) == 0 {
+				t.Errorf("%s produced no output", name)
+			}
+		})
+	}
+}

@@ -7,7 +7,7 @@
 // Sysstat-style OS metric collector, and from-scratch implementations of
 // the four synopsis learners (linear regression, naive Bayes, TAN, SVM).
 //
-// The package is a curated facade over the internal packages. The three
+// The package is a curated facade over the internal packages. The four
 // layers a user touches are:
 //
 //   - Workload and testbed: build a tpcw schedule (Browsing/Shopping/
@@ -15,13 +15,29 @@
 //     simulated two-tier site with NewTestbed.
 //   - Capacity monitor: train a Monitor (per-workload, per-tier performance
 //     synopses plus the two-level coordinated predictor) on labeled window
-//     traces and use Predict for online overload/bottleneck inference.
+//     traces, then predict through per-stream MonitorSessions for online
+//     overload/bottleneck inference.
+//   - Serving: a ServingPipeline ingests live per-tier 1-second samples
+//     for any number of sites, windows them, fans prediction across
+//     per-site sessions, publishes Decisions, and can gate a testbed's
+//     admission control — resilient to late, missing, and NaN samples.
 //   - Experiments: a Lab regenerates every table and figure of the paper's
 //     evaluation (Table I, Figures 3-4, the timing, overhead and ablation
 //     studies) at QuickScale or FullScale.
 //
-// See the runnable programs under examples/ and the experiment CLI at
-// cmd/capbench.
+// # Conventions
+//
+// A trained Monitor is immutable shared state; every concurrent prediction
+// stream takes its own MonitorSession via Monitor.NewSession. The
+// Monitor's own Predict/Feedback/ResetHistory remain as single-stream
+// compatibility shims over an internal default session.
+//
+// Failures surface as wrapped sentinel errors — ErrUntrained,
+// ErrDimensionMismatch, ErrBadConfig — so callers branch with errors.Is
+// rather than string matching.
+//
+// See the runnable programs under examples/, the experiment CLI at
+// cmd/capbench, and the serving daemon at cmd/capserved.
 package hpcap
 
 import (
@@ -37,8 +53,22 @@ import (
 	"hpcap/internal/osstat"
 	"hpcap/internal/pi"
 	"hpcap/internal/predictor"
+	"hpcap/internal/serve"
 	"hpcap/internal/server"
 	"hpcap/internal/tpcw"
+)
+
+// Typed sentinel errors; every failure returned by the monitor, its
+// sessions, and the serving pipeline wraps one of these.
+var (
+	// ErrUntrained marks prediction attempted through an untrained
+	// Monitor or a session over one.
+	ErrUntrained = core.ErrUntrained
+	// ErrDimensionMismatch marks an observation whose per-tier vectors do
+	// not match the metric layout the monitor was trained on.
+	ErrDimensionMismatch = core.ErrDimensionMismatch
+	// ErrBadConfig marks invalid training or serving configuration.
+	ErrBadConfig = core.ErrBadConfig
 )
 
 // Workload modeling (TPC-W).
@@ -184,6 +214,29 @@ const (
 
 // TrainMonitor trains a capacity monitor; see core.Train.
 var TrainMonitor = core.Train
+
+// Online serving layer.
+type (
+	// ServingPipeline streams per-tier 1-second samples for any number of
+	// sites through a shared trained Monitor, emitting per-window
+	// Decisions. It degrades gracefully on late/missing/NaN samples and
+	// exports per-site counters in Prometheus text format (WriteMetrics).
+	ServingPipeline = serve.Pipeline
+	// ServingConfig tunes a ServingPipeline (window, staleness budget,
+	// decision callback).
+	ServingConfig = serve.Config
+	// StreamSample is one 1-second metric vector from one tier of a
+	// monitored site.
+	StreamSample = serve.Sample
+	// Decision is the pipeline's output for one completed window.
+	Decision = serve.Decision
+	// SiteStats is a snapshot of one site's serving counters.
+	SiteStats = serve.SiteStats
+)
+
+// NewServingPipeline builds the online serving pipeline over a trained
+// monitor; see the serve package for streaming semantics.
+var NewServingPipeline = serve.NewPipeline
 
 // Learners.
 type Learner = ml.Learner

@@ -1,6 +1,7 @@
 package hpcap_test
 
 import (
+	"errors"
 	"testing"
 
 	"hpcap"
@@ -87,6 +88,87 @@ func TestFacadeCollectionCosts(t *testing.T) {
 // TestFacadeTrainMonitor trains a Naive monitor on synthetic windows via
 // the exported TrainMonitor function.
 func TestFacadeTrainMonitor(t *testing.T) {
+	m := trainTinyMonitor(t)
+	var obs hpcap.Observation
+	obs.Vectors[0] = []float64{0.95}
+	obs.Vectors[1] = []float64{0.2}
+	p, err := m.Predict(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Overload || p.Bottleneck != hpcap.TierApp {
+		t.Errorf("prediction = %+v, want app-tier overload", p)
+	}
+
+	// A concurrent caller takes its own session over the shared monitor.
+	var sess *hpcap.MonitorSession = m.NewSession()
+	sp, err := sess.Predict(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Overload != p.Overload || sp.Bottleneck != p.Bottleneck {
+		t.Errorf("session prediction %+v differs from monitor prediction %+v", sp, p)
+	}
+}
+
+// TestFacadeSentinelErrors checks the re-exported typed errors surface
+// through the facade and match with errors.Is.
+func TestFacadeSentinelErrors(t *testing.T) {
+	if _, err := hpcap.TrainMonitor(hpcap.LevelHPC, nil, nil, hpcap.MonitorConfig{}); !errors.Is(err, hpcap.ErrBadConfig) {
+		t.Errorf("bad training config: got %v, want ErrBadConfig", err)
+	}
+	var m hpcap.Monitor
+	if _, err := m.Predict(hpcap.Observation{}); !errors.Is(err, hpcap.ErrUntrained) {
+		t.Errorf("untrained monitor: got %v, want ErrUntrained", err)
+	}
+	if _, err := hpcap.NewServingPipeline(&m, hpcap.ServingConfig{}); !errors.Is(err, hpcap.ErrUntrained) {
+		t.Errorf("pipeline over untrained monitor: got %v, want ErrUntrained", err)
+	}
+	if _, err := hpcap.NewServingPipeline(nil, hpcap.ServingConfig{}); !errors.Is(err, hpcap.ErrBadConfig) {
+		t.Errorf("pipeline over nil monitor: got %v, want ErrBadConfig", err)
+	}
+}
+
+// TestFacadeServingPipeline streams synthetic samples for one window
+// through the re-exported serving surface.
+func TestFacadeServingPipeline(t *testing.T) {
+	m := trainTinyMonitor(t)
+	var decisions []hpcap.Decision
+	pipe, err := hpcap.NewServingPipeline(m, hpcap.ServingConfig{
+		Window:     10,
+		OnDecision: func(d hpcap.Decision) { decisions = append(decisions, d) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 10; i++ {
+		for tier := hpcap.TierID(0); tier < hpcap.NumTiers; tier++ {
+			v := 0.2
+			if tier == hpcap.TierApp {
+				v = 0.95 // the trained overload signature: hot app tier
+			}
+			pipe.Ingest(hpcap.StreamSample{
+				Site: "s", Tier: tier, Time: float64(i), Values: []float64{v},
+			})
+		}
+	}
+	if len(decisions) != 1 {
+		t.Fatalf("decided %d windows, want 1", len(decisions))
+	}
+	if !decisions[0].Prediction.Overload {
+		t.Error("saturated stream not flagged overloaded")
+	}
+	var st hpcap.SiteStats
+	var ok bool
+	if st, ok = pipe.SiteStats("s"); !ok || st.WindowsDecided != 1 {
+		t.Errorf("site stats = %+v ok=%t, want one decided window", st, ok)
+	}
+}
+
+// trainTinyMonitor builds a one-metric Naive monitor whose hot tier is the
+// app tier.
+func trainTinyMonitor(t *testing.T) *hpcap.Monitor {
+	t.Helper()
 	sets := []hpcap.TrainingSet{{Workload: "w"}}
 	for i := 0; i < 40; i++ {
 		over := 0
@@ -113,26 +195,7 @@ func TestFacadeTrainMonitor(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var obs hpcap.Observation
-	obs.Vectors[0] = []float64{0.95}
-	obs.Vectors[1] = []float64{0.2}
-	p, err := m.Predict(obs)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !p.Overload || p.Bottleneck != hpcap.TierApp {
-		t.Errorf("prediction = %+v, want app-tier overload", p)
-	}
-
-	// A concurrent caller takes its own session over the shared monitor.
-	var sess *hpcap.MonitorSession = m.NewSession()
-	sp, err := sess.Predict(obs)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if sp.Overload != p.Overload || sp.Bottleneck != p.Bottleneck {
-		t.Errorf("session prediction %+v differs from monitor prediction %+v", sp, p)
-	}
+	return m
 }
 
 // TestFacadeLearners confirms all four learner constructors work.

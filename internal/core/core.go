@@ -9,12 +9,17 @@
 // A trained Monitor is safe for concurrent use: the synopses and the
 // predictor's trained tables are read-mostly shared state, and each
 // prediction stream's temporal history lives in a Session (NewSession).
-// The Monitor's own Predict/Feedback/ResetHistory remain the single-stream
-// API; they serialize on an internal default session.
+// Sessions are the primary prediction API — one per monitored stream. The
+// Monitor's own Predict/Feedback/ResetHistory are single-stream
+// compatibility shims that serialize every caller on an internal default
+// session; prefer NewSession in new code.
+//
+// Predict reports failures through typed sentinel errors (ErrUntrained,
+// ErrDimensionMismatch) and Train through ErrBadConfig, so callers can
+// branch with errors.Is instead of string matching.
 package core
 
 import (
-	"errors"
 	"fmt"
 
 	"hpcap/internal/featsel"
@@ -79,23 +84,26 @@ type Monitor struct {
 	Synopses []*synopsis.Synopsis
 
 	coordinator *predictor.Predictor
+	// dim is the trained metric-vector length per tier; observations are
+	// validated against it before touching the synopses.
+	dim int
 }
 
 // Train builds a monitor: one synopsis per (training set × tier), then the
 // coordinated predictor over the training traces in order.
 func Train(level metrics.Level, names []string, sets []TrainingSet, cfg Config) (*Monitor, error) {
 	if cfg.Learner.New == nil {
-		return nil, errors.New("core: Config.Learner is required")
+		return nil, fmt.Errorf("core: %w: Config.Learner is required", ErrBadConfig)
 	}
 	if len(sets) == 0 {
-		return nil, errors.New("core: no training sets")
+		return nil, fmt.Errorf("core: %w: no training sets", ErrBadConfig)
 	}
 	passes := cfg.TrainPasses
 	if passes <= 0 {
 		passes = 12
 	}
 
-	m := &Monitor{Level: level}
+	m := &Monitor{Level: level, dim: len(names)}
 	for _, set := range sets {
 		for tier := server.TierID(0); tier < server.NumTiers; tier++ {
 			d := ml.NewDataset(names)
@@ -114,7 +122,7 @@ func Train(level metrics.Level, names []string, sets []TrainingSet, cfg Config) 
 
 	coord, err := predictor.New(len(m.Synopses), server.NumTiers, cfg.Coordinator)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("core: %w: %w", ErrBadConfig, err)
 	}
 	m.coordinator = coord
 	for pass := 0; pass < passes; pass++ {
@@ -141,19 +149,41 @@ func (m *Monitor) gpv(obs Observation) []int {
 	return gpv
 }
 
-// Predict infers the system state for one window. The monitor keeps the
-// coordinated predictor's temporal history, so observations must arrive in
-// trace order; call ResetHistory between unrelated traces. Concurrent
-// callers are serialized on one shared history stream — callers that need
-// independent streams (parallel evaluations, concurrent serving) should
-// take a Session each via NewSession.
+// Predict infers the system state for one window.
+//
+// Predict is the single-stream compatibility shim: it serializes all
+// callers on one shared temporal history (the monitor's default session),
+// so observations must arrive in trace order and unrelated traces need a
+// ResetHistory between them. New code — and anything with more than one
+// concurrent prediction stream — should take a Session per stream via
+// NewSession instead.
 func (m *Monitor) Predict(obs Observation) (Prediction, error) {
+	if m.coordinator == nil {
+		return Prediction{}, fmt.Errorf("core: %w", ErrUntrained)
+	}
 	return m.predict(obs, m.coordinator.Predict)
+}
+
+// checkDims validates the observation against the trained metric layout.
+func (m *Monitor) checkDims(obs Observation) error {
+	if m.dim <= 0 {
+		return nil
+	}
+	for tier := server.TierID(0); tier < server.NumTiers; tier++ {
+		if got := len(obs.Vectors[tier]); got != m.dim {
+			return fmt.Errorf("core: %w: %s tier vector has %d metrics, trained on %d",
+				ErrDimensionMismatch, tier, got, m.dim)
+		}
+	}
+	return nil
 }
 
 // predict folds one observation through the synopses and the given
 // coordinated-predictor entry point.
 func (m *Monitor) predict(obs Observation, coord func([]int) (int, int, error)) (Prediction, error) {
+	if err := m.checkDims(obs); err != nil {
+		return Prediction{}, err
+	}
 	gpv := m.gpv(obs)
 	over, bott, err := coord(gpv)
 	if err != nil {
@@ -176,20 +206,31 @@ type Session struct {
 }
 
 // NewSession returns an independent prediction stream with a cleared
-// history register.
+// history register. Sessions over an untrained monitor are inert: their
+// Predict returns ErrUntrained.
 func (m *Monitor) NewSession() *Session {
-	return &Session{m: m, coord: m.coordinator.NewSession()}
+	s := &Session{m: m}
+	if m.coordinator != nil {
+		s.coord = m.coordinator.NewSession()
+	}
+	return s
 }
 
 // Predict infers the system state for one window of this session's stream;
 // see Monitor.Predict.
 func (s *Session) Predict(obs Observation) (Prediction, error) {
+	if s.coord == nil {
+		return Prediction{}, fmt.Errorf("core: %w", ErrUntrained)
+	}
 	return s.m.predict(obs, s.coord.Predict)
 }
 
 // Feedback reinforces the session's last prediction with observed truth;
-// see Monitor.Feedback.
+// online adaptation beyond the paper's offline training.
 func (s *Session) Feedback(overload bool, bottleneck server.TierID) {
+	if s.coord == nil {
+		return
+	}
 	o := 0
 	if overload {
 		o = 1
@@ -199,11 +240,20 @@ func (s *Session) Feedback(overload bool, bottleneck server.TierID) {
 
 // ResetHistory clears the session's temporal state (between traces or
 // after long gaps).
-func (s *Session) ResetHistory() { s.coord.ResetHistory() }
+func (s *Session) ResetHistory() {
+	if s.coord != nil {
+		s.coord.ResetHistory()
+	}
+}
 
-// Feedback lets callers reinforce the last prediction with observed truth —
-// online adaptation beyond the paper's offline training.
+// Feedback reinforces the default session's last prediction with observed
+// truth. Like Predict, it is a single-stream compatibility shim over the
+// monitor's default session; concurrent streams should hold a Session and
+// use its Feedback.
 func (m *Monitor) Feedback(overload bool, bottleneck server.TierID) {
+	if m.coordinator == nil {
+		return
+	}
 	o := 0
 	if overload {
 		o = 1
@@ -211,12 +261,21 @@ func (m *Monitor) Feedback(overload bool, bottleneck server.TierID) {
 	m.coordinator.Feedback(o, int(bottleneck))
 }
 
-// ResetHistory clears the coordinated predictor's temporal state (between
-// traces or after long gaps).
-func (m *Monitor) ResetHistory() { m.coordinator.ResetHistory() }
+// ResetHistory clears the default session's temporal state (between traces
+// or after long gaps). It is part of the single-stream compatibility shim;
+// a Session resets its own history independently.
+func (m *Monitor) ResetHistory() {
+	if m.coordinator != nil {
+		m.coordinator.ResetHistory()
+	}
+}
 
 // Coordinator exposes the two-level predictor (diagnostics, ablations).
 func (m *Monitor) Coordinator() *predictor.Predictor { return m.coordinator }
+
+// InputDim is the per-tier metric-vector length the monitor was trained
+// on (zero on a hand-assembled monitor, which disables validation).
+func (m *Monitor) InputDim() int { return m.dim }
 
 // SynopsisByKey finds a synopsis by its Key(), or nil.
 func (m *Monitor) SynopsisByKey(key string) *synopsis.Synopsis {

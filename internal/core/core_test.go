@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 
@@ -165,5 +166,54 @@ func TestTrainRejectsMismatchedVectors(t *testing.T) {
 	})
 	if err == nil {
 		t.Error("mismatched vector width not rejected")
+	}
+}
+
+func TestSentinelErrors(t *testing.T) {
+	sets, names := syntheticSets(40, 6)
+
+	// Training validation wraps ErrBadConfig.
+	if _, err := core.Train(metrics.LevelHPC, names, sets, core.Config{}); !errors.Is(err, core.ErrBadConfig) {
+		t.Errorf("missing learner: got %v, want ErrBadConfig", err)
+	}
+	cfg := core.Config{Learner: bayes.NaiveLearner()}
+	if _, err := core.Train(metrics.LevelHPC, names, nil, cfg); !errors.Is(err, core.ErrBadConfig) {
+		t.Errorf("empty training sets: got %v, want ErrBadConfig", err)
+	}
+
+	// An untrained (zero-value) monitor and its sessions fail closed.
+	var zero core.Monitor
+	if _, err := zero.Predict(core.Observation{}); !errors.Is(err, core.ErrUntrained) {
+		t.Errorf("untrained Predict: got %v, want ErrUntrained", err)
+	}
+	sess := zero.NewSession()
+	if _, err := sess.Predict(core.Observation{}); !errors.Is(err, core.ErrUntrained) {
+		t.Errorf("untrained session Predict: got %v, want ErrUntrained", err)
+	}
+	// The shims and session mutators must be inert, not panic.
+	zero.Feedback(true, 0)
+	zero.ResetHistory()
+	sess.Feedback(true, 0)
+	sess.ResetHistory()
+
+	// A trained monitor rejects observations of the wrong width.
+	m, err := core.Train(metrics.LevelHPC, names, sets, core.Config{
+		Learner:  bayes.NaiveLearner(),
+		Synopsis: core.DefaultSynopsisConfig(1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.InputDim() != len(names) {
+		t.Errorf("InputDim = %d, want %d", m.InputDim(), len(names))
+	}
+	var obs core.Observation
+	obs.Vectors[0] = []float64{0.5} // trained on two metrics
+	obs.Vectors[1] = []float64{0.5, 0.5}
+	if _, err := m.Predict(obs); !errors.Is(err, core.ErrDimensionMismatch) {
+		t.Errorf("narrow vector: got %v, want ErrDimensionMismatch", err)
+	}
+	if _, err := m.NewSession().Predict(obs); !errors.Is(err, core.ErrDimensionMismatch) {
+		t.Errorf("narrow vector via session: got %v, want ErrDimensionMismatch", err)
 	}
 }

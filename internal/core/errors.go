@@ -1,0 +1,22 @@
+package core
+
+import "errors"
+
+// Sentinel errors of the monitor API. Callers branch on them with
+// errors.Is; the facade re-exports them so serving loops can distinguish
+// a misconfigured monitor from a malformed observation without string
+// matching.
+var (
+	// ErrUntrained is returned when a Monitor that has not been through
+	// Train (or a Session taken from one) is asked to predict.
+	ErrUntrained = errors.New("hpcap: monitor not trained")
+
+	// ErrDimensionMismatch is returned when an observation's per-tier
+	// metric vector does not match the metric layout the monitor was
+	// trained on.
+	ErrDimensionMismatch = errors.New("hpcap: observation dimension mismatch")
+
+	// ErrBadConfig is returned by Train when the monitor or coordinated
+	// predictor configuration is invalid.
+	ErrBadConfig = errors.New("hpcap: bad configuration")
+)

@@ -159,6 +159,11 @@ const (
 	TestUnknown     TestKind = "unknown"
 )
 
+// String returns the workload's name as used in the paper's figures,
+// completing the Stringer set alongside metrics.Level, predictor.Scheme,
+// and server.TierID.
+func (k TestKind) String() string { return string(k) }
+
 // TestKinds returns the four test workloads in the paper's order.
 func TestKinds() []TestKind {
 	return []TestKind{TestOrdering, TestBrowsing, TestInterleaved, TestUnknown}

@@ -47,6 +47,14 @@ type Trace struct {
 	HPCNames []string
 	// Samples per tier of the HPC aggregation, for PI computations.
 	HPCSamples [server.NumTiers][]metrics.Sample
+
+	// Per-second recordings, populated when TraceConfig.RecordSeconds is
+	// set: the raw 1-second collector vectors per tier and their
+	// timestamps, aligned index-for-index. Replaying them through the
+	// online serving layer reproduces Windows bit-for-bit.
+	SecTimes []float64
+	SecOS    [server.NumTiers][][]float64
+	SecHPC   [server.NumTiers][][]float64
 }
 
 // Vectors returns the per-tier vectors of the window at the given level.
@@ -67,6 +75,28 @@ func (w *Window) Vectors(level metrics.Level) [server.NumTiers][]float64 {
 		return out
 	default:
 		return w.HPC
+	}
+}
+
+// SecondVectors returns the recorded per-second vectors of one tier at the
+// given level (nil unless the trace was generated with RecordSeconds).
+// LevelCombined concatenates OS and HPC vectors (OS first), matching
+// Window.Vectors.
+func (t *Trace) SecondVectors(level metrics.Level, tier server.TierID) [][]float64 {
+	switch level {
+	case metrics.LevelOS:
+		return t.SecOS[tier]
+	case metrics.LevelCombined:
+		out := make([][]float64, len(t.SecOS[tier]))
+		for i := range out {
+			v := make([]float64, 0, len(t.SecOS[tier][i])+len(t.SecHPC[tier][i]))
+			v = append(v, t.SecOS[tier][i]...)
+			v = append(v, t.SecHPC[tier][i]...)
+			out[i] = v
+		}
+		return out
+	default:
+		return t.SecHPC[tier]
 	}
 }
 
@@ -96,6 +126,24 @@ type TraceConfig struct {
 	// CollectOverhead charges the testbed the CPU cost of metric
 	// collection itself (both levels), as a deployed monitor would.
 	CollectOverhead bool
+	// RecordSeconds keeps every raw 1-second collector vector in the
+	// trace (SecTimes/SecOS/SecHPC) so the run can be replayed
+	// sample-by-sample through the online serving layer.
+	RecordSeconds bool
+}
+
+// recordingCollector wraps a collector and keeps a copy of every vector it
+// produces, so a generated trace can later be replayed one second at a
+// time.
+type recordingCollector struct {
+	metrics.Collector
+	rec [][]float64
+}
+
+func (r *recordingCollector) Collect(s server.Snapshot, dt float64) []float64 {
+	v := r.Collector.Collect(s, dt)
+	r.rec = append(r.rec, append([]float64(nil), v...))
+	return v
 }
 
 // Generate runs the testbed under the schedule and collects the labeled
@@ -126,14 +174,20 @@ func Generate(cfg TraceConfig) (*Trace, error) {
 	machines := [server.NumTiers]server.MachineConfig{srvCfg.App.Machine, srvCfg.DB.Machine}
 	memMB := [server.NumTiers]float64{512, 1024}
 	var coll [server.NumTiers]tierCollectors
+	var recOS, recHPC [server.NumTiers]*recordingCollector
 	for tier := server.TierID(0); tier < server.NumTiers; tier++ {
-		osAgg, err := metrics.NewAggregator(
-			osstat.NewCollector(tier, memMB[tier], osNoise, cfg.Seed*10+int64(tier)), cfg.Window)
+		var osColl metrics.Collector = osstat.NewCollector(tier, memMB[tier], osNoise, cfg.Seed*10+int64(tier))
+		var hpcColl metrics.Collector = cpu.NewCollector(tier, machines[tier], hpcNoise, cfg.Seed*10+int64(tier)+100)
+		if cfg.RecordSeconds {
+			recOS[tier] = &recordingCollector{Collector: osColl}
+			recHPC[tier] = &recordingCollector{Collector: hpcColl}
+			osColl, hpcColl = recOS[tier], recHPC[tier]
+		}
+		osAgg, err := metrics.NewAggregator(osColl, cfg.Window)
 		if err != nil {
 			return nil, err
 		}
-		hpcAgg, err := metrics.NewAggregator(
-			cpu.NewCollector(tier, machines[tier], hpcNoise, cfg.Seed*10+int64(tier)+100), cfg.Window)
+		hpcAgg, err := metrics.NewAggregator(hpcColl, cfg.Window)
 		if err != nil {
 			return nil, err
 		}
@@ -154,6 +208,9 @@ func Generate(cfg TraceConfig) (*Trace, error) {
 		snap := tb.RunInterval(1)
 		elapsed++
 		secInWindow++
+		if cfg.RecordSeconds {
+			trace.SecTimes = append(trace.SecTimes, snap.Time)
+		}
 		for tier := server.TierID(0); tier < server.NumTiers; tier++ {
 			busyAccum[tier] += snap.Tiers[tier].BusySeconds
 			fgBusyAccum[tier] += snap.Tiers[tier].FgBusySeconds
@@ -202,10 +259,25 @@ func Generate(cfg TraceConfig) (*Trace, error) {
 		trace.Windows = append(trace.Windows, w)
 	}
 
+	if cfg.RecordSeconds {
+		for tier := server.TierID(0); tier < server.NumTiers; tier++ {
+			trace.SecOS[tier] = recOS[tier].rec
+			trace.SecHPC[tier] = recHPC[tier].rec
+		}
+	}
 	if cfg.Warmup > 0 && cfg.Warmup < len(trace.Windows) {
 		trace.Windows = trace.Windows[cfg.Warmup:]
 		for tier := range trace.HPCSamples {
 			trace.HPCSamples[tier] = trace.HPCSamples[tier][cfg.Warmup:]
+		}
+		// Drop the matching head of the per-second recordings so a replay
+		// sees exactly the windows the trace kept.
+		if skip := cfg.Warmup * cfg.Window; skip < len(trace.SecTimes) {
+			trace.SecTimes = trace.SecTimes[skip:]
+			for tier := server.TierID(0); tier < server.NumTiers; tier++ {
+				trace.SecOS[tier] = trace.SecOS[tier][skip:]
+				trace.SecHPC[tier] = trace.SecHPC[tier][skip:]
+			}
 		}
 	}
 	return trace, nil

@@ -87,6 +87,7 @@ type Aggregator struct {
 	rtWeighted  float64
 	maxRT       float64
 	ebs         int
+	lastTime    float64
 }
 
 // NewAggregator returns an aggregator emitting one Sample every window
@@ -120,12 +121,36 @@ func (a *Aggregator) Push(s server.Snapshot, dt float64) (Sample, bool) {
 		a.maxRT = s.MaxRT
 	}
 	a.ebs = s.ActiveEBs
+	a.lastTime = s.Time
 
 	if a.count < a.window {
 		return Sample{}, false
 	}
+	return a.emit(dt), true
+}
+
+// Count returns how many samples the current (partial) window holds.
+func (a *Aggregator) Count() int { return a.count }
+
+// Flush closes the current window early, returning the mean over however
+// many samples have been pushed so far and that sample count. The serving
+// layer uses it to decide a window whose tail went missing instead of
+// stalling on it. An empty window returns a zero Sample and count 0. The
+// aggregator resets either way.
+func (a *Aggregator) Flush() (Sample, int) {
+	n := a.count
+	if n == 0 {
+		return Sample{}, 0
+	}
+	return a.emit(1), n
+}
+
+// emit assembles the window Sample from the accumulated state and resets.
+// The denominator for rates is the nominal window span; the metric means
+// divide by the samples actually pushed.
+func (a *Aggregator) emit(dt float64) Sample {
 	out := Sample{
-		Time:        s.Time,
+		Time:        a.lastTime,
 		Values:      make([]float64, len(a.sum)),
 		Throughput:  float64(a.completions) / (float64(a.window) * dt),
 		ArrivalRate: float64(a.arrivals) / (float64(a.window) * dt),
@@ -141,5 +166,5 @@ func (a *Aggregator) Push(s server.Snapshot, dt float64) (Sample, bool) {
 	}
 	a.count, a.completions, a.arrivals = 0, 0, 0
 	a.rtWeighted, a.maxRT = 0, 0
-	return out, true
+	return out
 }

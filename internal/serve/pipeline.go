@@ -1,0 +1,417 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hpcap/internal/core"
+	"hpcap/internal/metrics"
+	"hpcap/internal/server"
+)
+
+// Pipeline fans a stream of per-tier 1-second samples out across per-site
+// monitor sessions and publishes per-window decisions. All methods are
+// safe for concurrent use; samples for different sites proceed in
+// parallel, samples for one site serialize on that site's state.
+type Pipeline struct {
+	monitor *core.Monitor
+	cfg     Config
+	dim     int
+
+	mu    sync.RWMutex
+	sites map[string]*site
+	subs  []chan Decision
+}
+
+// site is the serving state of one monitored site.
+type site struct {
+	name string
+
+	mu   sync.Mutex
+	sess *core.Session
+	agg  [server.NumTiers]*metrics.Aggregator
+	vec  [server.NumTiers]*vectorCollector
+	// pending holds tiers whose current window already completed.
+	pending  [server.NumTiers]*metrics.Sample
+	lastTime [server.NumTiers]float64
+	started  bool
+	cur      int64 // current window index
+	stats    SiteStats
+
+	overloaded atomic.Bool
+}
+
+// vectorCollector adapts a raw pre-collected vector to the
+// metrics.Collector interface, so the serving layer windows live samples
+// through the exact aggregation arithmetic the batch trace pipeline uses.
+type vectorCollector struct {
+	tier  server.TierID
+	names []string
+	v     []float64
+}
+
+func (c *vectorCollector) Tier() server.TierID { return c.tier }
+func (c *vectorCollector) Names() []string     { return c.names }
+func (c *vectorCollector) Collect(server.Snapshot, float64) []float64 {
+	return c.v
+}
+
+// NewPipeline builds a serving pipeline over a trained monitor.
+func NewPipeline(m *core.Monitor, cfg Config) (*Pipeline, error) {
+	if m == nil {
+		return nil, fmt.Errorf("serve: %w: nil monitor", core.ErrBadConfig)
+	}
+	if m.Coordinator() == nil {
+		return nil, fmt.Errorf("serve: %w", core.ErrUntrained)
+	}
+	if m.InputDim() <= 0 {
+		return nil, fmt.Errorf("serve: %w: monitor has no metric layout", core.ErrBadConfig)
+	}
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	return &Pipeline{
+		monitor: m,
+		cfg:     cfg,
+		dim:     m.InputDim(),
+		sites:   make(map[string]*site),
+	}, nil
+}
+
+// Window returns the effective aggregation window in seconds.
+func (p *Pipeline) Window() int { return p.cfg.Window }
+
+// site returns the state for a site name, creating it on first use.
+func (p *Pipeline) getSite(name string) *site {
+	p.mu.RLock()
+	st, ok := p.sites[name]
+	p.mu.RUnlock()
+	if ok {
+		return st
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if st, ok = p.sites[name]; ok {
+		return st
+	}
+	st = &site{name: name, sess: p.monitor.NewSession()}
+	names := make([]string, p.dim)
+	for tier := server.TierID(0); tier < server.NumTiers; tier++ {
+		st.vec[tier] = &vectorCollector{tier: tier, names: names}
+		agg, err := metrics.NewAggregator(st.vec[tier], p.cfg.Window)
+		if err != nil {
+			// Window was validated in NewPipeline; this cannot happen.
+			panic(err)
+		}
+		st.agg[tier] = agg
+	}
+	st.stats.Site = name
+	p.sites[name] = st
+	return st
+}
+
+// windowIndex maps a sample time to its absolute window: index w covers
+// times in (w·W, (w+1)·W], matching the batch aggregation, whose windows
+// end on multiples of W.
+func (p *Pipeline) windowIndex(t float64) int64 {
+	wi := int64(math.Ceil(t/float64(p.cfg.Window))) - 1
+	if wi < 0 {
+		wi = 0
+	}
+	return wi
+}
+
+// Ingest feeds one sample. It never panics and never rejects the stream:
+// malformed input (unknown tier, wrong dimension, NaN/Inf values, late or
+// duplicate timestamps) is skipped and counted on the site's stats, and a
+// sample that opens a new window first closes the previous one under the
+// staleness budget.
+func (p *Pipeline) Ingest(s Sample) {
+	st := p.getSite(s.Site)
+	st.mu.Lock()
+	d := p.ingestLocked(st, s)
+	st.mu.Unlock()
+	if d != nil {
+		p.publish(st, *d)
+	}
+}
+
+// ingestLocked is Ingest under st.mu; it returns the decision the sample
+// triggered, if any, for publication outside the lock.
+func (p *Pipeline) ingestLocked(st *site, s Sample) *Decision {
+	st.stats.SamplesIngested++
+	if s.Tier < 0 || s.Tier >= server.NumTiers || len(s.Values) != p.dim {
+		st.stats.SamplesBadShape++
+		return nil
+	}
+	for _, v := range s.Values {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			st.stats.SamplesBadValue++
+			return nil
+		}
+	}
+
+	wi := p.windowIndex(s.Time)
+	if !st.started {
+		st.started = true
+		st.cur = wi
+	}
+	var out *Decision
+	if wi > st.cur {
+		out = p.closeCurrent(st)
+		// Windows the stream skipped entirely are dropped unseen.
+		if gap := wi - st.cur - 1; gap > 0 {
+			st.stats.WindowsDropped += uint64(gap)
+			st.sess.ResetHistory()
+		}
+		st.cur = wi
+	} else if wi < st.cur {
+		st.stats.SamplesLate++
+		return out
+	}
+	if s.Time <= st.lastTime[s.Tier] || st.pending[s.Tier] != nil {
+		// Duplicate or rewound timestamp, or a tier sending more than
+		// Window samples into one window.
+		st.stats.SamplesLate++
+		return out
+	}
+	st.lastTime[s.Tier] = s.Time
+	st.vec[s.Tier].v = s.Values
+	sample, done := st.agg[s.Tier].Push(server.Snapshot{Time: s.Time}, 1)
+	if !done {
+		return out
+	}
+	st.pending[s.Tier] = &sample
+	for tier := server.TierID(0); tier < server.NumTiers; tier++ {
+		if st.pending[tier] == nil {
+			return out
+		}
+	}
+	// Clean window: every tier delivered all its samples.
+	var vecs [server.NumTiers]metrics.Sample
+	for tier := server.TierID(0); tier < server.NumTiers; tier++ {
+		vecs[tier] = *st.pending[tier]
+		st.pending[tier] = nil
+	}
+	seq := st.cur
+	st.cur++
+	return p.decide(st, vecs, 0, seq)
+}
+
+// closeCurrent force-closes the site's in-progress window: tiers that
+// completed contribute their full mean, the rest are flushed to a partial
+// mean. Inside the staleness budget the window is decided degraded;
+// beyond it the window is dropped and the temporal history reset.
+func (p *Pipeline) closeCurrent(st *site) *Decision {
+	missing, worst := 0, 0
+	var vecs [server.NumTiers]metrics.Sample
+	for tier := server.TierID(0); tier < server.NumTiers; tier++ {
+		if pend := st.pending[tier]; pend != nil {
+			vecs[tier] = *pend
+			st.pending[tier] = nil
+			continue
+		}
+		sample, n := st.agg[tier].Flush()
+		vecs[tier] = sample
+		miss := p.cfg.Window - n
+		missing += miss
+		if miss > worst {
+			worst = miss
+		}
+	}
+	if worst == 0 {
+		// All tiers complete; the closing sample arrived exactly at the
+		// next boundary.
+		return p.decide(st, vecs, 0, st.cur)
+	}
+	if worst > p.cfg.StalenessBudget {
+		st.stats.WindowsDropped++
+		// The stream went stale: clear the temporal history as the
+		// paper prescribes after long gaps.
+		st.sess.ResetHistory()
+		return nil
+	}
+	return p.decide(st, vecs, missing, st.cur)
+}
+
+// decide predicts on one assembled window (absolute index seq) and builds
+// the Decision.
+func (p *Pipeline) decide(st *site, vecs [server.NumTiers]metrics.Sample, missing int, seq int64) *Decision {
+	obs := core.Observation{}
+	for tier := server.TierID(0); tier < server.NumTiers; tier++ {
+		obs.Vectors[tier] = vecs[tier].Values
+		if vecs[tier].Time > obs.Time {
+			obs.Time = vecs[tier].Time
+		}
+	}
+	start := time.Now()
+	pred, err := st.sess.Predict(obs)
+	lat := uint64(time.Since(start))
+	st.stats.PredictNanos += lat
+	if lat > st.stats.PredictMaxNanos {
+		st.stats.PredictMaxNanos = lat
+	}
+	if err != nil {
+		st.stats.PredictErrors++
+		return nil
+	}
+	st.stats.WindowsDecided++
+	if missing > 0 {
+		st.stats.WindowsDegraded++
+	}
+	if pred.Overload {
+		st.stats.Overloads++
+	}
+	for _, bit := range pred.GPV {
+		if bit != pred.GPV[0] {
+			st.stats.GPVDisagreements++
+			break
+		}
+	}
+	st.overloaded.Store(pred.Overload)
+	return &Decision{
+		Site:       st.name,
+		Seq:        seq,
+		Time:       obs.Time,
+		Prediction: pred,
+		Degraded:   missing > 0,
+		Missing:    missing,
+	}
+}
+
+// Flush force-closes every site's in-progress window (end of stream),
+// emitting whatever decisions the staleness budget allows.
+func (p *Pipeline) Flush() {
+	p.mu.RLock()
+	sites := make([]*site, 0, len(p.sites))
+	for _, st := range p.sites {
+		sites = append(sites, st)
+	}
+	p.mu.RUnlock()
+	sort.Slice(sites, func(i, j int) bool { return sites[i].name < sites[j].name })
+	for _, st := range sites {
+		st.mu.Lock()
+		var d *Decision
+		open := false
+		for tier := server.TierID(0); tier < server.NumTiers; tier++ {
+			if st.agg[tier].Count() > 0 || st.pending[tier] != nil {
+				open = true
+			}
+		}
+		if st.started && open {
+			d = p.closeCurrent(st)
+			st.cur++
+		}
+		st.mu.Unlock()
+		if d != nil {
+			p.publish(st, *d)
+		}
+	}
+}
+
+// publish hands one decision to the synchronous callback and every
+// channel subscriber. Slow subscribers lose decisions (counted) rather
+// than stalling ingestion.
+func (p *Pipeline) publish(st *site, d Decision) {
+	if p.cfg.OnDecision != nil {
+		p.cfg.OnDecision(d)
+	}
+	p.mu.RLock()
+	subs := p.subs
+	p.mu.RUnlock()
+	dropped := 0
+	for _, ch := range subs {
+		select {
+		case ch <- d:
+		default:
+			dropped++
+		}
+	}
+	if dropped > 0 {
+		st.mu.Lock()
+		st.stats.DecisionsDropped += uint64(dropped)
+		st.mu.Unlock()
+	}
+}
+
+// Subscribe registers a decision channel with the given buffer depth and
+// returns it with a cancel function. Decisions that would block a full
+// subscriber are dropped and counted on the emitting site.
+func (p *Pipeline) Subscribe(buffer int) (<-chan Decision, func()) {
+	if buffer < 1 {
+		buffer = 1
+	}
+	ch := make(chan Decision, buffer)
+	p.mu.Lock()
+	p.subs = append(p.subs, ch)
+	p.mu.Unlock()
+	cancel := func() {
+		p.mu.Lock()
+		for i, c := range p.subs {
+			if c == ch {
+				p.subs = append(p.subs[:i], p.subs[i+1:]...)
+				break
+			}
+		}
+		p.mu.Unlock()
+	}
+	return ch, cancel
+}
+
+// Overloaded reports the most recent decision's overload verdict for a
+// site (false before the first decision).
+func (p *Pipeline) Overloaded(siteName string) bool {
+	return p.getSite(siteName).overloaded.Load()
+}
+
+// AdmissionValve returns a server.AdmissionFunc driven by the site's
+// latest decision: everything is admitted while the monitor predicts
+// underload; under predicted overload only a short pipeline is kept —
+// requests are admitted while the wait queue is empty and fewer than
+// maxBound workers are busy. Install it with Testbed.SetAdmission to
+// close the measurement→control loop.
+func (p *Pipeline) AdmissionValve(siteName string, maxBound int) server.AdmissionFunc {
+	st := p.getSite(siteName)
+	return func(as server.AdmissionState) bool {
+		if !st.overloaded.Load() {
+			return true
+		}
+		return as.WaitQueue == 0 && as.BoundWorkers < maxBound
+	}
+}
+
+// SiteStats returns a snapshot of one site's counters.
+func (p *Pipeline) SiteStats(siteName string) (SiteStats, bool) {
+	p.mu.RLock()
+	st, ok := p.sites[siteName]
+	p.mu.RUnlock()
+	if !ok {
+		return SiteStats{}, false
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.stats, true
+}
+
+// Stats snapshots every site's counters, ordered by site name.
+func (p *Pipeline) Stats() []SiteStats {
+	p.mu.RLock()
+	sites := make([]*site, 0, len(p.sites))
+	for _, st := range p.sites {
+		sites = append(sites, st)
+	}
+	p.mu.RUnlock()
+	sort.Slice(sites, func(i, j int) bool { return sites[i].name < sites[j].name })
+	out := make([]SiteStats, len(sites))
+	for i, st := range sites {
+		st.mu.Lock()
+		out[i] = st.stats
+		st.mu.Unlock()
+	}
+	return out
+}

@@ -1,0 +1,65 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+)
+
+// promMetric describes one exported counter/gauge over all sites.
+type promMetric struct {
+	name  string
+	kind  string // "counter" or "gauge"
+	help  string
+	value func(SiteStats) float64
+}
+
+var promMetrics = []promMetric{
+	{"capserved_samples_ingested_total", "counter", "Samples offered to the pipeline, good or bad.",
+		func(s SiteStats) float64 { return float64(s.SamplesIngested) }},
+	{"capserved_samples_late_total", "counter", "Samples skipped as late, duplicate, or out of order.",
+		func(s SiteStats) float64 { return float64(s.SamplesLate) }},
+	{"capserved_samples_bad_value_total", "counter", "Samples skipped for NaN/Inf components.",
+		func(s SiteStats) float64 { return float64(s.SamplesBadValue) }},
+	{"capserved_samples_bad_shape_total", "counter", "Samples skipped for wrong dimension or tier.",
+		func(s SiteStats) float64 { return float64(s.SamplesBadShape) }},
+	{"capserved_windows_decided_total", "counter", "Windows that produced a decision.",
+		func(s SiteStats) float64 { return float64(s.WindowsDecided) }},
+	{"capserved_windows_degraded_total", "counter", "Windows decided from a partial mean.",
+		func(s SiteStats) float64 { return float64(s.WindowsDegraded) }},
+	{"capserved_windows_dropped_total", "counter", "Windows dropped over the staleness budget.",
+		func(s SiteStats) float64 { return float64(s.WindowsDropped) }},
+	{"capserved_overloads_total", "counter", "Decisions that predicted overload.",
+		func(s SiteStats) float64 { return float64(s.Overloads) }},
+	{"capserved_gpv_disagreements_total", "counter", "Decided windows whose synopses disagreed.",
+		func(s SiteStats) float64 { return float64(s.GPVDisagreements) }},
+	{"capserved_predict_errors_total", "counter", "Monitor rejections of an assembled window.",
+		func(s SiteStats) float64 { return float64(s.PredictErrors) }},
+	{"capserved_decisions_dropped_total", "counter", "Decisions lost to full subscriber buffers.",
+		func(s SiteStats) float64 { return float64(s.DecisionsDropped) }},
+	{"capserved_prediction_seconds_total", "counter", "Cumulative prediction latency.",
+		func(s SiteStats) float64 { return float64(s.PredictNanos) / 1e9 }},
+	{"capserved_prediction_max_seconds", "gauge", "Largest single prediction latency.",
+		func(s SiteStats) float64 { return float64(s.PredictMaxNanos) / 1e9 }},
+	{"capserved_gpv_disagreement_rate", "gauge", "Fraction of decided windows with a split synopsis vote.",
+		func(s SiteStats) float64 { return s.DisagreementRate() }},
+}
+
+// WriteMetrics renders every site's serving counters in Prometheus text
+// exposition format. Sites appear as a label, ordered by name; scraping
+// is allowed at any time and sees a consistent per-site snapshot.
+func (p *Pipeline) WriteMetrics(w io.Writer) error {
+	stats := p.Stats()
+	for _, m := range promMetrics {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", m.name, m.help, m.name, m.kind); err != nil {
+			return err
+		}
+		for _, s := range stats {
+			// %q escapes exactly what the exposition format requires
+			// of a label value (backslash, quote, newline).
+			if _, err := fmt.Fprintf(w, "%s{site=%q} %g\n", m.name, s.Site, m.value(s)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,147 @@
+// Package serve is the online serving layer: the path from a live stream
+// of per-tier 1-second metric samples to a realtime overload/bottleneck
+// decision, for any number of monitored sites at once.
+//
+// A Pipeline wraps one trained core.Monitor. Each monitored site gets an
+// independent prediction stream (a core.Session) plus a per-tier
+// metrics.Aggregator that folds the raw 1-second vectors into the paper's
+// 30-second analysis windows. When a site's window completes across all
+// tiers, the pipeline predicts and publishes a Decision to subscribers;
+// an AdmissionValve adapter turns the latest decision into a
+// server.AdmissionFunc, closing the control loop against the simulated
+// testbed.
+//
+// Deployed counter streams are noisy and lossy (samples arrive late, go
+// missing, or carry NaN after a counter wraps), so the pipeline degrades
+// rather than crashes: malformed samples are skipped and counted, windows
+// missing no more than Config.StalenessBudget samples per tier are still
+// decided from the partial mean (flagged Degraded), and windows missing
+// more are dropped with the site's temporal history reset, as the paper
+// prescribes after long gaps. On a clean stream the pipeline's decisions
+// are bit-identical to replaying the same windows through the batch
+// core.Session API — the serving layer adds resilience, not drift.
+//
+// Every site is instrumented: counters for samples ingested/skipped,
+// windows decided/degraded/dropped, overloads, GPV disagreement, and
+// prediction latency, exported in Prometheus text format by
+// WriteMetrics (cmd/capserved serves them over HTTP).
+package serve
+
+import (
+	"fmt"
+	"time"
+
+	"hpcap/internal/core"
+	"hpcap/internal/metrics"
+	"hpcap/internal/server"
+)
+
+// Config tunes a Pipeline.
+type Config struct {
+	// Window is the aggregation window in seconds; zero selects
+	// metrics.DefaultWindow (the paper's 30).
+	Window int
+	// StalenessBudget is the most samples a window may be missing per
+	// tier and still be decided (flagged Degraded) from the partial
+	// mean; a window missing more in any tier is dropped undecided and
+	// the site's temporal history is reset. Zero selects 5; negative
+	// selects 0 (strict: any missing sample drops the window). Budgets
+	// of a full window or more are clamped to Window-1.
+	StalenessBudget int
+	// OnDecision, when set, is invoked synchronously for every decision
+	// before channel subscribers see it. It runs outside the pipeline's
+	// locks, so it may call back into the Pipeline.
+	OnDecision func(Decision)
+}
+
+// Sample is one 1-second metric vector from one tier of a monitored site,
+// in the full collector layout the monitor was trained on.
+type Sample struct {
+	// Site names the monitored site; sites are created on first sample.
+	Site string
+	Tier server.TierID
+	// Time is the sample timestamp in seconds. Samples must be
+	// per-tier monotonic; a repeated or rewound timestamp is late.
+	Time   float64
+	Values []float64
+}
+
+// Decision is the pipeline's output for one completed window of one site.
+type Decision struct {
+	Site string
+	// Seq is the absolute window index (Time ∈ (Seq·W, (Seq+1)·W]);
+	// gaps in Seq mark dropped windows.
+	Seq int64
+	// Time is the timestamp of the last sample folded into the window.
+	Time       float64
+	Prediction core.Prediction
+	// Degraded marks a window decided from a partial mean.
+	Degraded bool
+	// Missing is how many expected samples the window lacked, summed
+	// over tiers (0 unless Degraded).
+	Missing int
+}
+
+// SiteStats is a snapshot of one site's serving counters.
+type SiteStats struct {
+	Site string
+
+	// Ingestion.
+	SamplesIngested uint64 // samples offered, good or bad
+	SamplesLate     uint64 // non-monotonic, duplicate, or closed-window
+	SamplesBadValue uint64 // NaN or Inf component
+	SamplesBadShape uint64 // wrong vector length or tier out of range
+
+	// Windowing and prediction.
+	WindowsDecided   uint64 // decisions emitted (clean + degraded)
+	WindowsDegraded  uint64 // decided from a partial window
+	WindowsDropped   uint64 // skipped: over staleness budget or empty gap
+	Overloads        uint64 // decisions that predicted overload
+	GPVDisagreements uint64 // decided windows whose synopses disagreed
+	PredictErrors    uint64 // monitor rejections (should stay 0)
+
+	// Prediction latency.
+	PredictNanos    uint64 // cumulative
+	PredictMaxNanos uint64
+
+	// Delivery.
+	DecisionsDropped uint64 // subscriber buffer overflows
+}
+
+// DisagreementRate is the fraction of decided windows whose Global
+// Pattern Vector was not unanimous — the serving-time analogue of the
+// paper's observation that individual synopses err independently.
+func (s SiteStats) DisagreementRate() float64 {
+	if s.WindowsDecided == 0 {
+		return 0
+	}
+	return float64(s.GPVDisagreements) / float64(s.WindowsDecided)
+}
+
+// MeanPredictLatency is the average per-window prediction cost.
+func (s SiteStats) MeanPredictLatency() time.Duration {
+	if s.WindowsDecided == 0 {
+		return 0
+	}
+	return time.Duration(s.PredictNanos / s.WindowsDecided)
+}
+
+// withDefaults resolves the config against a pipeline window.
+func (c Config) withDefaults() (Config, error) {
+	if c.Window == 0 {
+		c.Window = metrics.DefaultWindow
+	}
+	if c.Window < 0 {
+		return c, fmt.Errorf("serve: %w: window %d must be positive", core.ErrBadConfig, c.Window)
+	}
+	switch {
+	case c.StalenessBudget == 0:
+		c.StalenessBudget = 5
+	case c.StalenessBudget < 0:
+		c.StalenessBudget = 0
+	}
+	if c.StalenessBudget >= c.Window {
+		c.StalenessBudget = c.Window - 1
+	}
+	return c, nil
+}
