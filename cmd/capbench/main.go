@@ -15,6 +15,8 @@
 //	capbench -exp levels              # OS vs HPC vs combined OS+HPC monitors
 //	capbench -scale quick             # fast, smaller traces
 //	capbench -parallel 4              # bound experiment fan-out to 4 workers
+//	capbench -cpuprofile cpu.pprof    # write a CPU profile of the run
+//	capbench -memprofile mem.pprof    # write an allocation profile on exit
 package main
 
 import (
@@ -22,6 +24,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -42,8 +46,36 @@ func run(args []string) error {
 	seed := fs.Int64("seed", 1, "master random seed")
 	csv := fs.String("csv", "", "write the Figure 3 series to this CSV file")
 	par := fs.Int("parallel", 0, "worker bound for experiment fan-out; 0 = GOMAXPROCS, 1 = sequential (results are identical either way)")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := fs.String("memprofile", "", "write an allocation profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "capbench: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle live heap before snapshotting
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "capbench: memprofile:", err)
+			}
+		}()
 	}
 
 	var scale experiment.Scale

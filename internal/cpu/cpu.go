@@ -86,6 +86,12 @@ func (c *Collector) jitter(v float64) float64 {
 // Collect derives the counter metrics for one sampling interval of length
 // dt seconds.
 func (c *Collector) Collect(s server.Snapshot, dt float64) []float64 {
+	return c.CollectTo(nil, s, dt)
+}
+
+// CollectTo derives the counter metrics into dst (metrics.AppendCollector),
+// reallocating only when dst is too small.
+func (c *Collector) CollectTo(dst []float64, s server.Snapshot, dt float64) []float64 {
 	ts := s.Tiers[c.tier]
 
 	// Raw counters with sampling noise. The L1D reference count is
@@ -108,7 +114,10 @@ func (c *Collector) Collect(s server.Snapshot, dt float64) []float64 {
 	// Bus transactions: L2 miss fills plus write-backs (~35% of fills).
 	bus := l2miss * 1.35
 
-	v := make([]float64, NumMetrics)
+	if cap(dst) < NumMetrics {
+		dst = make([]float64, NumMetrics)
+	}
+	v := dst[:NumMetrics]
 	v[0] = instr / dt
 	v[1] = cycles / dt
 	v[2] = ratio(instr, cycles)

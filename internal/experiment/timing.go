@@ -66,7 +66,7 @@ func timeLearner(learner ml.Learner, d *ml.Dataset, seed int64) (TimingRow, erro
 	build := time.Since(start)
 
 	// Decide: median-ish estimate over repeated single decisions.
-	probe := d.X[d.Len()/2]
+	probe := d.Row(d.Len() / 2)
 	const reps = 2000
 	start = time.Now()
 	for i := 0; i < reps; i++ {

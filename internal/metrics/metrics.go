@@ -48,6 +48,16 @@ type Collector interface {
 	Collect(s server.Snapshot, dt float64) []float64
 }
 
+// AppendCollector is an optional Collector extension for the per-second hot
+// path: CollectTo writes the metric vector into dst (reallocating only when
+// dst is too small) and returns it. The aggregator feeds the same scratch
+// buffer back every push, so a window costs zero vector allocations instead
+// of one per second. The returned slice is only valid until the next call.
+type AppendCollector interface {
+	Collector
+	CollectTo(dst []float64, s server.Snapshot, dt float64) []float64
+}
+
 // Per-sample CPU cost (normalized demand seconds) of reading each metric
 // source once. Hardware counters only require reading a handful of MSRs;
 // Sysstat walks and parses large swaths of /proc. These reproduce the
@@ -78,6 +88,8 @@ type Sample struct {
 // Aggregator folds per-second collector vectors into window Samples.
 type Aggregator struct {
 	collector Collector
+	appender  AppendCollector // non-nil when collector supports scratch reuse
+	scratch   []float64
 	window    int
 
 	count       int
@@ -96,8 +108,10 @@ func NewAggregator(c Collector, window int) (*Aggregator, error) {
 	if window <= 0 {
 		return nil, fmt.Errorf("metrics: window must be positive, got %d", window)
 	}
+	ac, _ := c.(AppendCollector)
 	return &Aggregator{
 		collector: c,
+		appender:  ac,
 		window:    window,
 		sum:       make([]float64, len(c.Names())),
 	}, nil
@@ -109,7 +123,13 @@ func (a *Aggregator) Names() []string { return a.collector.Names() }
 // Push feeds one interval of telemetry (of length dt seconds). When the
 // window fills, it returns the aggregated Sample and true, and resets.
 func (a *Aggregator) Push(s server.Snapshot, dt float64) (Sample, bool) {
-	vec := a.collector.Collect(s, dt)
+	var vec []float64
+	if a.appender != nil {
+		a.scratch = a.appender.CollectTo(a.scratch, s, dt)
+		vec = a.scratch
+	} else {
+		vec = a.collector.Collect(s, dt)
+	}
 	for i, v := range vec {
 		a.sum[i] += v
 	}

@@ -22,6 +22,49 @@ func TestCollectorInterfaceCompliance(t *testing.T) {
 	cfg := server.DefaultConfig()
 	var _ Collector = cpu.NewCollector(server.TierApp, cfg.App.Machine, 0, 1)
 	var _ Collector = osstat.NewCollector(server.TierDB, 1024, 0, 1)
+	// Both real collectors support the zero-allocation aggregation path.
+	var _ AppendCollector = cpu.NewCollector(server.TierApp, cfg.App.Machine, 0, 1)
+	var _ AppendCollector = osstat.NewCollector(server.TierDB, 1024, 0, 1)
+}
+
+// TestCollectToMatchesCollect pins the scratch path to the allocating path:
+// same seed, same telemetry, bit-identical vectors.
+func TestCollectToMatchesCollect(t *testing.T) {
+	cfg := server.DefaultConfig()
+	tb, err := server.NewTestbed(cfg, tpcw.Steady(tpcw.Shopping(), 60, 300))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Start(); err != nil {
+		t.Fatal(err)
+	}
+	s := tb.RunInterval(30)
+	a := cpu.NewCollector(server.TierApp, cfg.App.Machine, 0.02, 7)
+	b := cpu.NewCollector(server.TierApp, cfg.App.Machine, 0.02, 7)
+	buf := make([]float64, 1)
+	va := a.Collect(s, 1)
+	vb := b.CollectTo(buf, s, 1)
+	if len(va) != len(vb) {
+		t.Fatalf("lengths differ: %d vs %d", len(va), len(vb))
+	}
+	for i := range va {
+		if va[i] != vb[i] {
+			t.Errorf("metric %d: Collect=%v CollectTo=%v", i, va[i], vb[i])
+		}
+	}
+	oa := osstat.NewCollector(server.TierDB, 1024, 0.02, 7)
+	ob := osstat.NewCollector(server.TierDB, 1024, 0.02, 7)
+	wide := make([]float64, 128)
+	wa := oa.Collect(s, 1)
+	wb := ob.CollectTo(wide, s, 1)
+	if len(wb) != len(wa) {
+		t.Fatalf("CollectTo did not truncate to NumMetrics: %d", len(wb))
+	}
+	for i := range wa {
+		if wa[i] != wb[i] {
+			t.Errorf("os metric %d: Collect=%v CollectTo=%v", i, wa[i], wb[i])
+		}
+	}
 }
 
 func TestNewAggregatorRejectsBadWindow(t *testing.T) {

@@ -196,7 +196,8 @@ func TestTANDeterministic(t *testing.T) {
 	if err := b.Fit(d); err != nil {
 		t.Fatal(err)
 	}
-	for i, row := range d.X {
+	for i := 0; i < d.Len(); i++ {
+		row := d.Row(i)
 		if a.Predict(row) != b.Predict(row) {
 			t.Fatalf("TAN predictions diverge at row %d", i)
 		}

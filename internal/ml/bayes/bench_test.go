@@ -1,0 +1,35 @@
+package bayes
+
+import (
+	"testing"
+
+	"hpcap/internal/ml/mltest"
+)
+
+// BenchmarkTANFit measures one TAN training run: discretization, the
+// Chow-Liu structure search over conditional mutual information, and CPT
+// estimation.
+func BenchmarkTANFit(b *testing.B) {
+	d := mltest.NoisyGaussians(400, 12, 6, 1.0, 11)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := NewTAN()
+		if err := c.Fit(d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNaiveFit measures Gaussian Naive Bayes training.
+func BenchmarkNaiveFit(b *testing.B) {
+	d := mltest.NoisyGaussians(400, 12, 6, 1.0, 11)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := NewNaive()
+		if err := c.Fit(d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

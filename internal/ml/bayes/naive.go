@@ -46,11 +46,16 @@ func (n *Naive) Fit(d *ml.Dataset) error {
 	p := d.NumAttrs()
 	n.mean = make([][2]float64, p)
 	n.std = make([][2]float64, p)
+	col := make([]float64, d.Len())
+	var vals [2][]float64
+	vals[0] = make([]float64, 0, n0)
+	vals[1] = make([]float64, 0, n1)
 	for j := 0; j < p; j++ {
-		var vals [2][]float64
-		for i, row := range d.X {
+		col = d.ColumnTo(col, j)
+		vals[0], vals[1] = vals[0][:0], vals[1][:0]
+		for i, v := range col {
 			c := d.Y[i]
-			vals[c] = append(vals[c], row[j])
+			vals[c] = append(vals[c], v)
 		}
 		for c := 0; c < 2; c++ {
 			n.mean[j][c] = stats.Mean(vals[c])

@@ -50,16 +50,19 @@ func (t *TAN) Fit(d *ml.Dataset) error {
 	}
 	p := d.NumAttrs()
 
-	// Discretize every attribute on the training distribution.
+	// Discretize every attribute on the training distribution; each column
+	// is gathered once and binned from the same buffer.
 	t.disc = make([]*stats.Discretizer, p)
 	discX := make([][]int, p)
+	col := make([]float64, d.Len())
 	for j := 0; j < p; j++ {
-		disc, err := stats.NewEqualFrequency(d.Column(j), bins)
+		col = d.ColumnTo(col, j)
+		disc, err := stats.NewEqualFrequency(col, bins)
 		if err != nil {
 			return err
 		}
 		t.disc[j] = disc
-		discX[j] = disc.BinAll(d.Column(j))
+		discX[j] = disc.BinAll(col)
 	}
 
 	// Priors with Laplace smoothing.
@@ -98,7 +101,7 @@ func (t *TAN) Fit(d *ml.Dataset) error {
 	}
 
 	// Count.
-	for i := range d.X {
+	for i := range d.Y {
 		c := d.Y[i]
 		t.rootCPT[c][discX[t.root][i]]++
 		for j := 0; j < p; j++ {

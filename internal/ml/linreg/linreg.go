@@ -53,10 +53,10 @@ func (c *Classifier) Fit(d *ml.Dataset) error {
 		a[i] = make([]float64, p)
 	}
 	b := make([]float64, p)
+	xi := make([]float64, p)
+	xi[0] = 1
 	for r, row := range rows {
 		y := float64(d.Y[r])
-		xi := make([]float64, p)
-		xi[0] = 1
 		copy(xi[1:], row)
 		for i := 0; i < p; i++ {
 			b[i] += xi[i] * y

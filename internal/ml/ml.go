@@ -13,10 +13,22 @@ import (
 
 // Dataset is a fixed-width table of instances with binary class labels
 // (0 = underload, 1 = overload in the capacity-measurement setting).
+//
+// Datasets are cheap to slice: Project returns an index-based column view
+// and Subset shares row storage, so the attribute-selection wrapper can
+// evaluate dozens of candidate subsets over ten folds each without copying
+// the underlying matrix. Access instance values through At, Row, RowTo, or
+// Column — never assume a view's rows are dense.
 type Dataset struct {
 	AttrNames []string
-	X         [][]float64
-	Y         []int
+	// Y holds the class labels. It is always materialized (views share or
+	// copy it, but never remap it), so callers may index it directly.
+	Y []int
+
+	// x holds the backing rows. A projected view's rows are wider than the
+	// dataset; cols maps view attribute j to its backing column.
+	x    [][]float64
+	cols []int // nil ⇒ attribute j is backing column j
 }
 
 // NewDataset returns an empty dataset over the named attributes.
@@ -26,8 +38,12 @@ func NewDataset(attrNames []string) *Dataset {
 	return &Dataset{AttrNames: names}
 }
 
-// Add appends one instance. The value vector is copied.
+// Add appends one instance. The value vector is copied. Projected views
+// reject appends: their rows alias another dataset's storage.
 func (d *Dataset) Add(values []float64, label int) error {
+	if d.cols != nil {
+		return errors.New("ml: cannot append to a projected dataset view")
+	}
 	if len(values) != len(d.AttrNames) {
 		return fmt.Errorf("ml: instance has %d values, dataset has %d attributes",
 			len(values), len(d.AttrNames))
@@ -37,16 +53,57 @@ func (d *Dataset) Add(values []float64, label int) error {
 	}
 	row := make([]float64, len(values))
 	copy(row, values)
-	d.X = append(d.X, row)
+	d.x = append(d.x, row)
 	d.Y = append(d.Y, label)
 	return nil
 }
 
 // Len returns the number of instances.
-func (d *Dataset) Len() int { return len(d.X) }
+func (d *Dataset) Len() int { return len(d.x) }
 
 // NumAttrs returns the number of attributes.
 func (d *Dataset) NumAttrs() int { return len(d.AttrNames) }
+
+// col maps attribute index j to its backing column.
+func (d *Dataset) col(j int) int {
+	if d.cols == nil {
+		return j
+	}
+	return d.cols[j]
+}
+
+// At returns the value of attribute j of instance i.
+func (d *Dataset) At(i, j int) float64 { return d.x[i][d.col(j)] }
+
+// Row returns instance i as a dense attribute vector. On a non-projected
+// dataset the returned slice aliases internal storage and must not be
+// modified; on a projected view it is freshly gathered.
+func (d *Dataset) Row(i int) []float64 {
+	if d.cols == nil {
+		return d.x[i]
+	}
+	return d.RowTo(make([]float64, len(d.cols)), i)
+}
+
+// RowTo returns instance i as a dense attribute vector, gathering a
+// projected view's values into buf (grown as needed). On a non-projected
+// dataset it returns the shared backing row without copying; either way
+// the result is only valid until the next call with the same buf and must
+// not be modified.
+func (d *Dataset) RowTo(buf []float64, i int) []float64 {
+	if d.cols == nil {
+		return d.x[i]
+	}
+	if cap(buf) < len(d.cols) {
+		buf = make([]float64, len(d.cols))
+	}
+	buf = buf[:len(d.cols)]
+	row := d.x[i]
+	for k, c := range d.cols {
+		buf[k] = row[c]
+	}
+	return buf
+}
 
 // ClassCounts returns the number of instances labeled 0 and 1.
 func (d *Dataset) ClassCounts() (n0, n1 int) {
@@ -62,43 +119,47 @@ func (d *Dataset) ClassCounts() (n0, n1 int) {
 
 // Column returns a copy of one attribute column.
 func (d *Dataset) Column(j int) []float64 {
-	col := make([]float64, len(d.X))
-	for i, row := range d.X {
-		col[i] = row[j]
-	}
-	return col
+	return d.ColumnTo(make([]float64, len(d.x)), j)
 }
 
-// Project returns a new dataset containing only the attributes at the given
-// indices (rows share no storage with the original).
+// ColumnTo gathers one attribute column into buf (grown as needed) and
+// returns it.
+func (d *Dataset) ColumnTo(buf []float64, j int) []float64 {
+	if cap(buf) < len(d.x) {
+		buf = make([]float64, len(d.x))
+	}
+	buf = buf[:len(d.x)]
+	c := d.col(j)
+	for i, row := range d.x {
+		buf[i] = row[c]
+	}
+	return buf
+}
+
+// Project returns a view containing only the attributes at the given
+// indices. Rows and labels share storage with the original: no values are
+// copied, so projecting is O(len(attrs)) regardless of dataset size.
 func (d *Dataset) Project(attrs []int) (*Dataset, error) {
 	names := make([]string, len(attrs))
+	cols := make([]int, len(attrs))
 	for i, a := range attrs {
 		if a < 0 || a >= d.NumAttrs() {
 			return nil, fmt.Errorf("ml: attribute index %d out of range", a)
 		}
 		names[i] = d.AttrNames[a]
+		cols[i] = d.col(a)
 	}
-	out := NewDataset(names)
-	for i, row := range d.X {
-		vals := make([]float64, len(attrs))
-		for k, a := range attrs {
-			vals[k] = row[a]
-		}
-		out.X = append(out.X, vals)
-		out.Y = append(out.Y, d.Y[i])
-	}
-	return out, nil
+	return &Dataset{AttrNames: names, Y: d.Y, x: d.x, cols: cols}, nil
 }
 
 // Subset returns a dataset view containing the rows at the given indices
-// (rows are shared, not copied).
+// (row storage is shared, not copied; any column projection carries over).
 func (d *Dataset) Subset(rows []int) *Dataset {
-	out := NewDataset(d.AttrNames)
-	out.X = make([][]float64, 0, len(rows))
+	out := &Dataset{AttrNames: d.AttrNames, cols: d.cols}
+	out.x = make([][]float64, 0, len(rows))
 	out.Y = make([]int, 0, len(rows))
 	for _, r := range rows {
-		out.X = append(out.X, d.X[r])
+		out.x = append(out.x, d.x[r])
 		out.Y = append(out.Y, d.Y[r])
 	}
 	return out
@@ -179,14 +240,18 @@ func (c Confusion) BalancedAccuracy() float64 {
 // returns the confusion matrix.
 func Evaluate(c Classifier, test *Dataset) Confusion {
 	var conf Confusion
-	for i, row := range test.X {
-		conf.Add(test.Y[i], c.Predict(row))
+	buf := make([]float64, test.NumAttrs())
+	for i := range test.Y {
+		conf.Add(test.Y[i], c.Predict(test.RowTo(buf, i)))
 	}
 	return conf
 }
 
 // StratifiedFolds partitions row indices into k folds preserving class
-// proportions, shuffled deterministically by seed.
+// proportions, shuffled deterministically by seed. The folds depend only
+// on the labels and the seed, so a projected view of a dataset yields the
+// same folds as the dataset itself — CrossValidateFolds exploits this to
+// reuse one partition across every candidate attribute subset.
 func StratifiedFolds(d *Dataset, k int, seed int64) ([][]int, error) {
 	if k < 2 {
 		return nil, fmt.Errorf("ml: need at least 2 folds, got %d", k)
@@ -226,9 +291,22 @@ func CrossValidate(l Learner, d *Dataset, k int, seed int64) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
+	return CrossValidateFolds(l, d, folds)
+}
+
+// CrossValidateFolds is CrossValidate over a precomputed fold partition,
+// letting callers that evaluate many views of one dataset (the attribute
+// selection wrapper) stratify once and reuse the folds — the scores are
+// identical because the folds depend only on labels and seed.
+func CrossValidateFolds(l Learner, d *Dataset, folds [][]int) (float64, error) {
+	if len(folds) < 2 {
+		return 0, fmt.Errorf("ml: need at least 2 folds, got %d", len(folds))
+	}
 	var conf Confusion
+	trainRows := make([]int, 0, d.Len())
+	rowBuf := make([]float64, d.NumAttrs())
 	for fi, test := range folds {
-		var trainRows []int
+		trainRows = trainRows[:0]
 		for fj, f := range folds {
 			if fj != fi {
 				trainRows = append(trainRows, f...)
@@ -244,7 +322,7 @@ func CrossValidate(l Learner, d *Dataset, k int, seed int64) (float64, error) {
 			continue
 		}
 		for _, r := range test {
-			conf.Add(d.Y[r], c.Predict(d.X[r]))
+			conf.Add(d.Y[r], c.Predict(d.RowTo(rowBuf, r)))
 		}
 	}
 	return conf.BalancedAccuracy(), nil

@@ -30,7 +30,7 @@ func TestDatasetAddCopies(t *testing.T) {
 		t.Fatal(err)
 	}
 	vals[0] = 99
-	if d.X[0][0] != 5 {
+	if d.At(0, 0) != 5 {
 		t.Error("Add did not copy the value slice")
 	}
 }
@@ -71,14 +71,34 @@ func TestColumnAndProject(t *testing.T) {
 	if proj.AttrNames[0] != "c" || proj.AttrNames[1] != "a" {
 		t.Errorf("projected names = %v", proj.AttrNames)
 	}
-	if proj.X[1][0] != 6 || proj.X[1][1] != 4 {
-		t.Errorf("projected row = %v", proj.X[1])
+	if row := proj.Row(1); row[0] != 6 || row[1] != 4 {
+		t.Errorf("projected row = %v", row)
+	}
+	if proj.At(0, 0) != 3 || proj.At(0, 1) != 1 {
+		t.Errorf("projected At = %v, %v", proj.At(0, 0), proj.At(0, 1))
 	}
 	if proj.Y[1] != 1 {
 		t.Error("projected label lost")
 	}
 	if _, err := d.Project([]int{5}); err == nil {
 		t.Error("out-of-range projection not rejected")
+	}
+	// Projections are views: appending would alias foreign storage.
+	if err := proj.Add([]float64{0, 0}, 0); err == nil {
+		t.Error("append to a projected view not rejected")
+	}
+	// A projection of a projection composes the column maps.
+	pp, err := proj.Project([]int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pp.AttrNames[0] != "a" || pp.At(1, 0) != 4 {
+		t.Errorf("nested projection = %v / %v", pp.AttrNames, pp.At(1, 0))
+	}
+	// Subsetting a projection keeps the column view.
+	sp := proj.Subset([]int{1})
+	if sp.At(0, 0) != 6 || sp.Y[0] != 1 {
+		t.Errorf("subset of projection = %v / %v", sp.At(0, 0), sp.Y[0])
 	}
 }
 

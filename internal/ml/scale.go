@@ -15,8 +15,9 @@ type Scaler struct {
 func FitScaler(d *Dataset) *Scaler {
 	n := d.NumAttrs()
 	s := &Scaler{Mean: make([]float64, n), Std: make([]float64, n)}
+	col := make([]float64, d.Len())
 	for j := 0; j < n; j++ {
-		col := d.Column(j)
+		col = d.ColumnTo(col, j)
 		s.Mean[j] = stats.Mean(col)
 		s.Std[j] = stats.StdDev(col)
 		if s.Std[j] < 1e-12 {
@@ -41,8 +42,9 @@ func (s *Scaler) Apply(x []float64) []float64 {
 // ApplyAll standardizes every row of the dataset into a new matrix.
 func (s *Scaler) ApplyAll(d *Dataset) [][]float64 {
 	out := make([][]float64, d.Len())
-	for i, row := range d.X {
-		out[i] = s.Apply(row)
+	buf := make([]float64, d.NumAttrs())
+	for i := range out {
+		out[i] = s.Apply(d.RowTo(buf, i))
 	}
 	return out
 }

@@ -1,0 +1,22 @@
+package svm
+
+import (
+	"testing"
+
+	"hpcap/internal/ml/mltest"
+)
+
+// BenchmarkSVMFit measures one full SMO training run on a synthetic
+// dataset shaped like a tier's training set (a few hundred windows, a
+// selected-synopsis-sized attribute count).
+func BenchmarkSVMFit(b *testing.B) {
+	d := mltest.NoisyGaussians(240, 8, 4, 1.2, 7)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := New()
+		if err := c.Fit(d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

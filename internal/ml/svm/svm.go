@@ -9,9 +9,17 @@ package svm
 import (
 	"math"
 	"math/rand"
+	"sort"
+	"sync"
 
 	"hpcap/internal/ml"
 )
+
+// kernelPool recycles flat kernel-matrix buffers across fits. The folds of
+// one cross validation are all nearly the same size, so after the first
+// fold the same n² buffer serves the entire run (and the next candidate's)
+// without reallocating.
+var kernelPool = sync.Pool{New: func() any { return new([]float64) }}
 
 // Classifier is a binary soft-margin SVM trained with SMO.
 type Classifier struct {
@@ -83,26 +91,51 @@ func (c *Classifier) Fit(d *ml.Dataset) error {
 	c.alpha = make([]float64, n)
 	c.b = 0
 
-	// Precompute the kernel matrix; training sets here are hundreds of
-	// instances, so n² stays small.
-	k := make([][]float64, n)
-	for i := range k {
-		k[i] = make([]float64, n)
+	// Precompute the kernel matrix (flat n×n, pooled across fits).
+	// Each entry keeps the subtract-square ‖a−b‖² form: the algebraically
+	// equivalent ‖a‖²+‖b‖²−2a·b with cached row norms halves the per-entry
+	// cost but perturbs the last ulp, which flips a handful of borderline
+	// SMO decisions and breaks the byte-identical determinism goldens.
+	// Training sets here are hundreds of instances, so n² stays small.
+	kbuf := kernelPool.Get().(*[]float64)
+	k := *kbuf
+	if cap(k) < n*n {
+		k = make([]float64, n*n)
 	}
+	k = k[:n*n]
 	for i := 0; i < n; i++ {
-		for j := i; j < n; j++ {
+		k[i*n+i] = 1 // exp(−γ·0)
+		for j := i + 1; j < n; j++ {
 			v := c.rbf(c.x[i], c.x[j])
-			k[i][j] = v
-			k[j][i] = v
+			k[i*n+j] = v
+			k[j*n+i] = v
+		}
+	}
+
+	// active lists the indices with alpha > 0 in ascending order, so the
+	// SMO objective loop skips dead multipliers while keeping the exact
+	// summation order of a full ascending scan.
+	active := make([]int, 0, n)
+	setAlpha := func(idx int, v float64) {
+		was := c.alpha[idx] > 0
+		c.alpha[idx] = v
+		if now := v > 0; now != was {
+			pos := sort.SearchInts(active, idx)
+			if now {
+				active = append(active, 0)
+				copy(active[pos+1:], active[pos:])
+				active[pos] = idx
+			} else {
+				active = append(active[:pos], active[pos+1:]...)
+			}
 		}
 	}
 
 	fOut := func(i int) float64 {
 		s := c.b
-		for j := 0; j < n; j++ {
-			if c.alpha[j] > 0 {
-				s += c.alpha[j] * c.y[j] * k[i][j]
-			}
+		ki := k[i*n : i*n+n]
+		for _, j := range active {
+			s += c.alpha[j] * c.y[j] * ki[j]
 		}
 		return s
 	}
@@ -133,7 +166,8 @@ func (c *Classifier) Fit(d *ml.Dataset) error {
 				if lo == hi {
 					continue
 				}
-				eta := 2*k[i][j] - k[i][i] - k[j][j]
+				kii, kjj, kij := k[i*n+i], k[j*n+j], k[i*n+j]
+				eta := 2*kij - kii - kjj
 				if eta >= 0 {
 					continue
 				}
@@ -148,8 +182,8 @@ func (c *Classifier) Fit(d *ml.Dataset) error {
 				}
 				aiNew := ai + c.y[i]*c.y[j]*(aj-ajNew)
 
-				b1 := c.b - ei - c.y[i]*(aiNew-ai)*k[i][i] - c.y[j]*(ajNew-aj)*k[i][j]
-				b2 := c.b - ej - c.y[i]*(aiNew-ai)*k[i][j] - c.y[j]*(ajNew-aj)*k[j][j]
+				b1 := c.b - ei - c.y[i]*(aiNew-ai)*kii - c.y[j]*(ajNew-aj)*kij
+				b2 := c.b - ej - c.y[i]*(aiNew-ai)*kij - c.y[j]*(ajNew-aj)*kjj
 				switch {
 				case aiNew > 0 && aiNew < cost:
 					c.b = b1
@@ -158,7 +192,8 @@ func (c *Classifier) Fit(d *ml.Dataset) error {
 				default:
 					c.b = (b1 + b2) / 2
 				}
-				c.alpha[i], c.alpha[j] = aiNew, ajNew
+				setAlpha(i, aiNew)
+				setAlpha(j, ajNew)
 				changed++
 			}
 		}
@@ -168,6 +203,11 @@ func (c *Classifier) Fit(d *ml.Dataset) error {
 			passes = 0
 		}
 	}
+
+	// Return the kernel buffer to the pool; its contents are dead once
+	// training converges.
+	*kbuf = k
+	kernelPool.Put(kbuf)
 
 	// Keep only the support vectors for prediction.
 	var sx [][]float64

@@ -76,7 +76,8 @@ func TestDeterministicGivenSeed(t *testing.T) {
 	if err := b.Fit(d); err != nil {
 		t.Fatal(err)
 	}
-	for _, row := range d.X {
+	for i := 0; i < d.Len(); i++ {
+		row := d.Row(i)
 		if a.Decision(row) != b.Decision(row) {
 			t.Fatal("same seed produced different models")
 		}

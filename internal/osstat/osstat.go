@@ -113,6 +113,12 @@ func (c *Collector) noisefloor(mean float64) float64 {
 // Collect derives the 64 OS metrics for one sampling interval of dt
 // seconds.
 func (c *Collector) Collect(s server.Snapshot, dt float64) []float64 {
+	return c.CollectTo(nil, s, dt)
+}
+
+// CollectTo derives the 64 OS metrics into dst (metrics.AppendCollector),
+// reallocating only when dst is too small.
+func (c *Collector) CollectTo(dst []float64, s server.Snapshot, dt float64) []float64 {
 	ts := s.Tiers[c.tier]
 
 	busy := ts.BusySeconds / dt
@@ -193,7 +199,10 @@ func (c *Collector) Collect(s server.Snapshot, dt float64) []float64 {
 	diskReads := c.noisefloor(0.4)
 	intr := 1000 + rxpck + txpck + diskWrites // timer HZ + devices
 
-	v := make([]float64, NumMetrics)
+	if cap(dst) < NumMetrics {
+		dst = make([]float64, NumMetrics)
+	}
+	v := dst[:NumMetrics]
 	// CPU (7)
 	v[0] = c.jitter(cpuUser * 100)
 	v[1] = c.jitter(cpuSys * 100)

@@ -1,0 +1,37 @@
+package serve_test
+
+import (
+	"testing"
+
+	"hpcap/internal/serve"
+	"hpcap/internal/server"
+)
+
+// BenchmarkPipelineIngest measures the steady-state per-sample cost of the
+// online serving path: one recorded 1-second vector through validation,
+// windowing, and (every Window samples per tier) a coordinated decision.
+func BenchmarkPipelineIngest(b *testing.B) {
+	_, mon, tr := fixture(b)
+	p, err := serve.NewPipeline(mon, serve.Config{Window: 30})
+	if err != nil {
+		b.Fatal(err)
+	}
+	vecs := secondVectors(tr)
+	n := len(tr.SecTimes)
+	if n == 0 {
+		b.Fatal("trace recorded no seconds")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Strictly increasing synthetic clock, recorded vectors cycled.
+		sec := i / int(server.NumTiers)
+		tier := server.TierID(i % int(server.NumTiers))
+		p.Ingest(serve.Sample{
+			Site:   "bench",
+			Tier:   tier,
+			Time:   float64(sec + 1),
+			Values: vecs[tier][sec%n],
+		})
+	}
+}

@@ -35,9 +35,11 @@ type site struct {
 	sess *core.Session
 	agg  [server.NumTiers]*metrics.Aggregator
 	vec  [server.NumTiers]*vectorCollector
-	// pending holds tiers whose current window already completed.
-	pending  [server.NumTiers]*metrics.Sample
-	lastTime [server.NumTiers]float64
+	// pending holds, by value, the tiers whose current window already
+	// completed; pendingSet marks which entries are live.
+	pending    [server.NumTiers]metrics.Sample
+	pendingSet [server.NumTiers]bool
+	lastTime   [server.NumTiers]float64
 	started  bool
 	cur      int64 // current window index
 	stats    SiteStats
@@ -174,7 +176,7 @@ func (p *Pipeline) ingestLocked(st *site, s Sample) *Decision {
 		st.stats.SamplesLate++
 		return out
 	}
-	if s.Time <= st.lastTime[s.Tier] || st.pending[s.Tier] != nil {
+	if s.Time <= st.lastTime[s.Tier] || st.pendingSet[s.Tier] {
 		// Duplicate or rewound timestamp, or a tier sending more than
 		// Window samples into one window.
 		st.stats.SamplesLate++
@@ -186,17 +188,19 @@ func (p *Pipeline) ingestLocked(st *site, s Sample) *Decision {
 	if !done {
 		return out
 	}
-	st.pending[s.Tier] = &sample
+	st.pending[s.Tier] = sample
+	st.pendingSet[s.Tier] = true
 	for tier := server.TierID(0); tier < server.NumTiers; tier++ {
-		if st.pending[tier] == nil {
+		if !st.pendingSet[tier] {
 			return out
 		}
 	}
 	// Clean window: every tier delivered all its samples.
 	var vecs [server.NumTiers]metrics.Sample
 	for tier := server.TierID(0); tier < server.NumTiers; tier++ {
-		vecs[tier] = *st.pending[tier]
-		st.pending[tier] = nil
+		vecs[tier] = st.pending[tier]
+		st.pending[tier] = metrics.Sample{}
+		st.pendingSet[tier] = false
 	}
 	seq := st.cur
 	st.cur++
@@ -211,9 +215,10 @@ func (p *Pipeline) closeCurrent(st *site) *Decision {
 	missing, worst := 0, 0
 	var vecs [server.NumTiers]metrics.Sample
 	for tier := server.TierID(0); tier < server.NumTiers; tier++ {
-		if pend := st.pending[tier]; pend != nil {
-			vecs[tier] = *pend
-			st.pending[tier] = nil
+		if st.pendingSet[tier] {
+			vecs[tier] = st.pending[tier]
+			st.pending[tier] = metrics.Sample{}
+			st.pendingSet[tier] = false
 			continue
 		}
 		sample, n := st.agg[tier].Flush()
@@ -299,7 +304,7 @@ func (p *Pipeline) Flush() {
 		var d *Decision
 		open := false
 		for tier := server.TierID(0); tier < server.NumTiers; tier++ {
-			if st.agg[tier].Count() > 0 || st.pending[tier] != nil {
+			if st.agg[tier].Count() > 0 || st.pendingSet[tier] {
 				open = true
 			}
 		}

@@ -39,7 +39,7 @@ var fx struct {
 	tr   *experiment.Trace
 }
 
-func fixture(t *testing.T) (*experiment.Lab, *core.Monitor, *experiment.Trace) {
+func fixture(t testing.TB) (*experiment.Lab, *core.Monitor, *experiment.Trace) {
 	t.Helper()
 	fx.once.Do(func() {
 		lab := experiment.NewLab(experiment.QuickScale())

@@ -89,9 +89,18 @@ func (d *Discretizer) Bin(v float64) int {
 
 // BinAll discretizes each value of xs.
 func (d *Discretizer) BinAll(xs []float64) []int {
-	out := make([]int, len(xs))
-	for i, x := range xs {
-		out[i] = d.Bin(x)
+	return d.BinTo(make([]int, len(xs)), xs)
+}
+
+// BinTo discretizes each value of xs into dst (grown as needed) and
+// returns it, letting hot loops reuse one bin buffer across columns.
+func (d *Discretizer) BinTo(dst []int, xs []float64) []int {
+	if cap(dst) < len(xs) {
+		dst = make([]int, len(xs))
 	}
-	return out
+	dst = dst[:len(xs)]
+	for i, x := range xs {
+		dst[i] = d.Bin(x)
+	}
+	return dst
 }

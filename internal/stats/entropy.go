@@ -26,20 +26,70 @@ func Entropy(counts []int) float64 {
 	return h
 }
 
+// maxDirectSpan caps the numeric span the dense counting tables below cover
+// directly. Discretizer bins and class labels span a handful of values, so
+// real inputs never take the rank-compressed layout.
+const maxDirectSpan = 1 << 16
+
+// axis lays one discrete variable out for dense counting: value v occupies
+// index v-lo when the numeric span is modest, or its rank among the distinct
+// values otherwise (table size must not scale with the raw span). Both
+// layouts enumerate values in ascending order, so walking a table in index
+// order is the same as walking the support in sorted order — floating-point
+// sums are not associative, so that order is what keeps results bit-identical
+// across runs.
+type axis struct {
+	lo    int
+	width int
+	rank  map[int]int // nil when the direct v-lo layout applies
+}
+
+func newAxis(xs []int) axis {
+	lo, hi := xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	if span := hi - lo; span >= 0 && span < maxDirectSpan {
+		return axis{lo: lo, width: span + 1}
+	}
+	rank := make(map[int]int, len(xs))
+	for _, x := range xs {
+		rank[x] = 0
+	}
+	vals := make([]int, 0, len(rank))
+	for v := range rank {
+		vals = append(vals, v)
+	}
+	sort.Ints(vals)
+	for i, v := range vals {
+		rank[v] = i
+	}
+	return axis{width: len(vals), rank: rank}
+}
+
+func (a *axis) index(v int) int {
+	if a.rank == nil {
+		return v - a.lo
+	}
+	return a.rank[v]
+}
+
 // EntropyLabels returns the Shannon entropy (base 2) of a label sequence.
-// Counts are accumulated in sorted label order: floating-point sums are not
-// associative, so summing in map iteration order would make the result (and
-// everything ranked by it) vary between runs in the last ulp.
 func EntropyLabels(labels []int) float64 {
-	counts := map[int]int{}
+	if len(labels) == 0 {
+		return 0
+	}
+	ax := newAxis(labels)
+	counts := make([]int, ax.width)
 	for _, l := range labels {
-		counts[l]++
+		counts[ax.index(l)]++
 	}
-	cs := make([]int, 0, len(counts))
-	for _, k := range sortedIntKeys(counts) {
-		cs = append(cs, counts[k])
-	}
-	return Entropy(cs)
+	return Entropy(counts)
 }
 
 // InformationGain returns IG(C; A) = H(C) - H(C|A) for a discretized
@@ -53,31 +103,34 @@ func InformationGain(xs, cs []int) (float64, error) {
 	if len(xs) == 0 {
 		return 0, ErrEmpty
 	}
-	hc := EntropyLabels(cs)
-
-	// Partition class labels by attribute value; accumulate the conditional
-	// entropy in sorted value order for run-to-run determinism.
-	byValue := map[int][]int{}
+	axX, axC := newAxis(xs), newAxis(cs)
+	// One pass fills the [value][class] contingency table and the class
+	// marginal.
+	table := make([]int, axX.width*axC.width)
+	classCounts := make([]int, axC.width)
 	for i, x := range xs {
-		byValue[x] = append(byValue[x], cs[i])
+		c := axC.index(cs[i])
+		table[axX.index(x)*axC.width+c]++
+		classCounts[c]++
 	}
-	values := make([]int, 0, len(byValue))
-	for v := range byValue {
-		values = append(values, v)
-	}
-	sort.Ints(values)
+	hc := Entropy(classCounts)
 	var hcGivenA float64
 	n := float64(len(xs))
-	for _, v := range values {
-		sub := byValue[v]
-		hcGivenA += float64(len(sub)) / n * EntropyLabels(sub)
+	for v := 0; v < axX.width; v++ {
+		row := table[v*axC.width : (v+1)*axC.width]
+		nv := 0
+		for _, c := range row {
+			nv += c
+		}
+		if nv == 0 {
+			continue
+		}
+		hcGivenA += float64(nv) / n * Entropy(row)
 	}
 	return hc - hcGivenA, nil
 }
 
 // MutualInformation returns I(X; Y) in bits for two discrete variables.
-// The sum walks the joint support in sorted order so the result is
-// bit-identical across runs.
 func MutualInformation(xs, ys []int) (float64, error) {
 	if len(xs) != len(ys) {
 		return 0, ErrLengthMismatch
@@ -85,19 +138,27 @@ func MutualInformation(xs, ys []int) (float64, error) {
 	if len(xs) == 0 {
 		return 0, ErrEmpty
 	}
-	n := float64(len(xs))
-	joint := map[[2]int]float64{}
-	px := map[int]float64{}
-	py := map[int]float64{}
+	axX, axY := newAxis(xs), newAxis(ys)
+	joint := make([]int, axX.width*axY.width)
+	px := make([]int, axX.width)
+	py := make([]int, axY.width)
 	for i := range xs {
-		joint[[2]int{xs[i], ys[i]}]++
-		px[xs[i]]++
-		py[ys[i]]++
+		x, y := axX.index(xs[i]), axY.index(ys[i])
+		joint[x*axY.width+y]++
+		px[x]++
+		py[y]++
 	}
+	n := float64(len(xs))
 	var mi float64
-	for _, k := range sortedPairKeys(joint) {
-		pxy := joint[k] / n
-		mi += pxy * math.Log2(pxy/((px[k[0]]/n)*(py[k[1]]/n)))
+	for x := 0; x < axX.width; x++ {
+		row := joint[x*axY.width : (x+1)*axY.width]
+		for y, cnt := range row {
+			if cnt == 0 {
+				continue
+			}
+			pxy := float64(cnt) / n
+			mi += pxy * math.Log2(pxy/((float64(px[x])/n)*(float64(py[y])/n)))
+		}
 	}
 	if mi < 0 { // floating-point noise on independent variables
 		mi = 0
@@ -107,8 +168,7 @@ func MutualInformation(xs, ys []int) (float64, error) {
 
 // ConditionalMutualInformation returns I(X; Y | Z) in bits for discrete
 // variables. It is the edge weight of the Chow-Liu tree in TAN structure
-// learning, with Z the class variable. The sum walks the joint support in
-// sorted order so the result is bit-identical across runs.
+// learning, with Z the class variable.
 func ConditionalMutualInformation(xs, ys, zs []int) (float64, error) {
 	if len(xs) != len(ys) || len(xs) != len(zs) {
 		return 0, ErrLengthMismatch
@@ -116,68 +176,38 @@ func ConditionalMutualInformation(xs, ys, zs []int) (float64, error) {
 	if len(xs) == 0 {
 		return 0, ErrEmpty
 	}
-	n := float64(len(xs))
-
-	jointXYZ := map[[3]int]float64{}
-	jointXZ := map[[2]int]float64{}
-	jointYZ := map[[2]int]float64{}
-	pz := map[int]float64{}
+	axX, axY, axZ := newAxis(xs), newAxis(ys), newAxis(zs)
+	wY, wZ := axY.width, axZ.width
+	jointXYZ := make([]int, axX.width*wY*wZ)
+	jointXZ := make([]int, axX.width*wZ)
+	jointYZ := make([]int, wY*wZ)
+	pz := make([]int, wZ)
 	for i := range xs {
-		jointXYZ[[3]int{xs[i], ys[i], zs[i]}]++
-		jointXZ[[2]int{xs[i], zs[i]}]++
-		jointYZ[[2]int{ys[i], zs[i]}]++
-		pz[zs[i]]++
+		x, y, z := axX.index(xs[i]), axY.index(ys[i]), axZ.index(zs[i])
+		jointXYZ[(x*wY+y)*wZ+z]++
+		jointXZ[x*wZ+z]++
+		jointYZ[y*wZ+z]++
+		pz[z]++
 	}
-	keys := make([][3]int, 0, len(jointXYZ))
-	for k := range jointXYZ {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(i, j int) bool {
-		if keys[i][0] != keys[j][0] {
-			return keys[i][0] < keys[j][0]
-		}
-		if keys[i][1] != keys[j][1] {
-			return keys[i][1] < keys[j][1]
-		}
-		return keys[i][2] < keys[j][2]
-	})
+	n := float64(len(xs))
 	var cmi float64
-	for _, k := range keys {
-		x, y, z := k[0], k[1], k[2]
-		pxyz := jointXYZ[k] / n
-		num := pxyz * (pz[z] / n)
-		den := (jointXZ[[2]int{x, z}] / n) * (jointYZ[[2]int{y, z}] / n)
-		cmi += pxyz * math.Log2(num/den)
+	for x := 0; x < axX.width; x++ {
+		for y := 0; y < wY; y++ {
+			base := (x*wY + y) * wZ
+			for z := 0; z < wZ; z++ {
+				cnt := jointXYZ[base+z]
+				if cnt == 0 {
+					continue
+				}
+				pxyz := float64(cnt) / n
+				num := pxyz * (float64(pz[z]) / n)
+				den := (float64(jointXZ[x*wZ+z]) / n) * (float64(jointYZ[y*wZ+z]) / n)
+				cmi += pxyz * math.Log2(num/den)
+			}
+		}
 	}
 	if cmi < 0 {
 		cmi = 0
 	}
 	return cmi, nil
-}
-
-// sortedIntKeys returns the keys of an int-keyed count map in increasing
-// order.
-func sortedIntKeys[V any](m map[int]V) []int {
-	keys := make([]int, 0, len(m))
-	for k := range m {
-		keys = append(keys, k)
-	}
-	sort.Ints(keys)
-	return keys
-}
-
-// sortedPairKeys returns the keys of a pair-keyed map in lexicographic
-// order.
-func sortedPairKeys[V any](m map[[2]int]V) [][2]int {
-	keys := make([][2]int, 0, len(m))
-	for k := range m {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(i, j int) bool {
-		if keys[i][0] != keys[j][0] {
-			return keys[i][0] < keys[j][0]
-		}
-		return keys[i][1] < keys[j][1]
-	})
-	return keys
 }

@@ -27,8 +27,8 @@ func TestBuildAndPredict(t *testing.T) {
 	}
 	// Predict takes the FULL vector and projects internally.
 	correct := 0
-	for i, row := range d.X {
-		if s.Predict(row) == d.Y[i] {
+	for i := 0; i < d.Len(); i++ {
+		if s.Predict(d.Row(i)) == d.Y[i] {
 			correct++
 		}
 	}
