@@ -5,7 +5,16 @@
 // counter samples through the serving pipeline (internal/serve), prints
 // each overload/bottleneck decision as it is made, and — when -addr is
 // set — exposes the pipeline's counters over HTTP as expvar JSON
-// (/debug/vars) and Prometheus text (/metrics).
+// (/debug/vars), Prometheus text (/metrics), a liveness probe (/healthz),
+// a readiness probe with per-site model freshness (/readyz), and the
+// versioned model history (/models).
+//
+// With -adapt the daemon also runs the adaptive model lifecycle
+// (internal/registry): each decided window is paired with the ground
+// truth the simulator derives as the window closes, drift detectors watch
+// the labeled stream, and a detected drift retrains a candidate monitor
+// in the background, shadow-evaluates it against the incumbent, and
+// hot-swaps it into the pipeline if it wins.
 //
 // Usage:
 //
@@ -13,9 +22,11 @@
 //	capserved -addr :8080 -hold                     # keep /metrics up after the run
 //	capserved -admission 8                          # close the loop: shed load when overloaded
 //	capserved -level os                             # monitor on OS metrics instead of counters
+//	capserved -adapt                                # retrain and hot-swap on drift
 package main
 
 import (
+	"encoding/json"
 	"expvar"
 	"flag"
 	"fmt"
@@ -24,12 +35,17 @@ import (
 	"net/http"
 	"os"
 	"sync"
+	"sync/atomic"
 
+	"hpcap/internal/core"
 	"hpcap/internal/cpu"
 	"hpcap/internal/experiment"
 	"hpcap/internal/metrics"
+	"hpcap/internal/ml/bayes"
 	"hpcap/internal/osstat"
+	"hpcap/internal/pi"
 	"hpcap/internal/predictor"
+	"hpcap/internal/registry"
 	"hpcap/internal/serve"
 	"hpcap/internal/server"
 	"hpcap/internal/tpcw"
@@ -69,7 +85,8 @@ func run(args []string, out io.Writer) error {
 	duration := fs.Float64("duration", 600, "simulated seconds to stream per site")
 	seed := fs.Int64("seed", 1, "master random seed")
 	admission := fs.Int("admission", 0, "admission valve worker bound under overload; 0 leaves sites uncontrolled")
-	addr := fs.String("addr", "", "HTTP listen address for /metrics, /debug/vars, /healthz; empty disables HTTP")
+	adapt := fs.Bool("adapt", false, "run the adaptive model lifecycle: pair decisions with delayed truth, retrain on drift, hot-swap winners")
+	addr := fs.String("addr", "", "HTTP listen address for /metrics, /debug/vars, /healthz, /readyz, /models; empty disables HTTP")
 	hold := fs.Bool("hold", false, "keep the HTTP endpoint up after the simulated run completes")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -99,6 +116,17 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("need at least one site, got %d", *sites)
 	}
 
+	// HTTP comes up before training so /readyz can report "not ready"
+	// while the monitor is still being built — the window a load balancer
+	// must not route through.
+	state := &daemonState{}
+	if *addr != "" {
+		if err := startHTTP(*addr, state); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "serving metrics on %s\n", *addr)
+	}
+
 	fmt.Fprintf(out, "training %s monitor at %s scale...\n", level, scale.Name)
 	lab := experiment.NewLab(scale)
 	lab.Seed = *seed
@@ -115,6 +143,13 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
+	// Decision and lifecycle-event prints interleave from different
+	// goroutines when -adapt retrains in the background.
+	var (
+		outMu    sync.Mutex
+		mgr      *registry.Manager
+		trackers map[string]*truthTracker
+	)
 	pipe, err := serve.NewPipeline(monitor, serve.Config{
 		Window: scale.Window,
 		OnDecision: func(d serve.Decision) {
@@ -126,21 +161,63 @@ func run(args []string, out io.Writer) error {
 			if d.Degraded {
 				flag = fmt.Sprintf(" degraded(missing %d)", d.Missing)
 			}
+			outMu.Lock()
 			fmt.Fprintf(out, "t=%6.0f %-8s overload=%-5t bottleneck=%-3s gpv=%v%s\n",
 				d.Time, d.Site, d.Prediction.Overload, bott, d.Prediction.GPV, flag)
+			outMu.Unlock()
+			if mgr == nil {
+				return
+			}
+			mgr.HandleDecision(d)
+			// The simulator labels each window as it closes, one sample
+			// before the pipeline publishes its decision, so the truth is
+			// always ready by the time the decision arrives.
+			if tk := trackers[d.Site]; tk != nil {
+				if tr, ok := tk.take(d.Seq); ok {
+					mgr.ObserveTruth(d.Site, d.Seq, tr)
+				}
+			}
+		},
+		OnSwap: func(ev serve.SwapEvent) {
+			outMu.Lock()
+			fmt.Fprintf(out, "hot-swap %s model v%d -> v%d from window %d\n",
+				ev.Site, ev.PrevVersion, ev.Version, ev.Seq)
+			outMu.Unlock()
 		},
 	})
 	if err != nil {
 		return fmt.Errorf("build pipeline: %w", err)
 	}
-	if *addr != "" {
-		if err := startHTTP(*addr, pipe); err != nil {
-			return err
+	state.setPipeline(pipe)
+
+	if *adapt {
+		mgr, err = registry.NewManager(registry.Config{
+			Pipeline: pipe,
+			Initial:  monitor,
+			Names:    metricNames(level),
+			Train: core.Config{
+				Learner:  bayes.TANLearner(),
+				Synopsis: core.DefaultSynopsisConfig(*seed + 1),
+				Workers:  4,
+			},
+			// Daemon mode: detector and lifecycle thresholds at their
+			// conservative defaults, retraining off the serving path.
+			Background: true,
+			OnEvent: func(e registry.Event) {
+				outMu.Lock()
+				fmt.Fprintf(out, "lifecycle: %s\n", e)
+				outMu.Unlock()
+			},
+		})
+		if err != nil {
+			return fmt.Errorf("build lifecycle manager: %w", err)
 		}
-		fmt.Fprintf(out, "serving metrics on %s\n", *addr)
+		state.setManager(mgr)
+		trackers = make(map[string]*truthTracker)
 	}
 
 	fleet := make([]*simSite, *sites)
+	names := make([]string, *sites)
 	for i := range fleet {
 		name := fmt.Sprintf("site-%d", i+1)
 		s, err := newSimSite(name, lab.Server, level, i, wb, wo, *seed, *duration)
@@ -154,7 +231,12 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 		fleet[i] = s
+		names[i] = name
+		if *adapt {
+			trackers[name] = newTruthTracker(lab.Labeler, scale.Window)
+		}
 	}
+	state.setSites(names)
 
 	// Advance all sites in 1-second lockstep, streaming every tier's
 	// sample into the pipeline as it is collected.
@@ -169,9 +251,15 @@ func run(args []string, out io.Writer) error {
 					Values: s.collect(tier, snap),
 				})
 			}
+			if tk := trackers[s.name]; tk != nil {
+				tk.observe(snap)
+			}
 		}
 	}
 	pipe.Flush()
+	if mgr != nil {
+		mgr.Wait()
+	}
 
 	fmt.Fprintln(out)
 	for _, st := range pipe.Stats() {
@@ -186,11 +274,321 @@ func run(args []string, out io.Writer) error {
 				s.name, arrivals, completions, rejections, inFlight)
 		}
 	}
+	if mgr != nil {
+		fmt.Fprintln(out)
+		for _, s := range fleet {
+			for _, v := range mgr.Store().History(s.name) {
+				fmt.Fprintf(out, "%-8s model v%d reason=%s windows=%d swapped=%t\n",
+					s.name, v.ID, v.Reason, v.Windows, v.Swapped)
+			}
+		}
+	}
 
 	if *hold && *addr != "" {
 		fmt.Fprintln(out, "run complete; holding HTTP endpoint (interrupt to exit)")
 		select {}
 	}
+	return nil
+}
+
+// metricNames returns the metric layout the collectors produce at a level
+// (OS first at the combined level, matching simSite.collect).
+func metricNames(level metrics.Level) []string {
+	switch level {
+	case metrics.LevelOS:
+		return osstat.MetricNames
+	case metrics.LevelCombined:
+		names := make([]string, 0, len(osstat.MetricNames)+len(cpu.MetricNames))
+		names = append(names, osstat.MetricNames...)
+		return append(names, cpu.MetricNames...)
+	default:
+		return cpu.MetricNames
+	}
+}
+
+// truthTracker derives per-window ground truth for one site from its
+// testbed snapshots, mirroring the offline trace labeling: application
+// health feeds the labeler, foreground busy time attributes the
+// bottleneck, and the class-arrival histogram feeds the mix-shift
+// detector. Windows align with the pipeline's: window seq covers the
+// samples in (seq·W, (seq+1)·W].
+type truthTracker struct {
+	labeler pi.Labeler
+	window  int
+
+	secs        int
+	arrivals    int
+	completions int
+	rtSum       float64
+	fgBusy      [server.NumTiers]float64
+	classes     [tpcw.NumInteractions]int
+
+	seq   int64
+	ready map[int64]registry.Truth
+}
+
+func newTruthTracker(labeler pi.Labeler, window int) *truthTracker {
+	return &truthTracker{
+		labeler: labeler,
+		window:  window,
+		ready:   make(map[int64]registry.Truth),
+	}
+}
+
+// observe accumulates one 1-second snapshot and labels the window when it
+// completes.
+func (t *truthTracker) observe(snap server.Snapshot) {
+	t.secs++
+	t.arrivals += snap.Arrivals
+	t.completions += snap.Completions
+	t.rtSum += snap.MeanRT * float64(snap.Completions)
+	for tier := server.TierID(0); tier < server.NumTiers; tier++ {
+		t.fgBusy[tier] += snap.Tiers[tier].FgBusySeconds
+	}
+	for c, n := range snap.ClassArrivals {
+		t.classes[c] += n
+	}
+	if t.secs < t.window {
+		return
+	}
+
+	w := float64(t.window)
+	var meanRT float64
+	if t.completions > 0 {
+		meanRT = t.rtSum / float64(t.completions)
+	}
+	tr := registry.Truth{
+		Overload: t.labeler.Label(metrics.Sample{
+			MeanRT:      meanRT,
+			Throughput:  float64(t.completions) / w,
+			ArrivalRate: float64(t.arrivals) / w,
+		}) == 1,
+		Throughput:  float64(t.completions) / w,
+		ClassCounts: make([]float64, tpcw.NumInteractions),
+	}
+	for tier := server.TierID(1); tier < server.NumTiers; tier++ {
+		if t.fgBusy[tier] > t.fgBusy[tr.Bottleneck] {
+			tr.Bottleneck = tier
+		}
+	}
+	for c, n := range t.classes {
+		tr.ClassCounts[c] = float64(n)
+	}
+	t.ready[t.seq] = tr
+	t.seq++
+
+	t.secs, t.arrivals, t.completions, t.rtSum = 0, 0, 0, 0
+	t.fgBusy = [server.NumTiers]float64{}
+	t.classes = [tpcw.NumInteractions]int{}
+}
+
+// take removes and returns the truth for a window, if labeled.
+func (t *truthTracker) take(seq int64) (registry.Truth, bool) {
+	tr, ok := t.ready[seq]
+	if ok {
+		delete(t.ready, seq)
+	}
+	return tr, ok
+}
+
+// daemonState is what the HTTP endpoints read. Fields fill in as the run
+// progresses: the pipeline exists only after training, the fleet after
+// the sites are built, the manager only under -adapt.
+type daemonState struct {
+	mu    sync.Mutex
+	pipe  *serve.Pipeline
+	mgr   *registry.Manager
+	sites []string
+}
+
+func (s *daemonState) setPipeline(p *serve.Pipeline) {
+	s.mu.Lock()
+	s.pipe = p
+	s.mu.Unlock()
+}
+
+func (s *daemonState) setManager(m *registry.Manager) {
+	s.mu.Lock()
+	s.mgr = m
+	s.mu.Unlock()
+}
+
+func (s *daemonState) setSites(names []string) {
+	s.mu.Lock()
+	s.sites = append([]string(nil), names...)
+	s.mu.Unlock()
+}
+
+func (s *daemonState) snapshot() (*serve.Pipeline, *registry.Manager, []string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pipe, s.mgr, append([]string(nil), s.sites...)
+}
+
+// siteReadiness is one site's entry in the /readyz report.
+type siteReadiness struct {
+	Site  string `json:"site"`
+	Ready bool   `json:"ready"`
+	// ModelVersion is the site's active model; LastSwapSeq the first
+	// window it decided (-1 while the initial model has never been
+	// replaced).
+	ModelVersion int64 `json:"model_version"`
+	LastSwapSeq  int64 `json:"last_swap_seq"`
+	// Decision freshness: the latest decided window, its stream
+	// timestamp, and how far it lags the freshest site in the fleet.
+	LastDecisionSeq  int64   `json:"last_decision_seq"`
+	LastDecisionTime float64 `json:"last_decision_time"`
+	StalenessSeconds float64 `json:"staleness_seconds"`
+}
+
+// readinessReport is the /readyz body. Unlike /healthz (pure liveness),
+// readiness requires a trained model actively deciding windows for every
+// site in the fleet.
+type readinessReport struct {
+	Ready  bool            `json:"ready"`
+	Reason string          `json:"reason,omitempty"`
+	Sites  []siteReadiness `json:"sites,omitempty"`
+}
+
+func (s *daemonState) readiness() readinessReport {
+	pipe, _, sites := s.snapshot()
+	if pipe == nil {
+		return readinessReport{Reason: "training monitor"}
+	}
+	if len(sites) == 0 {
+		return readinessReport{Reason: "fleet not started"}
+	}
+	rep := readinessReport{Ready: true}
+	stats := make([]serve.SiteStats, len(sites))
+	var latest float64
+	for i, name := range sites {
+		st, ok := pipe.SiteStats(name)
+		if !ok {
+			st.LastDecisionSeq = -1
+			st.LastSwapSeq = -1
+		}
+		stats[i] = st
+		if st.LastDecisionTime > latest {
+			latest = st.LastDecisionTime
+		}
+	}
+	for i, name := range sites {
+		st := stats[i]
+		sr := siteReadiness{
+			Site:             name,
+			Ready:            st.LastDecisionSeq >= 0,
+			ModelVersion:     st.ModelVersion,
+			LastSwapSeq:      st.LastSwapSeq,
+			LastDecisionSeq:  st.LastDecisionSeq,
+			LastDecisionTime: st.LastDecisionTime,
+		}
+		if sr.Ready {
+			sr.StalenessSeconds = latest - st.LastDecisionTime
+		} else {
+			rep.Ready = false
+			rep.Reason = "site awaiting first decision"
+		}
+		rep.Sites = append(rep.Sites, sr)
+	}
+	return rep
+}
+
+// modelInfo is one version in the /models report — registry.Version
+// without the trained monitor itself.
+type modelInfo struct {
+	ID          int64   `json:"id"`
+	Reason      string  `json:"reason"`
+	Windows     int     `json:"windows"`
+	CandidateBA float64 `json:"candidate_ba"`
+	IncumbentBA float64 `json:"incumbent_ba"`
+	Swapped     bool    `json:"swapped"`
+	SwapSeq     int64   `json:"swap_seq"`
+}
+
+func (s *daemonState) modelHistory() map[string][]modelInfo {
+	_, mgr, sites := s.snapshot()
+	out := make(map[string][]modelInfo)
+	if mgr == nil {
+		return out
+	}
+	for _, name := range sites {
+		for _, v := range mgr.Store().History(name) {
+			out[name] = append(out[name], modelInfo{
+				ID:          v.ID,
+				Reason:      v.Reason,
+				Windows:     v.Windows,
+				CandidateBA: v.CandidateBA,
+				IncumbentBA: v.IncumbentBA,
+				Swapped:     v.Swapped,
+				SwapSeq:     v.SwapSeq,
+			})
+		}
+	}
+	return out
+}
+
+// expvarOnce guards the process-wide expvar registration; currentState
+// retargets it when run is invoked more than once (tests).
+var (
+	expvarOnce   sync.Once
+	currentState atomic.Pointer[daemonState]
+)
+
+// newMux builds the daemon's HTTP surface over the (still-filling) state.
+func newMux(st *daemonState) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		pipe, _, _ := st.snapshot()
+		if pipe == nil {
+			http.Error(w, "monitor still training", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		if err := pipe.WriteMetrics(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, _ *http.Request) {
+		rep := st.readiness()
+		w.Header().Set("Content-Type", "application/json")
+		if !rep.Ready {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		_ = json.NewEncoder(w).Encode(rep)
+	})
+	mux.HandleFunc("/models", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(st.modelHistory())
+	})
+	return mux
+}
+
+// startHTTP exposes the daemon over HTTP: Prometheus text at /metrics,
+// expvar JSON at /debug/vars, liveness at /healthz, readiness with
+// per-site model freshness at /readyz, and the model history at /models.
+func startHTTP(addr string, st *daemonState) error {
+	currentState.Store(st)
+	expvarOnce.Do(func() {
+		expvar.Publish("capserved", expvar.Func(func() any {
+			if s := currentState.Load(); s != nil {
+				if pipe, _, _ := s.snapshot(); pipe != nil {
+					return pipe.Stats()
+				}
+			}
+			return nil
+		}))
+	})
+	// Bind synchronously so a bad -addr fails the run instead of being
+	// logged from a goroutine; serving itself lasts the process lifetime.
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("http: %w", err)
+	}
+	go func() { _ = (&http.Server{Handler: newMux(st)}).Serve(ln) }()
 	return nil
 }
 
@@ -244,35 +642,4 @@ func newSimSite(name string, base server.Config, level metrics.Level, index int,
 		}
 	}
 	return s, nil
-}
-
-// expvarOnce guards the process-wide expvar registration (run may be
-// invoked more than once in tests).
-var expvarOnce sync.Once
-
-// startHTTP exposes the pipeline over HTTP: Prometheus text at /metrics,
-// expvar JSON at /debug/vars, and a liveness probe at /healthz.
-func startHTTP(addr string, pipe *serve.Pipeline) error {
-	expvarOnce.Do(func() {
-		expvar.Publish("capserved", expvar.Func(func() any { return pipe.Stats() }))
-	})
-	mux := http.NewServeMux()
-	mux.Handle("/debug/vars", expvar.Handler())
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-		if err := pipe.WriteMetrics(w); err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-		}
-	})
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
-		fmt.Fprintln(w, "ok")
-	})
-	// Bind synchronously so a bad -addr fails the run instead of being
-	// logged from a goroutine; serving itself lasts the process lifetime.
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return fmt.Errorf("http: %w", err)
-	}
-	go func() { _ = (&http.Server{Handler: mux}).Serve(ln) }()
-	return nil
 }

@@ -1,11 +1,19 @@
 package main
 
 import (
+	"encoding/json"
 	"io"
 	"net"
 	"net/http"
+	"net/http/httptest"
 	"strings"
 	"testing"
+
+	"hpcap/internal/core"
+	"hpcap/internal/metrics"
+	"hpcap/internal/ml/bayes"
+	"hpcap/internal/serve"
+	"hpcap/internal/server"
 )
 
 // TestRunQuick drives the daemon end to end at quick scale with HTTP off:
@@ -49,6 +57,8 @@ func TestHTTPEndpoints(t *testing.T) {
 	}
 	for path, want := range map[string]string{
 		"/healthz":    "ok",
+		"/readyz":     `"ready":true`,
+		"/models":     "{}", // adaptive lifecycle off: no version history
 		"/metrics":    `capserved_windows_decided_total{site="site-1"} 2`,
 		"/debug/vars": `"capserved"`,
 	} {
@@ -63,6 +73,145 @@ func TestHTTPEndpoints(t *testing.T) {
 		}
 		if resp.StatusCode != http.StatusOK {
 			t.Errorf("GET %s: status %d", path, resp.StatusCode)
+		}
+		if !strings.Contains(string(body), want) {
+			t.Errorf("GET %s: missing %q in:\n%s", path, want, body)
+		}
+	}
+}
+
+// newTestPipeline trains a throwaway monitor on a tiny synthetic trace —
+// endpoint tests need a live pipeline, not a good model.
+func newTestPipeline(t *testing.T) *serve.Pipeline {
+	t.Helper()
+	names := []string{"m_load", "m_noise"}
+	set := core.TrainingSet{Workload: "unit"}
+	for i := 0; i < 24; i++ {
+		overload := 0
+		load := 0.2 + 0.01*float64(i%8)
+		if (i/8)%2 == 1 {
+			overload = 1
+			load += 0.6
+		}
+		var vecs [server.NumTiers][]float64
+		for tier := server.TierID(0); tier < server.NumTiers; tier++ {
+			vecs[tier] = []float64{load, 0.5}
+		}
+		set.Windows = append(set.Windows, core.LabeledWindow{
+			Observation: core.Observation{Time: float64((i + 1) * 30), Vectors: vecs},
+			Overload:    overload,
+		})
+	}
+	mon, err := core.Train(metrics.LevelHPC, names, []core.TrainingSet{set}, core.Config{
+		Learner:  bayes.TANLearner(),
+		Synopsis: core.DefaultSynopsisConfig(1),
+	})
+	if err != nil {
+		t.Fatalf("train synthetic monitor: %v", err)
+	}
+	pipe, err := serve.NewPipeline(mon, serve.Config{Window: 30})
+	if err != nil {
+		t.Fatalf("build pipeline: %v", err)
+	}
+	return pipe
+}
+
+// TestReadyzLifecycle pins the readiness protocol against the states a
+// run moves through, without running a simulation: 503 while the monitor
+// is still training, 503 once the pipeline exists but a site has not yet
+// produced a decision, distinct from the always-200 liveness probe.
+func TestReadyzLifecycle(t *testing.T) {
+	st := &daemonState{}
+	srv := httptest.NewServer(newMux(st))
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatalf("read %s: %v", path, err)
+		}
+		return resp.StatusCode, string(body)
+	}
+
+	code, body := get("/readyz")
+	if code != http.StatusServiceUnavailable || !strings.Contains(body, "training monitor") {
+		t.Errorf("/readyz before training: status %d body %q, want 503 training", code, body)
+	}
+	if code, _ := get("/healthz"); code != http.StatusOK {
+		t.Errorf("/healthz before training: status %d, want 200 (liveness is not readiness)", code)
+	}
+	if code, _ := get("/metrics"); code != http.StatusServiceUnavailable {
+		t.Errorf("/metrics before training: status %d, want 503", code)
+	}
+
+	// Pipeline up, fleet named, but no site has decided a window yet.
+	pipe := newTestPipeline(t)
+	st.setPipeline(pipe)
+	st.setSites([]string{"site-1"})
+	code, body = get("/readyz")
+	if code != http.StatusServiceUnavailable || !strings.Contains(body, "awaiting first decision") {
+		t.Errorf("/readyz before first decision: status %d body %q, want 503 awaiting", code, body)
+	}
+	var rep readinessReport
+	if err := json.Unmarshal([]byte(body), &rep); err != nil {
+		t.Fatalf("/readyz body is not JSON: %v\n%s", err, body)
+	}
+	if len(rep.Sites) != 1 || rep.Sites[0].Site != "site-1" || rep.Sites[0].Ready {
+		t.Errorf("per-site report = %+v, want one not-ready site-1", rep.Sites)
+	}
+}
+
+// TestAdaptiveRun drives -adapt end to end on a short stream: the manager
+// registers the initial model for every site (visible in the summary and
+// at /models) and /readyz reports the fleet ready with version 0 active.
+// The stream is far too short for a retrain — the lifecycle's conservative
+// daemon defaults need tens of labeled windows — so exactly one version
+// per site must exist.
+func TestAdaptiveRun(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("free port: %v", err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	var out strings.Builder
+	if err := run([]string{
+		"-scale", "quick", "-sites", "2", "-duration", "120", "-adapt", "-addr", addr,
+	}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"site-1   model v0 reason=initial windows=0 swapped=true",
+		"site-2   model v0 reason=initial windows=0 swapped=true",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q in:\n%s", want, got)
+		}
+	}
+
+	for path, want := range map[string]string{
+		"/readyz": `"ready":true`,
+		"/models": `"reason":"initial"`,
+	} {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatalf("read %s: %v", path, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s: status %d\n%s", path, resp.StatusCode, body)
 		}
 		if !strings.Contains(string(body), want) {
 			t.Errorf("GET %s: missing %q in:\n%s", path, want, body)

@@ -44,6 +44,7 @@ import (
 	"hpcap/internal/baseline"
 	"hpcap/internal/core"
 	"hpcap/internal/cpu"
+	"hpcap/internal/drift"
 	"hpcap/internal/experiment"
 	"hpcap/internal/metrics"
 	"hpcap/internal/ml"
@@ -53,6 +54,7 @@ import (
 	"hpcap/internal/osstat"
 	"hpcap/internal/pi"
 	"hpcap/internal/predictor"
+	"hpcap/internal/registry"
 	"hpcap/internal/serve"
 	"hpcap/internal/server"
 	"hpcap/internal/tpcw"
@@ -238,6 +240,43 @@ type (
 // monitor; see the serve package for streaming semantics.
 var NewServingPipeline = serve.NewPipeline
 
+// Adaptive model lifecycle: drift detection over the labeled decision
+// stream, versioned model storage, and retrain-shadow-swap management.
+type (
+	// SwapEvent announces a model hot-swap on one pipeline site.
+	SwapEvent = serve.SwapEvent
+	// DriftConfig tunes the per-site drift detectors (accuracy decay,
+	// PI-correlation rank loss, request-mix shift).
+	DriftConfig = drift.Config
+	// DriftDetector watches one site's labeled decision stream.
+	DriftDetector = drift.Detector
+	// DriftObservation is one decided window paired with its delayed
+	// ground truth.
+	DriftObservation = drift.Observation
+	// DriftSignal is one fired drift test.
+	DriftSignal = drift.Signal
+	// ModelStore is the per-site versioned history of trained monitors.
+	ModelStore = registry.Store
+	// ModelVersion is one entry in a site's model history.
+	ModelVersion = registry.Version
+	// LifecycleManager pairs decisions with ground truth, detects drift,
+	// retrains candidates, and hot-swaps winners into the pipeline.
+	LifecycleManager = registry.Manager
+	// LifecycleConfig tunes a LifecycleManager.
+	LifecycleConfig = registry.Config
+	// LifecycleEvent is one drift or retrain occurrence.
+	LifecycleEvent = registry.Event
+	// GroundTruth is the delayed application-level label for one window.
+	GroundTruth = registry.Truth
+)
+
+// Lifecycle constructors.
+var (
+	NewDriftDetector    = drift.New
+	NewModelStore       = registry.NewStore
+	NewLifecycleManager = registry.NewManager
+)
+
 // Learners.
 type Learner = ml.Learner
 
@@ -277,6 +316,9 @@ type (
 	BaselineResult = experiment.BaselineResult
 	// LevelResult compares OS, HPC and combined monitors.
 	LevelResult = experiment.LevelResult
+	// DriftReplay is the end-to-end adaptive-lifecycle replay result
+	// (Lab.RunDriftReplay).
+	DriftReplay = experiment.DriftReplay
 )
 
 // Conventional overload detectors (the comparators of §I/§II.A).

@@ -20,11 +20,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"hpcap/internal/featsel"
 	"hpcap/internal/metrics"
 	"hpcap/internal/ml"
+	"hpcap/internal/parallel"
 	"hpcap/internal/predictor"
 	"hpcap/internal/server"
 	"hpcap/internal/synopsis"
@@ -76,6 +78,11 @@ type Config struct {
 	// partition the training instances finely, so saturating counters
 	// need several passes to accumulate past the ±δ confidence band.
 	TrainPasses int
+	// Workers bounds the goroutines building the (training set × tier)
+	// synopses, which are independent of each other; values below 2 train
+	// sequentially. The result is identical either way — synopses are
+	// assembled in the sequential loop order.
+	Workers int
 }
 
 // Monitor is the trained capacity measurement system for one metric level.
@@ -104,19 +111,37 @@ func Train(level metrics.Level, names []string, sets []TrainingSet, cfg Config) 
 	}
 
 	m := &Monitor{Level: level, dim: len(names)}
-	for _, set := range sets {
-		for tier := server.TierID(0); tier < server.NumTiers; tier++ {
-			d := ml.NewDataset(names)
-			for _, w := range set.Windows {
-				if err := d.Add(w.Vectors[tier], w.Overload); err != nil {
-					return nil, fmt.Errorf("core: training set %s: %w", set.Workload, err)
+	buildOne := func(set TrainingSet, tier server.TierID) (*synopsis.Synopsis, error) {
+		d := ml.NewDataset(names)
+		for _, w := range set.Windows {
+			if err := d.Add(w.Vectors[tier], w.Overload); err != nil {
+				return nil, fmt.Errorf("core: training set %s: %w", set.Workload, err)
+			}
+		}
+		syn, err := synopsis.Build(set.Workload, tier, level, cfg.Learner, d, cfg.Synopsis)
+		if err != nil {
+			return nil, fmt.Errorf("core: build synopsis %s/%s: %w", set.Workload, tier, err)
+		}
+		return syn, nil
+	}
+	if cfg.Workers > 1 {
+		syns, err := parallel.Map(context.Background(), len(sets)*int(server.NumTiers), cfg.Workers,
+			func(i int) (*synopsis.Synopsis, error) {
+				return buildOne(sets[i/int(server.NumTiers)], server.TierID(i%int(server.NumTiers)))
+			})
+		if err != nil {
+			return nil, err
+		}
+		m.Synopses = syns
+	} else {
+		for _, set := range sets {
+			for tier := server.TierID(0); tier < server.NumTiers; tier++ {
+				syn, err := buildOne(set, tier)
+				if err != nil {
+					return nil, err
 				}
+				m.Synopses = append(m.Synopses, syn)
 			}
-			syn, err := synopsis.Build(set.Workload, tier, level, cfg.Learner, d, cfg.Synopsis)
-			if err != nil {
-				return nil, fmt.Errorf("core: build synopsis %s/%s: %w", set.Workload, tier, err)
-			}
-			m.Synopses = append(m.Synopses, syn)
 		}
 	}
 

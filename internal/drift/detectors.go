@@ -1,0 +1,328 @@
+package drift
+
+import (
+	"fmt"
+	"math"
+
+	"hpcap/internal/pi"
+	"hpcap/internal/stats"
+)
+
+// PageHinkley is the sequential test for an upward shift of a stream's
+// mean: it accumulates m_t = Σ (x_i − mean_i − δ) and signals when m_t
+// rises more than λ above its running minimum. On the 0/1 prediction-error
+// stream, the statistic reads as "errors in excess of the baseline rate":
+// random fluctuation cancels against the adapting mean while a genuine
+// accuracy collapse accumulates roughly (new rate − old rate) per window.
+type PageHinkley struct {
+	delta      float64
+	lambda     float64
+	minSamples int
+
+	n    int
+	mean float64
+	cum  float64
+	min  float64
+}
+
+// NewPageHinkley builds the test; see Config.PHDelta/PHLambda/MinWindows
+// for the parameter semantics.
+func NewPageHinkley(delta, lambda float64, minSamples int) *PageHinkley {
+	return &PageHinkley{delta: delta, lambda: lambda, minSamples: minSamples}
+}
+
+// Add folds one value into the test and reports whether the statistic
+// crossed the threshold. Non-finite values are ignored.
+func (ph *PageHinkley) Add(x float64) bool {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return false
+	}
+	ph.n++
+	ph.mean += (x - ph.mean) / float64(ph.n)
+	ph.cum += x - ph.mean - ph.delta
+	if ph.cum < ph.min {
+		ph.min = ph.cum
+	}
+	return ph.n >= ph.minSamples && ph.Stat() > ph.lambda
+}
+
+// Stat returns the current test statistic m_t − min m.
+func (ph *PageHinkley) Stat() float64 { return ph.cum - ph.min }
+
+// N returns how many values the test has absorbed since the last reset.
+func (ph *PageHinkley) N() int { return ph.n }
+
+// Reset clears the test to its initial state.
+func (ph *PageHinkley) Reset() {
+	ph.n, ph.mean, ph.cum, ph.min = 0, 0, 0, 0
+}
+
+// corrTracker re-runs the paper's PI reference selection (Eq. 2) for one
+// tier over a sliding window of decided windows and watches for the
+// trained choice to lose the rank competition.
+type corrTracker struct {
+	defs     []pi.Definition
+	yi, ci   []int // metric indices per candidate
+	ref      int   // index of the trained reference in defs
+	win      int
+	every    int
+	margin   float64
+	minBest  float64
+	patience int
+
+	series [][]float64 // ring of PI values per candidate
+	thr    []float64   // ring of throughput
+	head   int
+	n      int64 // windows observed (ring fills at win)
+	losing int
+}
+
+func newCorrTracker(cfg Config, reference string) (*corrTracker, error) {
+	ct := &corrTracker{
+		defs:     cfg.Candidates,
+		ref:      -1,
+		win:      cfg.CorrWindow,
+		every:    cfg.CorrEvery,
+		margin:   cfg.CorrMargin,
+		minBest:  cfg.CorrMinBest,
+		patience: cfg.CorrPatience,
+		thr:      make([]float64, cfg.CorrWindow),
+	}
+	for i, def := range ct.defs {
+		yi, ci := indexOf(cfg.Names, def.Yield), indexOf(cfg.Names, def.Cost)
+		if yi < 0 || ci < 0 {
+			return nil, fmt.Errorf("candidate %s: metrics %q/%q not in layout", def.Name, def.Yield, def.Cost)
+		}
+		ct.yi = append(ct.yi, yi)
+		ct.ci = append(ct.ci, ci)
+		if def.Name == reference {
+			ct.ref = i
+		}
+		ct.series = append(ct.series, make([]float64, cfg.CorrWindow))
+	}
+	if ct.ref < 0 {
+		return nil, fmt.Errorf("reference candidate %q unknown", reference)
+	}
+	return ct, nil
+}
+
+// observe pushes one window and reports whether the trained reference has
+// persistently lost the rank competition, along with the losing gap.
+func (ct *corrTracker) observe(vec []float64, throughput float64) (bool, float64) {
+	for i := range ct.defs {
+		v := 0.0
+		if ct.yi[i] < len(vec) && ct.ci[i] < len(vec) {
+			y, c := vec[ct.yi[i]], vec[ct.ci[i]]
+			if c > 0 && !math.IsNaN(y) && !math.IsInf(y, 0) && !math.IsInf(c, 0) {
+				v = y / c
+			}
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				v = 0
+			}
+		}
+		ct.series[i][ct.head] = v
+	}
+	if math.IsNaN(throughput) || math.IsInf(throughput, 0) {
+		throughput = 0
+	}
+	ct.thr[ct.head] = throughput
+	ct.head = (ct.head + 1) % ct.win
+	ct.n++
+	if ct.n < int64(ct.win) || ct.n%int64(ct.every) != 0 {
+		return false, 0
+	}
+
+	best, refCorr := 0.0, 0.0
+	for i := range ct.defs {
+		// Ring order does not matter: correlation is permutation-invariant,
+		// and all rings share the same permutation.
+		r, err := stats.Correlation(ct.series[i], ct.thr)
+		if err != nil {
+			continue
+		}
+		a := math.Abs(r)
+		if a > best {
+			best = a
+		}
+		if i == ct.ref {
+			refCorr = a
+		}
+	}
+	gap := best - refCorr
+	if best >= ct.minBest && gap > ct.margin {
+		ct.losing++
+		if ct.losing >= ct.patience {
+			ct.losing = 0
+			return true, gap
+		}
+	} else {
+		ct.losing = 0
+	}
+	return false, 0
+}
+
+func (ct *corrTracker) reset() {
+	ct.head, ct.n, ct.losing = 0, 0, 0
+	for i := range ct.series {
+		for j := range ct.series[i] {
+			ct.series[i][j] = 0
+		}
+	}
+	for j := range ct.thr {
+		ct.thr[j] = 0
+	}
+}
+
+// mixShift compares a reference request-class histogram against a sliding
+// recent histogram with the Jensen–Shannon divergence.
+type mixShift struct {
+	threshold  float64
+	patience   int
+	refWindows int
+	learned    bool // reference is learned from the stream (vs configured)
+
+	ref  []float64 // accumulated reference counts
+	refN int
+	ring [][]float64 // recent windows' sanitized counts
+	head int
+	n    int64
+	over int
+}
+
+func newMixShift(cfg Config) *mixShift {
+	m := &mixShift{
+		threshold:  cfg.MixThreshold,
+		patience:   cfg.MixPatience,
+		refWindows: cfg.MixRefWindows,
+		learned:    cfg.MixRef == nil,
+		ring:       make([][]float64, cfg.MixWindow),
+	}
+	if cfg.MixRef != nil {
+		m.ref = sanitizeCounts(nil, cfg.MixRef)
+		m.refN = m.refWindows // configured reference is complete
+	}
+	return m
+}
+
+// observe pushes one window's class counts and reports a sustained
+// divergence, along with the JSD at the firing point.
+func (m *mixShift) observe(counts []float64) (bool, float64) {
+	clean := sanitizeCounts(nil, counts)
+	if m.refN < m.refWindows {
+		m.ref = accumulate(m.ref, clean)
+		m.refN++
+		return false, 0
+	}
+	m.ring[m.head] = clean
+	m.head = (m.head + 1) % len(m.ring)
+	m.n++
+	if m.n < int64(len(m.ring)) {
+		return false, 0
+	}
+	var recent []float64
+	for _, c := range m.ring {
+		recent = accumulate(recent, c)
+	}
+	jsd := jensenShannon(m.ref, recent)
+	if jsd > m.threshold {
+		m.over++
+		if m.over >= m.patience {
+			m.over = 0
+			return true, jsd
+		}
+	} else {
+		m.over = 0
+	}
+	return false, 0
+}
+
+func (m *mixShift) reset() {
+	m.head, m.n, m.over = 0, 0, 0
+	for i := range m.ring {
+		m.ring[i] = nil
+	}
+	if m.learned {
+		m.ref, m.refN = nil, 0
+	}
+}
+
+// sanitizeCounts copies counts with NaN/Inf/negative entries clipped to 0.
+func sanitizeCounts(dst, counts []float64) []float64 {
+	if dst == nil {
+		dst = make([]float64, len(counts))
+	}
+	for i, v := range counts {
+		if i >= len(dst) {
+			break
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			v = 0
+		}
+		dst[i] = v
+	}
+	return dst
+}
+
+// accumulate adds src into dst element-wise, growing dst as needed.
+func accumulate(dst, src []float64) []float64 {
+	if len(src) > len(dst) {
+		grown := make([]float64, len(src))
+		copy(grown, dst)
+		dst = grown
+	}
+	for i, v := range src {
+		dst[i] += v
+	}
+	return dst
+}
+
+// jensenShannon returns the Jensen–Shannon divergence (natural log) of two
+// count vectors after normalization. Degenerate inputs (empty, all-zero)
+// return 0 — never a signal.
+func jensenShannon(a, b []float64) float64 {
+	n := len(a)
+	if len(b) > n {
+		n = len(b)
+	}
+	if n == 0 {
+		return 0
+	}
+	at := func(xs []float64, i int) float64 {
+		if i < len(xs) {
+			return xs[i]
+		}
+		return 0
+	}
+	var sa, sb float64
+	for i := 0; i < n; i++ {
+		sa += at(a, i)
+		sb += at(b, i)
+	}
+	if sa <= 0 || sb <= 0 {
+		return 0
+	}
+	var jsd float64
+	for i := 0; i < n; i++ {
+		p, q := at(a, i)/sa, at(b, i)/sb
+		m := (p + q) / 2
+		if p > 0 {
+			jsd += p / 2 * math.Log(p/m)
+		}
+		if q > 0 {
+			jsd += q / 2 * math.Log(q/m)
+		}
+	}
+	if jsd < 0 || math.IsNaN(jsd) || math.IsInf(jsd, 0) {
+		return 0
+	}
+	return jsd
+}
+
+func indexOf(names []string, name string) int {
+	for i, n := range names {
+		if n == name {
+			return i
+		}
+	}
+	return -1
+}

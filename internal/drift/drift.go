@@ -1,0 +1,301 @@
+// Package drift implements online drift detection over the serving
+// pipeline's decision stream, closing the gap between the paper's offline
+// training and its online premise: synopses are trained per (workload,
+// tier), so when the live traffic mix moves away from the training mixes,
+// synopsis accuracy and the PI–throughput correlation (paper Eq. 2) decay
+// silently. A Detector watches three independent symptoms of that decay:
+//
+//   - Accuracy: a Page–Hinkley test over the 0/1 error stream of the
+//     model's overload verdicts against delayed ground-truth labels. The
+//     test accumulates error in excess of the running mean and signals
+//     when the excess exceeds a threshold — the standard sequential test
+//     for an upward mean shift in a noisy stream.
+//   - Correlation: per tier, Corr(PI, throughput) is re-evaluated over a
+//     sliding window for every PI candidate; when the candidate chosen at
+//     training time persistently loses the rank competition of Eq. 2, the
+//     trained PI reference no longer measures the tier's capacity.
+//   - Mix shift: a Jensen–Shannon divergence test between a reference
+//     histogram of request-class frequencies (frozen shortly after
+//     start-up or the last model swap) and a sliding recent histogram.
+//
+// Every detector is pure arithmetic over the observation sequence — no
+// clocks, no randomness — so replaying a stream reproduces the signal
+// sequence bit-for-bit, which the drift-replay determinism golden
+// enforces. Malformed inputs (NaN/Inf components, negative counts,
+// missing vectors) are sanitized rather than propagated: a detector never
+// panics and never signals because of a corrupt sample, a property the
+// fuzz tests pin down.
+package drift
+
+import (
+	"fmt"
+
+	"hpcap/internal/pi"
+	"hpcap/internal/server"
+)
+
+// Kind names a drift symptom.
+type Kind int
+
+// The drift symptoms a Detector watches.
+const (
+	// KindAccuracy is synopsis-accuracy decay against delayed labels.
+	KindAccuracy Kind = iota + 1
+	// KindCorrelation is per-tier loss of the trained PI reference's rank.
+	KindCorrelation
+	// KindMixShift is divergence of the request-class frequency histogram.
+	KindMixShift
+)
+
+// String names the kind as rendered in events and metrics.
+func (k Kind) String() string {
+	switch k {
+	case KindAccuracy:
+		return "accuracy"
+	case KindCorrelation:
+		return "pi-correlation"
+	case KindMixShift:
+		return "mix-shift"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Observation is one decided window paired with its delayed ground truth —
+// what the lifecycle manager can assemble once the application-level
+// labels for a window become available.
+type Observation struct {
+	// Seq is the absolute window index of the decision.
+	Seq int64
+	// Predicted is the serving model's overload verdict for the window.
+	Predicted bool
+	// Truth is the delayed application-level ground truth.
+	Truth bool
+	// Throughput is completed requests per second over the window.
+	Throughput float64
+	// Vectors holds the per-tier window-mean metric vectors in the full
+	// collector layout (nil tiers disable the correlation detector for
+	// the window).
+	Vectors [server.NumTiers][]float64
+	// ClassCounts is the window's request arrivals by class (any fixed
+	// class order; nil disables the mix-shift detector for the window).
+	ClassCounts []float64
+}
+
+// Signal is one drift detection.
+type Signal struct {
+	Kind Kind
+	// Seq is the window at which the detector fired.
+	Seq int64
+	// Tier is the affected tier for KindCorrelation, -1 otherwise.
+	Tier server.TierID
+	// Score is the detector's test statistic at the firing point and
+	// Threshold the configured bound it exceeded.
+	Score     float64
+	Threshold float64
+}
+
+// String renders the signal for logs and replay goldens.
+func (s Signal) String() string {
+	if s.Kind == KindCorrelation {
+		return fmt.Sprintf("%s tier=%s score=%.4f threshold=%.4f", s.Kind, s.Tier, s.Score, s.Threshold)
+	}
+	return fmt.Sprintf("%s score=%.4f threshold=%.4f", s.Kind, s.Score, s.Threshold)
+}
+
+// Config tunes a Detector. The zero value enables only the accuracy test
+// at daemon-conservative thresholds; the correlation and mix-shift tests
+// switch on when their inputs (Names, reference mix) are provided.
+type Config struct {
+	// PHDelta is the Page–Hinkley drift tolerance: per-window error in
+	// excess of the running mean below this magnitude never accumulates.
+	// Zero selects 0.01.
+	PHDelta float64
+	// PHLambda is the Page–Hinkley threshold in cumulative excess errors.
+	// Zero selects 25 — about 25 more mistakes than the baseline rate
+	// predicts, conservative enough that an i.i.d. error stream stays
+	// quiet (the fuzz test's invariant). Negative disables the test.
+	PHLambda float64
+	// MinWindows is the accuracy test's warm-up: no signal before this
+	// many labeled windows. Zero selects 20.
+	MinWindows int
+
+	// Names is the metric-name layout of Observation.Vectors; empty
+	// disables the correlation detector.
+	Names []string
+	// Candidates are the PI definitions re-ranked online; nil selects
+	// pi.DefaultCandidates.
+	Candidates []pi.Definition
+	// Reference names the PI candidate chosen at training time per tier
+	// (pi.Selection.Definition.Name); an empty name disables the tier.
+	Reference [server.NumTiers]string
+	// CorrWindow is the sliding window (in decided windows) over which
+	// correlations are re-evaluated. Zero selects 64 — wide enough that a
+	// candidate reaching |corr| ≥ CorrMinBest on an uncorrelated stream is
+	// a many-σ event, so i.i.d. noise stays quiet (the fuzz invariant).
+	CorrWindow int
+	// CorrEvery evaluates the rank competition every n-th window once the
+	// sliding window is full. Zero selects 4.
+	CorrEvery int
+	// CorrMargin is how far (in |correlation|) the trained reference may
+	// trail the best candidate before an evaluation counts as lost. Zero
+	// selects 0.2.
+	CorrMargin float64
+	// CorrMinBest is the least |correlation| the winning candidate must
+	// reach for a rank loss to count: when nothing correlates with
+	// throughput, the Eq. 2 competition is noise, not evidence. Zero
+	// selects 0.7 — the paper's chosen references correlate at 0.85+, so a
+	// winner below this is not a usable reference, and at CorrWindow 64 an
+	// i.i.d. stream reaching it is a >6σ event.
+	CorrMinBest float64
+	// CorrPatience is how many consecutive lost evaluations fire the
+	// signal. Zero selects 3.
+	CorrPatience int
+
+	// MixRef is the reference request-class distribution (same order as
+	// Observation.ClassCounts). Nil learns the reference from the first
+	// MixRefWindows observed windows.
+	MixRef []float64
+	// MixRefWindows is how many initial windows build the learned
+	// reference histogram. Zero selects 8.
+	MixRefWindows int
+	// MixWindow is the sliding recent-histogram width. Zero selects 12.
+	MixWindow int
+	// MixThreshold is the Jensen–Shannon divergence (natural log, so in
+	// [0, ln 2]) above which a window counts as shifted. Zero selects
+	// 0.08; negative disables the test.
+	MixThreshold float64
+	// MixPatience is how many consecutive shifted windows fire the
+	// signal. Zero selects 4.
+	MixPatience int
+}
+
+func (c Config) withDefaults() Config {
+	if c.PHDelta == 0 {
+		c.PHDelta = 0.01
+	}
+	if c.PHLambda == 0 {
+		c.PHLambda = 25
+	}
+	if c.MinWindows == 0 {
+		c.MinWindows = 20
+	}
+	if c.Candidates == nil {
+		c.Candidates = pi.DefaultCandidates()
+	}
+	if c.CorrWindow == 0 {
+		c.CorrWindow = 64
+	}
+	if c.CorrEvery == 0 {
+		c.CorrEvery = 4
+	}
+	if c.CorrMargin == 0 {
+		c.CorrMargin = 0.2
+	}
+	if c.CorrMinBest == 0 {
+		c.CorrMinBest = 0.7
+	}
+	if c.CorrPatience == 0 {
+		c.CorrPatience = 3
+	}
+	if c.MixRefWindows == 0 {
+		c.MixRefWindows = 8
+	}
+	if c.MixWindow == 0 {
+		c.MixWindow = 12
+	}
+	if c.MixThreshold == 0 {
+		c.MixThreshold = 0.08
+	}
+	if c.MixPatience == 0 {
+		c.MixPatience = 4
+	}
+	return c
+}
+
+// Detector aggregates the three drift tests over one decision stream. It
+// is not safe for concurrent use; the lifecycle manager serializes each
+// site's observations.
+type Detector struct {
+	cfg  Config
+	acc  *PageHinkley
+	corr [server.NumTiers]*corrTracker
+	mix  *mixShift
+}
+
+// New builds a detector. The correlation test is armed per tier when
+// Names resolve the tier's Reference candidate; the mix-shift test is
+// armed on the first observation carrying class counts.
+func New(cfg Config) (*Detector, error) {
+	cfg = cfg.withDefaults()
+	d := &Detector{cfg: cfg}
+	if cfg.PHLambda >= 0 {
+		d.acc = NewPageHinkley(cfg.PHDelta, cfg.PHLambda, cfg.MinWindows)
+	}
+	for tier := server.TierID(0); tier < server.NumTiers; tier++ {
+		if cfg.Reference[tier] == "" || len(cfg.Names) == 0 {
+			continue
+		}
+		ct, err := newCorrTracker(cfg, cfg.Reference[tier])
+		if err != nil {
+			return nil, fmt.Errorf("drift: %s tier: %w", tier, err)
+		}
+		d.corr[tier] = ct
+	}
+	if cfg.MixThreshold >= 0 {
+		d.mix = newMixShift(cfg)
+	}
+	return d, nil
+}
+
+// Observe folds one labeled window into every armed test and returns the
+// signals that fired on it (usually none). Signals appear in a fixed
+// order: accuracy, correlation by tier, mix shift.
+func (d *Detector) Observe(o Observation) []Signal {
+	var out []Signal
+	if d.acc != nil {
+		e := 0.0
+		if o.Predicted != o.Truth {
+			e = 1.0
+		}
+		if d.acc.Add(e) {
+			out = append(out, Signal{Kind: KindAccuracy, Seq: o.Seq, Tier: -1,
+				Score: d.acc.Stat(), Threshold: d.cfg.PHLambda})
+			d.acc.Reset()
+		}
+	}
+	for tier := server.TierID(0); tier < server.NumTiers; tier++ {
+		ct := d.corr[tier]
+		if ct == nil || o.Vectors[tier] == nil {
+			continue
+		}
+		if fired, gap := ct.observe(o.Vectors[tier], o.Throughput); fired {
+			out = append(out, Signal{Kind: KindCorrelation, Seq: o.Seq, Tier: tier,
+				Score: gap, Threshold: d.cfg.CorrMargin})
+		}
+	}
+	if d.mix != nil && len(o.ClassCounts) > 0 {
+		if fired, jsd := d.mix.observe(o.ClassCounts); fired {
+			out = append(out, Signal{Kind: KindMixShift, Seq: o.Seq, Tier: -1,
+				Score: jsd, Threshold: d.cfg.MixThreshold})
+		}
+	}
+	return out
+}
+
+// Reset clears every test's accumulated state — called after a model
+// swap, so the new model is judged against a fresh baseline. A learned
+// mix reference is relearned from the post-swap stream.
+func (d *Detector) Reset() {
+	if d.acc != nil {
+		d.acc.Reset()
+	}
+	for _, ct := range d.corr {
+		if ct != nil {
+			ct.reset()
+		}
+	}
+	if d.mix != nil {
+		d.mix.reset()
+	}
+}

@@ -1,0 +1,225 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"hpcap/internal/core"
+	"hpcap/internal/drift"
+	"hpcap/internal/metrics"
+	"hpcap/internal/ml/bayes"
+	"hpcap/internal/registry"
+	"hpcap/internal/serve"
+	"hpcap/internal/server"
+	"hpcap/internal/tpcw"
+)
+
+// DriftReplay is the result of one end-to-end adaptive-lifecycle replay:
+// a browsing-trained monitor serves a trace whose mix is scripted over to
+// ordering mid-run, the drift detectors notice, the registry retrains on
+// the labeled history and hot-swaps the winning candidate — all
+// synchronously, so the run is a pure function of the lab's seed.
+type DriftReplay struct {
+	// Log is the golden-pinned transcript: one line per decided window
+	// interleaved with the lifecycle events observed while labeling it.
+	Log string
+	// Windows and FrozenWindows are the decision counts of the adaptive
+	// and the frozen (never-swapped) replay of the same recorded trace;
+	// a loss-free swap keeps them equal.
+	Windows, FrozenWindows int
+	// Swaps counts hot-swaps; SwapSeq is the first window the swapped-in
+	// model decided (0 if no swap happened).
+	Swaps   int
+	SwapSeq int64
+	// AdaptiveHits / FrozenHits count correct overload verdicts over the
+	// post-swap tail of the trace, for the two replays respectively, out
+	// of PostSwapWindows windows.
+	AdaptiveHits, FrozenHits, PostSwapWindows int
+}
+
+// driftReplaySeed offsets the mix-shift trace away from every training and
+// test trace seed the lab uses.
+const driftReplaySeed = 300
+
+// trainingSetOf converts a labeled trace into a core training set.
+func trainingSetOf(name string, tr *Trace, level metrics.Level) core.TrainingSet {
+	set := core.TrainingSet{Workload: name}
+	for _, w := range tr.Windows {
+		set.Windows = append(set.Windows, core.LabeledWindow{
+			Observation: core.Observation{Time: w.Time, Vectors: w.Vectors(level)},
+			Overload:    w.Overload,
+			Bottleneck:  w.Bottleneck,
+		})
+	}
+	return set
+}
+
+// RunDriftReplay replays the adaptive model lifecycle end to end at the
+// HPC level and returns its transcript. workers bounds the synopsis-build
+// fan-out during both initial training and the retrain; the transcript is
+// bit-identical for any value — the drift-replay determinism golden pins
+// this.
+//
+// The initial monitor is deliberately trained on the browsing mix alone
+// (the lab's shared monitors train on both mixes, which would leave no
+// accuracy to lose when the traffic shifts).
+func (l *Lab) RunDriftReplay(workers int) (*DriftReplay, error) {
+	const level = metrics.LevelHPC
+	wb, err := l.Workload(tpcw.Browsing())
+	if err != nil {
+		return nil, err
+	}
+	wo, err := l.Workload(tpcw.Ordering())
+	if err != nil {
+		return nil, err
+	}
+	btr, err := l.TrainingTrace(tpcw.Browsing())
+	if err != nil {
+		return nil, err
+	}
+	names := btr.Names(level)
+	trainCfg := core.Config{
+		Learner:  bayes.TANLearner(),
+		Synopsis: core.DefaultSynopsisConfig(l.Seed),
+		Workers:  workers,
+	}
+	mon, err := core.Train(level, names, []core.TrainingSet{trainingSetOf("browsing", btr, level)}, trainCfg)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: train initial monitor: %w", err)
+	}
+
+	tr, err := Generate(TraceConfig{
+		Server:        l.Server,
+		Schedule:      MixShiftSchedule(wb, wo, l.Scale),
+		Window:        l.Scale.Window,
+		Warmup:        l.Scale.WarmupWindows,
+		Seed:          l.Seed + driftReplaySeed,
+		Labeler:       l.Labeler,
+		RecordSeconds: true,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiment: generate mix-shift trace: %w", err)
+	}
+
+	var vecs [server.NumTiers][][]float64
+	for tier := server.TierID(0); tier < server.NumTiers; tier++ {
+		vecs[tier] = tr.SecondVectors(level, tier)
+	}
+	feed := func(p *serve.Pipeline) {
+		for i, ts := range tr.SecTimes {
+			for tier := server.TierID(0); tier < server.NumTiers; tier++ {
+				p.Ingest(serve.Sample{Site: "site", Tier: tier, Time: ts, Values: vecs[tier][i]})
+			}
+		}
+		p.Flush()
+	}
+
+	// Frozen replay: the browsing-trained monitor serves the whole shifted
+	// trace unassisted.
+	var frozen []serve.Decision
+	pf, err := serve.NewPipeline(mon, serve.Config{
+		Window:     l.Scale.Window,
+		OnDecision: func(d serve.Decision) { frozen = append(frozen, d) },
+	})
+	if err != nil {
+		return nil, err
+	}
+	feed(pf)
+
+	// Adaptive replay: the same trace through a managed pipeline, ground
+	// truth delivered one window behind the decision stream.
+	var log strings.Builder
+	var decisions []serve.Decision
+	res := &DriftReplay{FrozenWindows: len(frozen)}
+	pa, err := serve.NewPipeline(mon, serve.Config{
+		Window:     l.Scale.Window,
+		OnDecision: func(d serve.Decision) { decisions = append(decisions, d) },
+		OnSwap: func(ev serve.SwapEvent) {
+			res.Swaps++
+			res.SwapSeq = ev.Seq
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	mgr, err := registry.NewManager(registry.Config{
+		Pipeline: pa,
+		Initial:  mon,
+		Names:    names,
+		Train: core.Config{
+			Learner:  bayes.TANLearner(),
+			Synopsis: core.DefaultSynopsisConfig(l.Seed + 1),
+			Workers:  workers,
+		},
+		// Replay-tight thresholds: the scripted shift is unambiguous, so
+		// the detectors may react far faster than the daemon defaults.
+		Drift: drift.Config{
+			PHDelta:       0.02,
+			PHLambda:      4,
+			MinWindows:    6,
+			MixRefWindows: 6,
+			MixWindow:     8,
+			MixThreshold:  0.08,
+			MixPatience:   3,
+		},
+		HistoryWindows:  64,
+		MinTrainWindows: 32,
+		ShadowWindows:   8,
+		// One retrain decides the replay; the cooldown outlasts the trace.
+		CooldownWindows: 10 * len(tr.Windows),
+		SwapMargin:      -1,
+		OnEvent: func(e registry.Event) {
+			fmt.Fprintf(&log, "  %s\n", e)
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	fed := 0
+	deliver := func(upto int) {
+		for ; fed < upto; fed++ {
+			d := decisions[fed]
+			w := tr.Windows[fed]
+			fmt.Fprintf(&log, "window seq=%d mix=%s predicted=%t truth=%t version=%d\n",
+				d.Seq, w.Mix, d.Prediction.Overload, w.Overload == 1, d.ModelVersion)
+			mgr.HandleDecision(d)
+			mgr.ObserveTruth(d.Site, d.Seq, registry.Truth{
+				Overload:    w.Overload == 1,
+				Bottleneck:  w.Bottleneck,
+				Throughput:  w.Throughput,
+				ClassCounts: w.Classes,
+			})
+		}
+	}
+	for i, ts := range tr.SecTimes {
+		for tier := server.TierID(0); tier < server.NumTiers; tier++ {
+			pa.Ingest(serve.Sample{Site: "site", Tier: tier, Time: ts, Values: vecs[tier][i]})
+		}
+		deliver(len(decisions) - 1)
+	}
+	pa.Flush()
+	deliver(len(decisions))
+	res.Windows = len(decisions)
+
+	if res.Swaps > 0 {
+		for i, d := range decisions {
+			if d.Seq < res.SwapSeq || i >= len(frozen) {
+				continue
+			}
+			truth := tr.Windows[i].Overload == 1
+			res.PostSwapWindows++
+			if d.Prediction.Overload == truth {
+				res.AdaptiveHits++
+			}
+			if frozen[i].Prediction.Overload == truth {
+				res.FrozenHits++
+			}
+		}
+	}
+	fmt.Fprintf(&log, "replay windows=%d frozen=%d swaps=%d swap_seq=%d post_swap_windows=%d adaptive_hits=%d frozen_hits=%d\n",
+		res.Windows, res.FrozenWindows, res.Swaps, res.SwapSeq,
+		res.PostSwapWindows, res.AdaptiveHits, res.FrozenHits)
+	res.Log = log.String()
+	return res, nil
+}

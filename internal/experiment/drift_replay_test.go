@@ -1,0 +1,66 @@
+package experiment
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestDeterminismDriftReplay pins the adaptive model lifecycle end to end:
+// the scripted browsing→ordering mix shift must trigger drift detection, a
+// retrain, and exactly one loss-free hot-swap, with the whole transcript
+// byte-identical between a sequential and a Workers=8 run and matching the
+// committed golden. Regenerate the fixture with
+//
+//	go test ./internal/experiment -run TestDeterminismDriftReplay -update
+func TestDeterminismDriftReplay(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full lifecycle replays; skipped in -short")
+	}
+	seq, err := NewLab(QuickScale()).RunDriftReplay(1)
+	if err != nil {
+		t.Fatalf("RunDriftReplay(1): %v", err)
+	}
+	par, err := NewLab(QuickScale()).RunDriftReplay(8)
+	if err != nil {
+		t.Fatalf("RunDriftReplay(8): %v", err)
+	}
+	if seq.Log != par.Log {
+		t.Fatalf("parallel transcript diverged from sequential\n--- sequential ---\n%s\n--- parallel ---\n%s", seq.Log, par.Log)
+	}
+
+	if seq.Swaps != 1 {
+		t.Errorf("replay hot-swapped %d times, want exactly 1", seq.Swaps)
+	}
+	if seq.Windows != seq.FrozenWindows {
+		t.Errorf("adaptive replay decided %d windows, frozen %d — the swap lost decisions",
+			seq.Windows, seq.FrozenWindows)
+	}
+	if seq.PostSwapWindows == 0 || seq.AdaptiveHits <= seq.FrozenHits {
+		t.Errorf("post-swap accuracy %d/%d did not beat the frozen incumbent's %d/%d",
+			seq.AdaptiveHits, seq.PostSwapWindows, seq.FrozenHits, seq.PostSwapWindows)
+	}
+	if !strings.Contains(seq.Log, "swapped=true") {
+		t.Error("transcript has no swapped retrain event")
+	}
+	if !strings.Contains(seq.Log, "drift site=") {
+		t.Error("transcript has no drift event")
+	}
+
+	golden := filepath.Join("testdata", "drift_replay.golden")
+	if *update {
+		if err := os.WriteFile(golden, []byte(seq.Log), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s", golden)
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden fixture (run with -update to regenerate): %v", err)
+	}
+	if seq.Log != string(want) {
+		t.Fatalf("transcript diverged from the golden fixture (run with -update if the change is intended)\n--- got ---\n%s\n--- want ---\n%s", seq.Log, want)
+	}
+}

@@ -38,6 +38,10 @@ type Window struct {
 	FgUtil [server.NumTiers]float64
 	EBs    int
 	Mix    string
+	// Classes is the window's request arrivals by TPC-W interaction type
+	// (length tpcw.NumInteractions) — the observable the workload-mix
+	// drift detector compares across windows.
+	Classes []float64
 }
 
 // Trace is a generated run of the testbed.
@@ -202,6 +206,7 @@ func Generate(cfg TraceConfig) (*Trace, error) {
 	total := cfg.Schedule.Duration()
 	var busyAccum [server.NumTiers]float64
 	var fgBusyAccum [server.NumTiers]float64
+	var classAccum [tpcw.NumInteractions]int
 	secInWindow := 0
 	var elapsed float64
 	for elapsed < total {
@@ -214,6 +219,9 @@ func Generate(cfg TraceConfig) (*Trace, error) {
 		for tier := server.TierID(0); tier < server.NumTiers; tier++ {
 			busyAccum[tier] += snap.Tiers[tier].BusySeconds
 			fgBusyAccum[tier] += snap.Tiers[tier].FgBusySeconds
+		}
+		for c, n := range snap.ClassArrivals {
+			classAccum[c] += n
 		}
 
 		var w Window
@@ -248,6 +256,11 @@ func Generate(cfg TraceConfig) (*Trace, error) {
 			busyAccum[tier] = 0
 			fgBusyAccum[tier] = 0
 		}
+		w.Classes = make([]float64, tpcw.NumInteractions)
+		for c, n := range classAccum {
+			w.Classes[c] = float64(n)
+		}
+		classAccum = [tpcw.NumInteractions]int{}
 		secInWindow = 0
 		w.Mix = cfg.Schedule.At(w.Time - float64(cfg.Window)/2).Mix.Name
 		w.Overload = cfg.Labeler.Label(metrics.Sample{
@@ -401,6 +414,34 @@ func InterleavedSchedule(browsing, ordering Workload, s Scale) tpcw.Schedule {
 		phases = append(phases, tpcw.Phase{Mix: w.Mix, EBs: frac(w.Knee, f), Duration: period})
 	}
 	return tpcw.Schedule{Phases: phases}
+}
+
+// MixShiftSchedule is the workload-drift scenario: browsing traffic cycling
+// below and above its knee for the first half of the run, after which the
+// live population's mix is scripted over to ordering (via ShiftAt, sessions
+// surviving the switch) while the same cycle repeats at the ordering knee.
+// A monitor trained on browsing alone sees its accuracy decay in the second
+// half — the trigger for the adaptive retrain-and-swap lifecycle.
+func MixShiftSchedule(browsing, ordering Workload, s Scale) tpcw.Schedule {
+	period := 2 * s.StepSec
+	fracs := []float64{0.8, 1.25, 0.7, 1.2, 0.9, 1.3}
+	// The shifted regime runs twice as long as the browsing lead-in: the
+	// lifecycle needs shifted windows both to retrain on and to serve
+	// afterwards.
+	var phases []tpcw.Phase
+	for i := 0; i < 3*len(fracs); i++ {
+		w := browsing
+		if i >= len(fracs) {
+			w = ordering
+		}
+		phases = append(phases, tpcw.Phase{
+			Mix:      browsing.Mix,
+			EBs:      frac(w.Knee, fracs[i%len(fracs)]),
+			Duration: period,
+		})
+	}
+	shiftAt := float64(len(fracs)) * period
+	return tpcw.Schedule{Phases: phases}.ShiftAt(shiftAt, ordering.Mix)
 }
 
 // sampleFor packages window health for the labeler.

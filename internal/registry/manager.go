@@ -1,0 +1,409 @@
+package registry
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"hpcap/internal/core"
+	"hpcap/internal/drift"
+	"hpcap/internal/ml"
+	"hpcap/internal/serve"
+	"hpcap/internal/server"
+)
+
+// Truth is the delayed ground truth for one decided window, assembled by
+// the caller once the application-level labels become available (the
+// simulator produces them directly; a deployment derives them from SLA
+// bookkeeping a window or two after the fact).
+type Truth struct {
+	Overload   bool
+	Bottleneck server.TierID
+	// Throughput is completed requests per second over the window; the
+	// PI-correlation drift detector re-ranks candidates against it.
+	Throughput float64
+	// ClassCounts is the window's request arrivals by class, for the
+	// mix-shift detector (nil disables it for the window).
+	ClassCounts []float64
+}
+
+// EventKind labels lifecycle events.
+type EventKind int
+
+// The lifecycle event kinds.
+const (
+	// EventDrift reports drift signals on one labeled window.
+	EventDrift EventKind = iota + 1
+	// EventRetrain reports a completed retrain attempt, swapped or not.
+	EventRetrain
+)
+
+// Event is one lifecycle occurrence, emitted via Config.OnEvent.
+type Event struct {
+	Kind EventKind
+	Site string
+	// Seq is the labeled window that produced the event (for retrains,
+	// the window whose drift signal triggered the attempt).
+	Seq     int64
+	Signals []drift.Signal // EventDrift
+	Version Version        // EventRetrain: the registered candidate
+	Err     error          // EventRetrain: training failure (no Version)
+}
+
+// String renders the event in a stable, golden-friendly layout.
+func (e Event) String() string {
+	switch e.Kind {
+	case EventDrift:
+		parts := make([]string, len(e.Signals))
+		for i, s := range e.Signals {
+			parts[i] = s.String()
+		}
+		return fmt.Sprintf("drift site=%s seq=%d %s", e.Site, e.Seq, strings.Join(parts, "; "))
+	case EventRetrain:
+		if e.Err != nil {
+			return fmt.Sprintf("retrain site=%s seq=%d err=%v", e.Site, e.Seq, e.Err)
+		}
+		v := e.Version
+		return fmt.Sprintf("retrain site=%s seq=%d version=%d windows=%d shadow cand=%.4f inc=%.4f swapped=%t",
+			e.Site, e.Seq, v.ID, v.Windows, v.CandidateBA, v.IncumbentBA, v.Swapped)
+	default:
+		return fmt.Sprintf("event(%d) site=%s seq=%d", int(e.Kind), e.Site, e.Seq)
+	}
+}
+
+// Config tunes a Manager.
+type Config struct {
+	// Pipeline is the serving pipeline whose models the manager swaps.
+	Pipeline *serve.Pipeline
+	// Initial is the trained monitor the pipeline was built with; it is
+	// registered as version 0 of every site the manager sees.
+	Initial *core.Monitor
+	// Names is the metric layout of decision vectors, used for
+	// retraining datasets and the correlation drift detector.
+	Names []string
+	// Train configures candidate retraining; Learner is required. Set
+	// Train.Workers to fan the per-tier synopsis builds out over
+	// internal/parallel workers.
+	Train core.Config
+	// Drift is the per-site detector configuration; Names defaults to
+	// Config.Names. Set Drift.Reference to arm the per-tier
+	// PI-correlation test.
+	Drift drift.Config
+	// HistoryWindows is the labeled-window ring kept per site for
+	// retraining snapshots. Zero selects 128.
+	HistoryWindows int
+	// MinTrainWindows is the least labeled windows (beyond the shadow
+	// tail) required before a drift signal triggers a retrain. Zero
+	// selects 32.
+	MinTrainWindows int
+	// ShadowWindows is the held-out tail of the history used to
+	// shadow-evaluate candidate vs incumbent. Zero selects 12.
+	ShadowWindows int
+	// SwapMargin is how much the candidate's shadow balanced accuracy
+	// must exceed the incumbent's to win the swap. Zero selects 0.02;
+	// negative means any improvement wins.
+	SwapMargin float64
+	// CooldownWindows is the least labeled windows between retrain
+	// attempts on one site. Zero selects 24.
+	CooldownWindows int
+	// Background moves retraining to a goroutine (the daemon's mode).
+	// Synchronous retraining — the default — keeps the whole lifecycle
+	// deterministic for replays.
+	Background bool
+	// OnEvent, when set, receives every lifecycle event. In background
+	// mode it may be called from the retrain goroutine.
+	OnEvent func(Event)
+}
+
+func (c Config) withDefaults() Config {
+	if c.HistoryWindows == 0 {
+		c.HistoryWindows = 128
+	}
+	if c.MinTrainWindows == 0 {
+		c.MinTrainWindows = 32
+	}
+	if c.ShadowWindows == 0 {
+		c.ShadowWindows = 12
+	}
+	if c.SwapMargin == 0 {
+		c.SwapMargin = 0.02
+	} else if c.SwapMargin < 0 {
+		// "Any improvement wins": a strictly better candidate swaps, a
+		// tied or worse one never does.
+		c.SwapMargin = 0
+	}
+	if c.CooldownWindows == 0 {
+		c.CooldownWindows = 24
+	}
+	if len(c.Drift.Names) == 0 {
+		c.Drift.Names = c.Names
+	}
+	return c
+}
+
+// labeled is one decided window paired with its ground truth.
+type labeled struct {
+	seq        int64
+	time       float64
+	vectors    [server.NumTiers][]float64
+	predicted  bool
+	overload   int
+	bottleneck server.TierID
+	throughput float64
+	classes    []float64
+}
+
+// managed is the lifecycle state of one site.
+type managed struct {
+	mu         sync.Mutex
+	det        *drift.Detector
+	pending    map[int64]serve.Decision
+	hist       []labeled
+	incumbent  *core.Monitor
+	retraining bool
+	cooldownAt int64 // no retrain before this window seq
+}
+
+// Manager runs the adaptive model lifecycle over one pipeline's sites.
+type Manager struct {
+	cfg   Config
+	store *Store
+
+	mu    sync.Mutex
+	sites map[string]*managed
+	wg    sync.WaitGroup
+}
+
+// NewManager validates the configuration and returns a manager with an
+// empty store. Wire it up by calling HandleDecision from the pipeline's
+// OnDecision (or a subscriber) and ObserveTruth as labels arrive.
+func NewManager(cfg Config) (*Manager, error) {
+	if cfg.Pipeline == nil {
+		return nil, fmt.Errorf("registry: %w: nil pipeline", core.ErrBadConfig)
+	}
+	if cfg.Initial == nil || cfg.Initial.Coordinator() == nil {
+		return nil, fmt.Errorf("registry: %w: initial monitor", core.ErrUntrained)
+	}
+	if len(cfg.Names) != cfg.Initial.InputDim() {
+		return nil, fmt.Errorf("registry: %w: %d metric names for input dim %d",
+			core.ErrDimensionMismatch, len(cfg.Names), cfg.Initial.InputDim())
+	}
+	if cfg.Train.Learner.New == nil {
+		return nil, fmt.Errorf("registry: %w: Train.Learner is required", core.ErrBadConfig)
+	}
+	cfg = cfg.withDefaults()
+	return &Manager{
+		cfg:   cfg,
+		store: NewStore(),
+		sites: make(map[string]*managed),
+	}, nil
+}
+
+// Store exposes the version store (for endpoints and tests).
+func (m *Manager) Store() *Store { return m.store }
+
+// Wait blocks until every background retrain in flight has completed.
+func (m *Manager) Wait() { m.wg.Wait() }
+
+// ensure returns the site's lifecycle state, creating it (and registering
+// the initial model as version 0) on first use.
+func (m *Manager) ensure(site string) (*managed, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if st, ok := m.sites[site]; ok {
+		return st, nil
+	}
+	det, err := drift.New(m.cfg.Drift)
+	if err != nil {
+		return nil, fmt.Errorf("registry: %s: %w", site, err)
+	}
+	st := &managed{
+		det:       det,
+		pending:   make(map[int64]serve.Decision),
+		incumbent: m.cfg.Initial,
+	}
+	m.sites[site] = st
+	m.store.Register(site, Version{
+		Monitor: m.cfg.Initial,
+		Reason:  "initial",
+		Swapped: true,
+	})
+	return st, nil
+}
+
+// HandleDecision buffers a decision until its ground truth arrives. Safe
+// to call from the pipeline's OnDecision callback.
+func (m *Manager) HandleDecision(d serve.Decision) {
+	st, err := m.ensure(d.Site)
+	if err != nil {
+		return
+	}
+	st.mu.Lock()
+	st.pending[d.Seq] = d
+	// Truth that never arrives (dropped windows, restarts) must not leak:
+	// forget decisions far older than the history the manager keeps.
+	if len(st.pending) > 2*m.cfg.HistoryWindows {
+		floor := d.Seq - int64(2*m.cfg.HistoryWindows)
+		for seq := range st.pending {
+			if seq < floor {
+				delete(st.pending, seq)
+			}
+		}
+	}
+	st.mu.Unlock()
+}
+
+// ObserveTruth pairs a window's delayed ground truth with its buffered
+// decision, advances the drift detectors, and — when drift fires outside
+// the cooldown with enough labeled history — retrains and possibly swaps
+// the site's model. Unknown (site, seq) pairs are ignored.
+func (m *Manager) ObserveTruth(site string, seq int64, tr Truth) {
+	st, err := m.ensure(site)
+	if err != nil {
+		return
+	}
+	st.mu.Lock()
+	d, ok := st.pending[seq]
+	if !ok {
+		st.mu.Unlock()
+		return
+	}
+	delete(st.pending, seq)
+	lw := labeled{
+		seq:        seq,
+		time:       d.Time,
+		vectors:    d.Vectors,
+		predicted:  d.Prediction.Overload,
+		bottleneck: tr.Bottleneck,
+		throughput: tr.Throughput,
+		classes:    tr.ClassCounts,
+	}
+	if tr.Overload {
+		lw.overload = 1
+	}
+	st.hist = append(st.hist, lw)
+	if over := len(st.hist) - m.cfg.HistoryWindows; over > 0 {
+		st.hist = append(st.hist[:0], st.hist[over:]...)
+	}
+	sigs := st.det.Observe(drift.Observation{
+		Seq:         seq,
+		Predicted:   d.Prediction.Overload,
+		Truth:       tr.Overload,
+		Throughput:  tr.Throughput,
+		Vectors:     d.Vectors,
+		ClassCounts: tr.ClassCounts,
+	})
+	var snapshot []labeled
+	retrain := false
+	if len(sigs) > 0 && !st.retraining && seq >= st.cooldownAt &&
+		len(st.hist) >= m.cfg.MinTrainWindows+m.cfg.ShadowWindows {
+		st.retraining = true
+		retrain = true
+		snapshot = append([]labeled(nil), st.hist...)
+	}
+	st.mu.Unlock()
+
+	if len(sigs) > 0 {
+		m.cfg.Pipeline.NoteDrift(site, len(sigs))
+		m.emit(Event{Kind: EventDrift, Site: site, Seq: seq, Signals: sigs})
+	}
+	if !retrain {
+		return
+	}
+	reason := sigs[0].Kind.String()
+	if m.cfg.Background {
+		m.wg.Add(1)
+		go func() {
+			defer m.wg.Done()
+			m.retrain(site, st, snapshot, seq, reason)
+		}()
+		return
+	}
+	m.retrain(site, st, snapshot, seq, reason)
+}
+
+// retrain builds a candidate from the history snapshot, shadow-evaluates
+// it against the incumbent on the held-out tail, and swaps it in if it
+// wins. hist holds at least MinTrainWindows+ShadowWindows windows.
+func (m *Manager) retrain(site string, st *managed, hist []labeled, seq int64, reason string) {
+	cut := len(hist) - m.cfg.ShadowWindows
+	train, shadow := hist[:cut], hist[cut:]
+
+	set := core.TrainingSet{Workload: "retrain", Windows: make([]core.LabeledWindow, len(train))}
+	for i, lw := range train {
+		set.Windows[i] = core.LabeledWindow{
+			Observation: core.Observation{Time: lw.time, Vectors: lw.vectors},
+			Overload:    lw.overload,
+			Bottleneck:  lw.bottleneck,
+		}
+	}
+	cand, err := core.Train(m.cfg.Initial.Level, m.cfg.Names, []core.TrainingSet{set}, m.cfg.Train)
+
+	st.mu.Lock()
+	incumbent := st.incumbent
+	st.mu.Unlock()
+	if err != nil {
+		m.finishRetrain(st, seq)
+		m.emit(Event{Kind: EventRetrain, Site: site, Seq: seq, Err: err})
+		return
+	}
+
+	v := Version{
+		Monitor:     cand,
+		Reason:      reason,
+		Windows:     len(train),
+		CandidateBA: shadowScore(cand, shadow),
+		IncumbentBA: shadowScore(incumbent, shadow),
+		SwapSeq:     -1,
+	}
+	v = m.store.Register(site, v)
+	if v.CandidateBA > v.IncumbentBA+m.cfg.SwapMargin {
+		ev, err := m.cfg.Pipeline.SwapMonitor(site, cand, v.ID)
+		if err == nil {
+			m.store.RecordSwap(site, v.ID, ev.Seq)
+			v.Swapped, v.SwapSeq = true, ev.Seq
+			st.mu.Lock()
+			st.incumbent = cand
+			// The new model is judged against a fresh baseline; a
+			// learned mix reference is relearned post-swap.
+			st.det.Reset()
+			st.mu.Unlock()
+		}
+	}
+	m.finishRetrain(st, seq)
+	m.emit(Event{Kind: EventRetrain, Site: site, Seq: seq, Version: v})
+}
+
+func (m *Manager) finishRetrain(st *managed, seq int64) {
+	st.mu.Lock()
+	st.retraining = false
+	st.cooldownAt = seq + int64(m.cfg.CooldownWindows)
+	st.mu.Unlock()
+}
+
+func (m *Manager) emit(e Event) {
+	if m.cfg.OnEvent != nil {
+		m.cfg.OnEvent(e)
+	}
+}
+
+// shadowScore replays the held-out windows through a fresh session of the
+// monitor and returns the balanced accuracy of its overload verdicts.
+// Both models start the shadow slice with empty temporal history, so the
+// comparison is symmetric.
+func shadowScore(mon *core.Monitor, shadow []labeled) float64 {
+	sess := mon.NewSession()
+	var conf ml.Confusion
+	for _, lw := range shadow {
+		p, err := sess.Predict(core.Observation{Time: lw.time, Vectors: lw.vectors})
+		if err != nil {
+			continue
+		}
+		pred := 0
+		if p.Overload {
+			pred = 1
+		}
+		conf.Add(lw.overload, pred)
+	}
+	return conf.BalancedAccuracy()
+}

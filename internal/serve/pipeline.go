@@ -40,9 +40,9 @@ type site struct {
 	pending    [server.NumTiers]metrics.Sample
 	pendingSet [server.NumTiers]bool
 	lastTime   [server.NumTiers]float64
-	started  bool
-	cur      int64 // current window index
-	stats    SiteStats
+	started    bool
+	cur        int64 // current window index
+	stats      SiteStats
 
 	overloaded atomic.Bool
 }
@@ -102,6 +102,8 @@ func (p *Pipeline) getSite(name string) *site {
 		return st
 	}
 	st = &site{name: name, sess: p.monitor.NewSession()}
+	st.stats.LastSwapSeq = -1
+	st.stats.LastDecisionSeq = -1
 	names := make([]string, p.dim)
 	for tier := server.TierID(0); tier < server.NumTiers; tier++ {
 		st.vec[tier] = &vectorCollector{tier: tier, names: names}
@@ -169,7 +171,7 @@ func (p *Pipeline) ingestLocked(st *site, s Sample) *Decision {
 		// Windows the stream skipped entirely are dropped unseen.
 		if gap := wi - st.cur - 1; gap > 0 {
 			st.stats.WindowsDropped += uint64(gap)
-			st.sess.ResetHistory()
+			p.resetSession(st)
 		}
 		st.cur = wi
 	} else if wi < st.cur {
@@ -212,17 +214,19 @@ func (p *Pipeline) ingestLocked(st *site, s Sample) *Decision {
 // mean. Inside the staleness budget the window is decided degraded;
 // beyond it the window is dropped and the temporal history reset.
 func (p *Pipeline) closeCurrent(st *site) *Decision {
-	missing, worst := 0, 0
+	missing, worst, held := 0, 0, 0
 	var vecs [server.NumTiers]metrics.Sample
 	for tier := server.TierID(0); tier < server.NumTiers; tier++ {
 		if st.pendingSet[tier] {
 			vecs[tier] = st.pending[tier]
 			st.pending[tier] = metrics.Sample{}
 			st.pendingSet[tier] = false
+			held += p.cfg.Window
 			continue
 		}
 		sample, n := st.agg[tier].Flush()
 		vecs[tier] = sample
+		held += n
 		miss := p.cfg.Window - n
 		missing += miss
 		if miss > worst {
@@ -236,12 +240,24 @@ func (p *Pipeline) closeCurrent(st *site) *Decision {
 	}
 	if worst > p.cfg.StalenessBudget {
 		st.stats.WindowsDropped++
+		// The samples the dropped window had absorbed never reach a
+		// decision; account for them so ingested = decided + skipped.
+		st.stats.SamplesGapReset += uint64(held)
 		// The stream went stale: clear the temporal history as the
 		// paper prescribes after long gaps.
-		st.sess.ResetHistory()
+		p.resetSession(st)
 		return nil
 	}
 	return p.decide(st, vecs, missing, st.cur)
+}
+
+// resetSession clears a site's temporal history after a stream gap and
+// fails the admission valve open: with no fresh decision, the site must
+// not keep shedding load on a stale overload verdict.
+func (p *Pipeline) resetSession(st *site) {
+	st.sess.ResetHistory()
+	st.stats.SessionResets++
+	st.overloaded.Store(false)
 }
 
 // decide predicts on one assembled window (absolute index seq) and builds
@@ -279,14 +295,65 @@ func (p *Pipeline) decide(st *site, vecs [server.NumTiers]metrics.Sample, missin
 		}
 	}
 	st.overloaded.Store(pred.Overload)
+	st.stats.LastDecisionSeq = seq
+	st.stats.LastDecisionTime = obs.Time
 	return &Decision{
-		Site:       st.name,
-		Seq:        seq,
-		Time:       obs.Time,
-		Prediction: pred,
-		Degraded:   missing > 0,
-		Missing:    missing,
+		Site:         st.name,
+		Seq:          seq,
+		Time:         obs.Time,
+		Prediction:   pred,
+		Degraded:     missing > 0,
+		Missing:      missing,
+		Vectors:      obs.Vectors,
+		ModelVersion: st.stats.ModelVersion,
 	}
+}
+
+// SwapMonitor atomically replaces the model serving one site: the site's
+// session is re-bound to a fresh session of m under the site lock, so the
+// in-progress window and its half-aggregated samples are preserved and
+// every pending window is decided by the new model — the swap drops
+// nothing. The new session starts with empty temporal history (the h-bit
+// window of the old model's verdicts does not transfer). Sites created
+// after the swap still serve the pipeline's original monitor.
+func (p *Pipeline) SwapMonitor(siteName string, m *core.Monitor, version int64) (SwapEvent, error) {
+	if m == nil || m.Coordinator() == nil {
+		return SwapEvent{}, fmt.Errorf("serve: swap %s: %w", siteName, core.ErrUntrained)
+	}
+	if m.InputDim() != p.dim {
+		return SwapEvent{}, fmt.Errorf("serve: swap %s: %w: model dim %d, pipeline dim %d",
+			siteName, core.ErrDimensionMismatch, m.InputDim(), p.dim)
+	}
+	st := p.getSite(siteName)
+	st.mu.Lock()
+	st.sess = m.NewSession()
+	ev := SwapEvent{
+		Site:        siteName,
+		Version:     version,
+		PrevVersion: st.stats.ModelVersion,
+		Seq:         st.cur,
+	}
+	st.stats.ModelVersion = version
+	st.stats.ModelSwaps++
+	st.stats.LastSwapSeq = st.cur
+	st.mu.Unlock()
+	if p.cfg.OnSwap != nil {
+		p.cfg.OnSwap(ev)
+	}
+	return ev, nil
+}
+
+// NoteDrift records n drift detections against a site's counters — the
+// lifecycle manager reports signals here so they surface alongside the
+// serving metrics.
+func (p *Pipeline) NoteDrift(siteName string, n int) {
+	if n <= 0 {
+		return
+	}
+	st := p.getSite(siteName)
+	st.mu.Lock()
+	st.stats.DriftSignals += uint64(n)
+	st.mu.Unlock()
 }
 
 // Flush force-closes every site's in-progress window (end of stream),

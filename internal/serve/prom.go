@@ -16,12 +16,6 @@ type promMetric struct {
 var promMetrics = []promMetric{
 	{"capserved_samples_ingested_total", "counter", "Samples offered to the pipeline, good or bad.",
 		func(s SiteStats) float64 { return float64(s.SamplesIngested) }},
-	{"capserved_samples_late_total", "counter", "Samples skipped as late, duplicate, or out of order.",
-		func(s SiteStats) float64 { return float64(s.SamplesLate) }},
-	{"capserved_samples_bad_value_total", "counter", "Samples skipped for NaN/Inf components.",
-		func(s SiteStats) float64 { return float64(s.SamplesBadValue) }},
-	{"capserved_samples_bad_shape_total", "counter", "Samples skipped for wrong dimension or tier.",
-		func(s SiteStats) float64 { return float64(s.SamplesBadShape) }},
 	{"capserved_windows_decided_total", "counter", "Windows that produced a decision.",
 		func(s SiteStats) float64 { return float64(s.WindowsDecided) }},
 	{"capserved_windows_degraded_total", "counter", "Windows decided from a partial mean.",
@@ -42,6 +36,28 @@ var promMetrics = []promMetric{
 		func(s SiteStats) float64 { return float64(s.PredictMaxNanos) / 1e9 }},
 	{"capserved_gpv_disagreement_rate", "gauge", "Fraction of decided windows with a split synopsis vote.",
 		func(s SiteStats) float64 { return s.DisagreementRate() }},
+	{"capserved_session_resets_total", "counter", "Temporal-history resets after stream gaps.",
+		func(s SiteStats) float64 { return float64(s.SessionResets) }},
+	{"capserved_model_swaps_total", "counter", "Model hot-swaps applied.",
+		func(s SiteStats) float64 { return float64(s.ModelSwaps) }},
+	{"capserved_drift_signals_total", "counter", "Drift detections reported against the site.",
+		func(s SiteStats) float64 { return float64(s.DriftSignals) }},
+	{"capserved_model_version", "gauge", "Active model version (0 = initial).",
+		func(s SiteStats) float64 { return float64(s.ModelVersion) }},
+	{"capserved_last_swap_window", "gauge", "First window decided by the active model (-1 before any swap).",
+		func(s SiteStats) float64 { return float64(s.LastSwapSeq) }},
+}
+
+// skipReasons breaks the skipped-sample count out by cause under one
+// metric family with a reason label.
+var skipReasons = []struct {
+	reason string
+	value  func(SiteStats) uint64
+}{
+	{"nan", func(s SiteStats) uint64 { return s.SamplesBadValue }},
+	{"late", func(s SiteStats) uint64 { return s.SamplesLate }},
+	{"misshapen", func(s SiteStats) uint64 { return s.SamplesBadShape }},
+	{"gap-reset", func(s SiteStats) uint64 { return s.SamplesGapReset }},
 }
 
 // WriteMetrics renders every site's serving counters in Prometheus text
@@ -57,6 +73,19 @@ func (p *Pipeline) WriteMetrics(w io.Writer) error {
 			// %q escapes exactly what the exposition format requires
 			// of a label value (backslash, quote, newline).
 			if _, err := fmt.Fprintf(w, "%s{site=%q} %g\n", m.name, s.Site, m.value(s)); err != nil {
+				return err
+			}
+		}
+	}
+	const skipped = "capserved_samples_skipped_total"
+	if _, err := fmt.Fprintf(w, "# HELP %s Samples that never reached a decision, by reason.\n# TYPE %s counter\n",
+		skipped, skipped); err != nil {
+		return err
+	}
+	for _, s := range stats {
+		for _, r := range skipReasons {
+			if _, err := fmt.Fprintf(w, "%s{site=%q,reason=%q} %g\n",
+				skipped, s.Site, r.reason, float64(r.value(s))); err != nil {
 				return err
 			}
 		}

@@ -52,6 +52,10 @@ type Config struct {
 	// before channel subscribers see it. It runs outside the pipeline's
 	// locks, so it may call back into the Pipeline.
 	OnDecision func(Decision)
+	// OnSwap, when set, is invoked synchronously after every model
+	// hot-swap (SwapMonitor). Like OnDecision it runs outside the
+	// pipeline's locks.
+	OnSwap func(SwapEvent)
 }
 
 // Sample is one 1-second metric vector from one tier of a monitored site,
@@ -80,17 +84,38 @@ type Decision struct {
 	// Missing is how many expected samples the window lacked, summed
 	// over tiers (0 unless Degraded).
 	Missing int
+	// Vectors holds the per-tier window-mean metric vectors the decision
+	// was predicted from. The slices are owned by the decision (the
+	// aggregator emits fresh storage per window); treat them as
+	// read-only, as they are shared across all subscribers.
+	Vectors [server.NumTiers][]float64
+	// ModelVersion is the site's active model version at decision time
+	// (0 until the first hot-swap).
+	ModelVersion int64
+}
+
+// SwapEvent announces a model hot-swap on one site.
+type SwapEvent struct {
+	Site string
+	// Version is the newly active model version, PrevVersion the one it
+	// replaced (0 is the initial model the pipeline was built with).
+	Version, PrevVersion int64
+	// Seq is the first window index the new model will decide: every
+	// decision with Seq below this came from the previous model.
+	Seq int64
 }
 
 // SiteStats is a snapshot of one site's serving counters.
 type SiteStats struct {
 	Site string
 
-	// Ingestion.
+	// Ingestion. The four skip counters surface as one Prometheus family,
+	// capserved_samples_skipped_total, with a reason label.
 	SamplesIngested uint64 // samples offered, good or bad
 	SamplesLate     uint64 // non-monotonic, duplicate, or closed-window
 	SamplesBadValue uint64 // NaN or Inf component
 	SamplesBadShape uint64 // wrong vector length or tier out of range
+	SamplesGapReset uint64 // accepted but discarded when their window was dropped
 
 	// Windowing and prediction.
 	WindowsDecided   uint64 // decisions emitted (clean + degraded)
@@ -106,6 +131,17 @@ type SiteStats struct {
 
 	// Delivery.
 	DecisionsDropped uint64 // subscriber buffer overflows
+
+	// Model lifecycle.
+	SessionResets uint64 // temporal-history resets after stream gaps
+	ModelSwaps    uint64 // hot-swaps applied (SwapMonitor)
+	DriftSignals  uint64 // drift detections reported via NoteDrift
+	ModelVersion  int64  // active model version (0 = initial)
+	LastSwapSeq   int64  // first window decided by the active model; -1 before any swap
+
+	// Freshness (for readiness probes).
+	LastDecisionSeq  int64   // most recent decided window; -1 before the first
+	LastDecisionTime float64 // its stream timestamp in seconds
 }
 
 // DisagreementRate is the fraction of decided windows whose Global

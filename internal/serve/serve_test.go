@@ -494,10 +494,194 @@ func TestWriteMetrics(t *testing.T) {
 		fmt.Sprintf(`capserved_samples_ingested_total{site="shop"} %d`, W*int(server.NumTiers)),
 		`capserved_windows_decided_total{site="shop"} 1`,
 		"# TYPE capserved_prediction_max_seconds gauge",
+		"# TYPE capserved_samples_skipped_total counter",
+		`capserved_samples_skipped_total{site="shop",reason="nan"} 0`,
+		`capserved_samples_skipped_total{site="shop",reason="late"} 0`,
+		`capserved_samples_skipped_total{site="shop",reason="misshapen"} 0`,
+		`capserved_samples_skipped_total{site="shop",reason="gap-reset"} 0`,
+		`capserved_model_swaps_total{site="shop"} 0`,
+		`capserved_model_version{site="shop"} 0`,
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("metrics output missing %q in:\n%s", want, out)
 		}
+	}
+}
+
+// TestSwapMonitorLossFree hot-swaps the model mid-window and asserts the
+// swap drops nothing: the half-aggregated window survives the re-bind and
+// is decided by the new model, the decision count matches a frozen replay,
+// and decisions carry the model version active when they were made.
+func TestSwapMonitorLossFree(t *testing.T) {
+	_, mon, tr := fixture(t)
+	var frozen []serve.Decision
+	pf, err := serve.NewPipeline(mon, serve.Config{
+		Window:     30,
+		OnDecision: func(d serve.Decision) { frozen = append(frozen, d) },
+	})
+	if err != nil {
+		t.Fatalf("NewPipeline: %v", err)
+	}
+	replay(pf, "s", tr)
+
+	var swapped []serve.Decision
+	var events []serve.SwapEvent
+	p, err := serve.NewPipeline(mon, serve.Config{
+		Window:     30,
+		OnDecision: func(d serve.Decision) { swapped = append(swapped, d) },
+		OnSwap:     func(ev serve.SwapEvent) { events = append(events, ev) },
+	})
+	if err != nil {
+		t.Fatalf("NewPipeline: %v", err)
+	}
+	// Stream with a swap in the middle of window 2 (15 seconds in), so the
+	// new session inherits a half-aggregated window.
+	W := 30
+	swapAt := W + W/2
+	vecs := secondVectors(tr)
+	for i, ts := range tr.SecTimes {
+		if i == swapAt {
+			if _, err := p.SwapMonitor("s", mon, 1); err != nil {
+				t.Fatalf("SwapMonitor: %v", err)
+			}
+		}
+		for tier := server.TierID(0); tier < server.NumTiers; tier++ {
+			p.Ingest(serve.Sample{Site: "s", Tier: tier, Time: ts, Values: vecs[tier][i]})
+		}
+	}
+	p.Flush()
+
+	if len(swapped) != len(frozen) {
+		t.Fatalf("swap replay decided %d windows, frozen %d — swap lost decisions", len(swapped), len(frozen))
+	}
+	if len(events) != 1 {
+		t.Fatalf("OnSwap fired %d times, want 1: %+v", len(events), events)
+	}
+	ev := events[0]
+	if ev.Site != "s" || ev.Version != 1 || ev.PrevVersion != 0 {
+		t.Errorf("unexpected swap event %+v", ev)
+	}
+	for _, d := range swapped {
+		want := int64(0)
+		if d.Seq >= ev.Seq {
+			want = 1
+		}
+		if d.ModelVersion != want {
+			t.Errorf("window %d: ModelVersion %d, want %d (swap at %d)", d.Seq, d.ModelVersion, want, ev.Seq)
+		}
+		for tier := server.TierID(0); tier < server.NumTiers; tier++ {
+			if len(d.Vectors[tier]) != len(vecs[tier][0]) {
+				t.Fatalf("window %d tier %s: Vectors has %d metrics, want %d",
+					d.Seq, tier, len(d.Vectors[tier]), len(vecs[tier][0]))
+			}
+		}
+	}
+	// Same model on both sides of the swap: every decision before the swap
+	// window and after the temporal history re-converges matches frozen.
+	for i, d := range swapped {
+		if d.Seq < ev.Seq && !reflect.DeepEqual(d.Prediction, frozen[i].Prediction) {
+			t.Errorf("pre-swap window %d diverged from frozen replay", d.Seq)
+		}
+	}
+	st, _ := p.SiteStats("s")
+	if st.ModelSwaps != 1 || st.ModelVersion != 1 || st.LastSwapSeq != ev.Seq {
+		t.Errorf("swap counters: %+v", st)
+	}
+	if st.WindowsDecided != uint64(len(frozen)) || st.WindowsDropped != 0 {
+		t.Errorf("swap replay decided=%d dropped=%d, want %d/0", st.WindowsDecided, st.WindowsDropped, len(frozen))
+	}
+}
+
+// TestSwapMonitorRejectsUntrained pins the swap validation errors.
+func TestSwapMonitorRejectsUntrained(t *testing.T) {
+	_, mon, _ := fixture(t)
+	p, err := serve.NewPipeline(mon, serve.Config{})
+	if err != nil {
+		t.Fatalf("NewPipeline: %v", err)
+	}
+	if _, err := p.SwapMonitor("s", nil, 1); !errors.Is(err, core.ErrUntrained) {
+		t.Errorf("nil monitor: got %v, want ErrUntrained", err)
+	}
+	if _, err := p.SwapMonitor("s", &core.Monitor{}, 1); !errors.Is(err, core.ErrUntrained) {
+		t.Errorf("untrained monitor: got %v, want ErrUntrained", err)
+	}
+	st, _ := p.SiteStats("s")
+	if st.ModelSwaps != 0 || st.ModelVersion != 0 {
+		t.Errorf("rejected swaps mutated counters: %+v", st)
+	}
+}
+
+// TestValveReopensAfterSessionReset drives a site into predicted overload,
+// then starves the stream past the staleness budget: the session reset must
+// fail the admission valve open (a stale overload verdict must not keep
+// shedding load) and the gap's absorbed samples must land on the gap-reset
+// counter.
+func TestValveReopensAfterSessionReset(t *testing.T) {
+	lab, mon, tr := fixture(t)
+	W := lab.Scale.Window
+	p, err := serve.NewPipeline(mon, serve.Config{Window: W})
+	if err != nil {
+		t.Fatalf("NewPipeline: %v", err)
+	}
+	valve := p.AdmissionValve("s", 8)
+	busy := server.AdmissionState{WaitQueue: 3, BoundWorkers: 12}
+	if !valve(busy) {
+		t.Fatal("valve closed before any decision")
+	}
+
+	// Replay until the first overload verdict.
+	vecs := secondVectors(tr)
+	fed := 0
+	for i, ts := range tr.SecTimes {
+		for tier := server.TierID(0); tier < server.NumTiers; tier++ {
+			p.Ingest(serve.Sample{Site: "s", Tier: tier, Time: ts, Values: vecs[tier][i]})
+		}
+		fed = i + 1
+		if p.Overloaded("s") {
+			break
+		}
+	}
+	if !p.Overloaded("s") {
+		t.Fatal("trace never predicted overload; fixture unusable for this test")
+	}
+	if valve(busy) {
+		t.Fatal("valve open under predicted overload with a busy pipeline")
+	}
+
+	// Feed part of the next window, then jump far past the staleness
+	// budget: the partial window is dropped, the session reset, and the
+	// valve must reopen even though no fresh decision has been made.
+	partial := 5
+	before, _ := p.SiteStats("s")
+	for i := fed; i < fed+partial; i++ {
+		for tier := server.TierID(0); tier < server.NumTiers; tier++ {
+			p.Ingest(serve.Sample{Site: "s", Tier: tier, Time: tr.SecTimes[i], Values: vecs[tier][i]})
+		}
+	}
+	skip := float64(10 * W)
+	p.Ingest(serve.Sample{
+		Site: "s", Tier: server.TierApp,
+		Time:   tr.SecTimes[fed+partial-1] + skip,
+		Values: vecs[server.TierApp][fed+partial],
+	})
+
+	if p.Overloaded("s") {
+		t.Error("overload verdict survived the session reset")
+	}
+	if !valve(busy) {
+		t.Error("valve still closed after the session reset")
+	}
+	st, _ := p.SiteStats("s")
+	// The jump both drops the partial window (one reset) and skips whole
+	// windows (a second reset on the same gap).
+	if st.SessionResets != before.SessionResets+2 {
+		t.Errorf("SessionResets = %d, want %d", st.SessionResets, before.SessionResets+2)
+	}
+	if got, want := st.SamplesGapReset-before.SamplesGapReset, uint64(partial*int(server.NumTiers)); got != want {
+		t.Errorf("SamplesGapReset accounted %d samples, want %d (the dropped partial window)", got, want)
+	}
+	if st.WindowsDropped <= before.WindowsDropped {
+		t.Error("gap did not count dropped windows")
 	}
 }
 

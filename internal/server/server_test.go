@@ -392,3 +392,52 @@ func TestMeanRTZeroWithoutCompletions(t *testing.T) {
 		t.Errorf("idle snapshot has MeanRT=%v Completions=%d", s.MeanRT, s.Completions)
 	}
 }
+
+// TestClassArrivalsAccounting checks the per-class arrival histogram: it
+// partitions the interval's arrivals, resets between samples, and follows
+// the offered mix when a schedule shifts mid-run.
+func TestClassArrivalsAccounting(t *testing.T) {
+	sched := tpcw.Steady(tpcw.Browsing(), 80, 600).ShiftAt(300, tpcw.Ordering())
+	tb, err := NewTestbed(DefaultConfig(), sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Start(); err != nil {
+		t.Fatal(err)
+	}
+	orderShare := func(s Snapshot) float64 {
+		total, order := 0, 0
+		for c, n := range s.ClassArrivals {
+			total += n
+			if (tpcw.Interaction(c) + tpcw.Home).IsOrder() {
+				order += n
+			}
+		}
+		if total != s.Arrivals {
+			t.Errorf("class counts sum to %d, Arrivals = %d", total, s.Arrivals)
+		}
+		if total == 0 {
+			t.Fatal("interval saw no arrivals")
+		}
+		return float64(order) / float64(total)
+	}
+
+	tb.RunInterval(60) // warm-up
+	browse := orderShare(tb.RunInterval(200))
+	next := tb.RunInterval(1)
+	for c, n := range next.ClassArrivals {
+		if n < 0 || n > next.Arrivals {
+			t.Errorf("class %d count %d out of range after reset", c, n)
+		}
+	}
+	tb.RunInterval(99) // cross the shift, discard the mixed interval
+	order := orderShare(tb.RunInterval(200))
+
+	// Browsing is 5% order-class, ordering 50%.
+	if browse > 0.15 {
+		t.Errorf("browsing phase order share = %v, want ≈0.05", browse)
+	}
+	if order < 0.35 {
+		t.Errorf("ordering phase order share = %v, want ≈0.5", order)
+	}
+}

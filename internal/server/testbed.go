@@ -36,12 +36,13 @@ type Testbed struct {
 	started   bool
 
 	// Per-interval request accounting.
-	arrivals    int
-	completions int
-	rejections  int
-	rtSum       float64
-	rtMax       float64
-	inFlight    int
+	arrivals      int
+	completions   int
+	rejections    int
+	classArrivals [tpcw.NumInteractions]int
+	rtSum         float64
+	rtMax         float64
+	inFlight      int
 
 	// Lifetime totals for conservation checking.
 	totalArrivals    int
@@ -174,6 +175,7 @@ func (tb *Testbed) dispatch(it tpcw.Interaction, done func()) {
 	arrival := tb.engine.Now()
 	tb.arrivals++
 	tb.totalArrivals++
+	tb.classArrivals[it-tpcw.Home]++
 
 	if tb.admission != nil {
 		state := AdmissionState{
@@ -253,8 +255,14 @@ type Snapshot struct {
 	Arrivals    int
 	Completions int
 	Rejections  int
-	MeanRT      float64 // mean response time of completed requests, seconds
-	MaxRT       float64
+	// ClassArrivals breaks Arrivals down by TPC-W interaction type, in
+	// canonical order (index Interaction-Home) — the request-class
+	// histogram that workload-mix drift detection compares across
+	// windows. Rejected requests still count: the mix is a property of
+	// the offered load, not of what was admitted.
+	ClassArrivals [tpcw.NumInteractions]int
+	MeanRT        float64 // mean response time of completed requests, seconds
+	MaxRT         float64
 
 	// Gauges.
 	InFlight  int
@@ -275,12 +283,13 @@ func (tb *Testbed) RunInterval(dt float64) Snapshot {
 // sample collects and resets interval accounting.
 func (tb *Testbed) sample() Snapshot {
 	s := Snapshot{
-		Time:        tb.engine.Now(),
-		Arrivals:    tb.arrivals,
-		Completions: tb.completions,
-		Rejections:  tb.rejections,
-		MaxRT:       tb.rtMax,
-		InFlight:    tb.inFlight,
+		Time:          tb.engine.Now(),
+		Arrivals:      tb.arrivals,
+		Completions:   tb.completions,
+		Rejections:    tb.rejections,
+		ClassArrivals: tb.classArrivals,
+		MaxRT:         tb.rtMax,
+		InFlight:      tb.inFlight,
 	}
 	if tb.completions > 0 {
 		s.MeanRT = tb.rtSum / float64(tb.completions)
@@ -294,6 +303,7 @@ func (tb *Testbed) sample() Snapshot {
 		}
 	}
 	tb.arrivals, tb.completions, tb.rejections = 0, 0, 0
+	tb.classArrivals = [tpcw.NumInteractions]int{}
 	tb.rtSum, tb.rtMax = 0, 0
 	return s
 }

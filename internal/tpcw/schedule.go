@@ -132,6 +132,55 @@ func Interleaved(a, b Mix, ebs int, period float64, switches int) Schedule {
 	return Schedule{Phases: phases}
 }
 
+// Truncate returns a copy of the schedule cut to its first at seconds. A
+// phase straddling the cut is shortened to end exactly at it; at values
+// beyond the schedule's duration return it unchanged and non-positive
+// values return an empty (invalid) schedule.
+func (s Schedule) Truncate(at float64) Schedule {
+	var out Schedule
+	var elapsed float64
+	for _, p := range s.Phases {
+		if elapsed >= at {
+			break
+		}
+		if remain := at - elapsed; p.Duration > remain {
+			p.Duration = remain
+		}
+		elapsed += p.Duration
+		out.Phases = append(out.Phases, p)
+	}
+	return out
+}
+
+// ShiftAt returns a copy of the schedule whose traffic switches to mix at
+// virtual time at, keeping every phase's EB population and think scale —
+// a scripted mid-run mix shift, the workload-drift scenario where the
+// request population changes character while the session count does not.
+// A phase straddling the shift is split in two; non-positive at shifts the
+// whole schedule and values beyond its duration return it unchanged.
+func (s Schedule) ShiftAt(at float64, mix Mix) Schedule {
+	var out Schedule
+	var elapsed float64
+	for _, p := range s.Phases {
+		end := elapsed + p.Duration
+		switch {
+		case end <= at: // entirely before the shift
+			out.Phases = append(out.Phases, p)
+		case elapsed >= at: // entirely after
+			p.Mix = mix
+			out.Phases = append(out.Phases, p)
+		default: // straddles: split at the shift point
+			head, tail := p, p
+			head.Duration = at - elapsed
+			tail.Duration = end - at
+			tail.Mix = mix
+			out.Phases = append(out.Phases, head, tail)
+		}
+		elapsed = end
+	}
+	return out
+}
+
 // Concat joins schedules end to end.
 func Concat(schedules ...Schedule) Schedule {
 	var out Schedule

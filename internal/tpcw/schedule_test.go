@@ -202,3 +202,89 @@ func TestBrowserCheckoutChains(t *testing.T) {
 		t.Errorf("checkout chain rate = %v, want ≥0.4", frac)
 	}
 }
+
+func TestTruncate(t *testing.T) {
+	s := Concat(
+		Steady(Browsing(), 50, 300),
+		Steady(Ordering(), 80, 300),
+	)
+	cut := s.Truncate(450)
+	if err := cut.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if cut.Duration() != 450 {
+		t.Errorf("Duration = %v, want 450", cut.Duration())
+	}
+	if len(cut.Phases) != 2 || cut.Phases[1].Duration != 150 {
+		t.Errorf("Truncate split = %+v", cut.Phases)
+	}
+	if got := s.Truncate(1000); got.Duration() != 600 {
+		t.Errorf("over-long cut changed duration to %v", got.Duration())
+	}
+	if got := s.Truncate(0); len(got.Phases) != 0 {
+		t.Errorf("zero cut kept %d phases", len(got.Phases))
+	}
+	// Exact boundary: the straddling phase is dropped entirely.
+	if got := s.Truncate(300); len(got.Phases) != 1 || got.Duration() != 300 {
+		t.Errorf("boundary cut = %+v", got.Phases)
+	}
+	if s.Duration() != 600 {
+		t.Error("Truncate mutated the original schedule")
+	}
+}
+
+func TestShiftAt(t *testing.T) {
+	s := Schedule{Phases: []Phase{
+		{Mix: Browsing(), EBs: 50, Duration: 300, ThinkScale: 1.5},
+		{Mix: Browsing(), EBs: 80, Duration: 300},
+	}}
+	shift := s.ShiftAt(450, Ordering())
+	if err := shift.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if shift.Duration() != 600 {
+		t.Errorf("Duration = %v, want 600", shift.Duration())
+	}
+	if len(shift.Phases) != 3 {
+		t.Fatalf("phases = %d, want 3 (straddler split)", len(shift.Phases))
+	}
+	for i, want := range []struct {
+		mix string
+		ebs int
+		dur float64
+	}{
+		{"browsing", 50, 300},
+		{"browsing", 80, 150},
+		{"ordering", 80, 150},
+	} {
+		p := shift.Phases[i]
+		if p.Mix.Name != want.mix || p.EBs != want.ebs || p.Duration != want.dur {
+			t.Errorf("phase %d = {%s %d %v}, want %+v", i, p.Mix.Name, p.EBs, p.Duration, want)
+		}
+	}
+	// EB programme and think scaling survive the shift untouched.
+	if before, after := s.At(100), shift.At(100); after.ThinkScale != before.ThinkScale {
+		t.Errorf("ThinkScale changed: %v -> %v", before.ThinkScale, after.ThinkScale)
+	}
+	if got := shift.At(500); got.Mix.Name != "ordering" || got.EBs != 80 {
+		t.Errorf("At(500) = %+v, want ordering at 80 EBs", got)
+	}
+
+	whole := s.ShiftAt(0, Ordering())
+	for i, p := range whole.Phases {
+		if p.Mix.Name != "ordering" {
+			t.Errorf("ShiftAt(0) phase %d still %s", i, p.Mix.Name)
+		}
+	}
+	if got := s.ShiftAt(600, Ordering()); len(got.Phases) != 2 || got.Phases[1].Mix.Name != "browsing" {
+		t.Errorf("shift beyond the end altered the schedule: %+v", got.Phases)
+	}
+	// Shift on an exact phase boundary must not mint a zero-length phase.
+	exact := s.ShiftAt(300, Ordering())
+	if err := exact.Validate(); err != nil {
+		t.Fatalf("boundary shift invalid: %v", err)
+	}
+	if len(exact.Phases) != 2 || exact.Phases[1].Mix.Name != "ordering" {
+		t.Errorf("boundary shift = %+v", exact.Phases)
+	}
+}
