@@ -23,6 +23,15 @@
 //	capserved -admission 8                          # close the loop: shed load when overloaded
 //	capserved -level os                             # monitor on OS metrics instead of counters
 //	capserved -adapt                                # retrain and hot-swap on drift
+//	capserved -chaos "outage tier=db at=120 for=30" # inject telemetry faults
+//
+// With -chaos the sample stream passes through a deterministic fault
+// injector (internal/chaos) before ingestion: the flag takes a fault
+// schedule in the chaos grammar (clauses separated by ";", e.g.
+// "drop tier=app at=60 for=30 p=0.25; outage at=300 for=30"). The
+// simulated sites are unaffected — only the telemetry the pipeline sees
+// is corrupted — and every degradation-ladder transition is printed and
+// surfaced on /readyz and /metrics.
 package main
 
 import (
@@ -37,6 +46,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"hpcap/internal/chaos"
 	"hpcap/internal/core"
 	"hpcap/internal/cpu"
 	"hpcap/internal/experiment"
@@ -86,6 +96,7 @@ func run(args []string, out io.Writer) error {
 	seed := fs.Int64("seed", 1, "master random seed")
 	admission := fs.Int("admission", 0, "admission valve worker bound under overload; 0 leaves sites uncontrolled")
 	adapt := fs.Bool("adapt", false, "run the adaptive model lifecycle: pair decisions with delayed truth, retrain on drift, hot-swap winners")
+	chaosSpec := fs.String("chaos", "", `fault schedule to inject into the telemetry stream, e.g. "drop tier=app at=60 for=30 p=0.25; outage at=300 for=30"`)
 	addr := fs.String("addr", "", "HTTP listen address for /metrics, /debug/vars, /healthz, /readyz, /models; empty disables HTTP")
 	hold := fs.Bool("hold", false, "keep the HTTP endpoint up after the simulated run completes")
 	if err := fs.Parse(args); err != nil {
@@ -114,6 +125,14 @@ func run(args []string, out io.Writer) error {
 	}
 	if *sites < 1 {
 		return fmt.Errorf("need at least one site, got %d", *sites)
+	}
+	var inj *chaos.Injector
+	if *chaosSpec != "" {
+		sched, err := chaos.Parse(*chaosSpec)
+		if err != nil {
+			return fmt.Errorf("-chaos: %w", err)
+		}
+		inj = chaos.NewInjector(sched, *seed)
 	}
 
 	// HTTP comes up before training so /readyz can report "not ready"
@@ -184,6 +203,11 @@ func run(args []string, out io.Writer) error {
 				ev.Site, ev.PrevVersion, ev.Version, ev.Seq)
 			outMu.Unlock()
 		},
+		OnHealth: func(ev serve.HealthEvent) {
+			outMu.Lock()
+			fmt.Fprintf(out, "health %s %s -> %s at window %d\n", ev.Site, ev.From, ev.To, ev.Seq)
+			outMu.Unlock()
+		},
 	})
 	if err != nil {
 		return fmt.Errorf("build pipeline: %w", err)
@@ -239,12 +263,22 @@ func run(args []string, out io.Writer) error {
 	state.setSites(names)
 
 	// Advance all sites in 1-second lockstep, streaming every tier's
-	// sample into the pipeline as it is collected.
+	// sample into the pipeline as it is collected — through the fault
+	// injector first when -chaos is set.
+	ingest := func(s serve.Sample) {
+		if inj == nil {
+			pipe.Ingest(s)
+			return
+		}
+		for _, out := range inj.Apply(s) {
+			pipe.Ingest(out)
+		}
+	}
 	for elapsed := 0.0; elapsed < *duration; elapsed++ {
 		for _, s := range fleet {
 			snap := s.tb.RunInterval(1)
 			for tier := server.TierID(0); tier < server.NumTiers; tier++ {
-				pipe.Ingest(serve.Sample{
+				ingest(serve.Sample{
 					Site:   s.name,
 					Tier:   tier,
 					Time:   snap.Time,
@@ -256,6 +290,11 @@ func run(args []string, out io.Writer) error {
 			}
 		}
 	}
+	if inj != nil {
+		for _, s := range inj.Drain() {
+			pipe.Ingest(s)
+		}
+	}
 	pipe.Flush()
 	if mgr != nil {
 		mgr.Wait()
@@ -263,9 +302,16 @@ func run(args []string, out io.Writer) error {
 
 	fmt.Fprintln(out)
 	for _, st := range pipe.Stats() {
-		fmt.Fprintf(out, "%-8s windows=%d degraded=%d dropped=%d overloads=%d disagreement=%.1f%% mean-predict=%s\n",
+		fmt.Fprintf(out, "%-8s windows=%d degraded=%d dropped=%d overloads=%d disagreement=%.1f%% mean-predict=%s health=%s transitions=%d\n",
 			st.Site, st.WindowsDecided, st.WindowsDegraded, st.WindowsDropped,
-			st.Overloads, st.DisagreementRate()*100, st.MeanPredictLatency())
+			st.Overloads, st.DisagreementRate()*100, st.MeanPredictLatency(),
+			st.Health, st.HealthChanges())
+	}
+	if inj != nil {
+		fs := inj.Stats()
+		fmt.Fprintf(out, "chaos    offered=%d emitted=%d injected=%d dropped=%d nan=%d stuck=%d stalled=%d dup=%d skew=%d outage=%d\n",
+			fs.Offered, fs.Emitted, fs.Injected(), fs.Dropped, fs.Corrupted, fs.Frozen,
+			fs.Stalled, fs.Duplicated, fs.Skewed, fs.Outaged)
 	}
 	if *admission > 0 {
 		for _, s := range fleet {
@@ -429,6 +475,10 @@ func (s *daemonState) snapshot() (*serve.Pipeline, *registry.Manager, []string) 
 type siteReadiness struct {
 	Site  string `json:"site"`
 	Ready bool   `json:"ready"`
+	// Health is the site's degradation-ladder state (healthy, degraded,
+	// or stale); a stale site stays "ready" because its admission valve
+	// has already failed open.
+	Health string `json:"health"`
 	// ModelVersion is the site's active model; LastSwapSeq the first
 	// window it decided (-1 while the initial model has never been
 	// replaced).
@@ -477,6 +527,7 @@ func (s *daemonState) readiness() readinessReport {
 		sr := siteReadiness{
 			Site:             name,
 			Ready:            st.LastDecisionSeq >= 0,
+			Health:           st.Health.String(),
 			ModelVersion:     st.ModelVersion,
 			LastSwapSeq:      st.LastSwapSeq,
 			LastDecisionSeq:  st.LastDecisionSeq,

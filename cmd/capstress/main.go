@@ -7,6 +7,14 @@
 //
 //	capstress -mix browsing -ebs 400 -duration 1800
 //	capstress -mix ordering -ramp 50:700:10 -step 120
+//	capstress -ebs 300 -chaos "nan tier=app at=120 for=60 p=0.2"
+//
+// With -chaos the run also samples per-tier hardware counters through the
+// deterministic fault injector (internal/chaos), with the flaky reads
+// hardened by the bounded-retry collector the serving stack uses: the
+// table gains a faults column counting injections per window, and the
+// totals report the injector's and retrier's counters. The testbed itself
+// is never faulted — chaos corrupts telemetry, not traffic.
 package main
 
 import (
@@ -16,8 +24,11 @@ import (
 	"strconv"
 	"strings"
 
+	"hpcap/internal/chaos"
+	"hpcap/internal/cpu"
 	"hpcap/internal/metrics"
 	"hpcap/internal/pi"
+	"hpcap/internal/serve"
 	"hpcap/internal/server"
 	"hpcap/internal/tpcw"
 )
@@ -38,6 +49,7 @@ func run(args []string) error {
 	duration := fs.Float64("duration", 1800, "steady run duration, seconds")
 	window := fs.Int("window", 30, "reporting window, seconds")
 	seed := fs.Int64("seed", 1, "random seed")
+	chaosSpec := fs.String("chaos", "", `fault schedule to inject into the counter stream, e.g. "nan tier=app at=120 for=60 p=0.2"`)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -73,12 +85,37 @@ func run(args []string) error {
 		return err
 	}
 
+	// Chaos mode: sample per-tier counters through retry-hardened flaky
+	// collectors, then run the vectors through the fault injector.
+	var (
+		inj  *chaos.Injector
+		coll [server.NumTiers]*metrics.RetryCollector
+	)
+	if *chaosSpec != "" {
+		csched, err := chaos.Parse(*chaosSpec)
+		if err != nil {
+			return fmt.Errorf("-chaos: %w", err)
+		}
+		inj = chaos.NewInjector(csched, *seed)
+		machines := [server.NumTiers]server.MachineConfig{cfg.App.Machine, cfg.DB.Machine}
+		for tier := server.TierID(0); tier < server.NumTiers; tier++ {
+			flaky := chaos.NewFlakyCollector(
+				cpu.NewCollector(tier, machines[tier], 0.02, *seed*10+int64(tier)+100), csched)
+			coll[tier] = metrics.NewRetryCollector(flaky, 2)
+		}
+	}
+
 	labeler := pi.Labeler{}
-	fmt.Printf("%8s %5s %8s %9s %7s | %6s %6s %7s %7s | %6s %6s %7s %7s | %5s\n",
+	header := fmt.Sprintf("%8s %5s %8s %9s %7s | %6s %6s %7s %7s | %6s %6s %7s %7s | %5s",
 		"time(s)", "EBs", "thr/s", "meanRT", "inflight",
 		"appU", "appRQ", "appMiss", "appDil",
 		"dbU", "dbRQ", "dbMiss", "dbDil", "state")
+	if inj != nil {
+		header += fmt.Sprintf(" | %6s", "faults")
+	}
+	fmt.Println(header)
 	total := sched.Duration()
+	var lastInjected uint64
 	for t := 0.0; t < total; t += float64(*window) {
 		var completions, arrivals int
 		var rtW float64
@@ -86,6 +123,16 @@ func run(args []string) error {
 		var appBusy, dbBusy, appMiss, dbMiss, appDil, dbDil float64
 		for i := 0; i < *window; i++ {
 			s := tb.RunInterval(1)
+			if inj != nil {
+				for tier := server.TierID(0); tier < server.NumTiers; tier++ {
+					inj.Apply(serve.Sample{
+						Site:   "stress",
+						Tier:   tier,
+						Time:   s.Time,
+						Values: coll[tier].Collect(s, 1),
+					})
+				}
+			}
 			completions += s.Completions
 			arrivals += s.Arrivals
 			rtW += s.MeanRT * float64(s.Completions)
@@ -107,15 +154,33 @@ func run(args []string) error {
 		if label == 1 {
 			state = "OVER"
 		}
-		fmt.Printf("%8.0f %5d %8.1f %9.3f %7d | %6.2f %6d %7.3f %7.2f | %6.2f %6d %7.3f %7.2f | %5s\n",
+		line := fmt.Sprintf("%8.0f %5d %8.1f %9.3f %7d | %6.2f %6d %7.3f %7.2f | %6.2f %6d %7.3f %7.2f | %5s",
 			t+w, last.ActiveEBs, float64(completions)/w, meanRT, last.InFlight,
 			appBusy/w, last.Tiers[server.TierApp].RunQueue, appMiss/w, appDil/w,
 			dbBusy/w, last.Tiers[server.TierDB].RunQueue, dbMiss/w, dbDil/w,
 			state)
+		if inj != nil {
+			injected := inj.Stats().Injected()
+			line += fmt.Sprintf(" | %6d", injected-lastInjected)
+			lastInjected = injected
+		}
+		fmt.Println(line)
 	}
 	arr, comp, rej, inflight := tb.Conservation()
 	fmt.Printf("\ntotals: arrivals=%d completions=%d rejections=%d in-flight=%d\n",
 		arr, comp, rej, inflight)
+	if inj != nil {
+		inj.Drain()
+		fs := inj.Stats()
+		var retries, fallbacks uint64
+		for tier := server.TierID(0); tier < server.NumTiers; tier++ {
+			retries += coll[tier].Retries()
+			fallbacks += coll[tier].Failures()
+		}
+		fmt.Printf("chaos:  offered=%d emitted=%d injected=%d dropped=%d nan=%d stuck=%d stalled=%d dup=%d skew=%d outage=%d retries=%d fallbacks=%d\n",
+			fs.Offered, fs.Emitted, fs.Injected(), fs.Dropped, fs.Corrupted, fs.Frozen,
+			fs.Stalled, fs.Duplicated, fs.Skewed, fs.Outaged, retries, fallbacks)
+	}
 	return nil
 }
 

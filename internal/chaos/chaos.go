@@ -1,0 +1,297 @@
+// Package chaos is the deterministic fault-injection layer for the online
+// serving stack: it wraps a stream of serve.Samples (or a
+// metrics.Collector) and injects scripted telemetry faults — sample
+// dropouts, NaN/Inf bursts, stuck-counter runs, bounded collector stalls,
+// duplicated deliveries, clock skew, and whole-tier outages — according to
+// a FaultSchedule, the fault-domain mirror of tpcw.Schedule.
+//
+// Everything is a pure function of (schedule, seed, sample stream): the
+// per-sample coin flips come from a counter-keyed hash, not a shared RNG,
+// so a chaos run replays byte-for-byte no matter how many goroutines feed
+// the pipeline or how their ingests interleave. That is what lets the
+// chaos-replay determinism golden compare a Workers=1 and a Workers=8 run
+// of the same fault storm.
+//
+// The package deliberately sits above the pipeline's ingest boundary and
+// below the simulator: it corrupts what the monitor *sees*, never what the
+// testbed *does*, exactly like a flaky PMU driver or a lossy metrics
+// transport would (BayesPerf, arXiv:2102.10837, documents both failure
+// modes in real perf-counter pipelines).
+package chaos
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"hpcap/internal/server"
+)
+
+// Kind names a fault type.
+type Kind int
+
+// The fault taxonomy. Every kind models a failure documented for deployed
+// counter pipelines; see the package comment and DESIGN.md §10.
+const (
+	// KindDrop loses each sample independently with probability P.
+	KindDrop Kind = iota + 1
+	// KindNaN corrupts each sample with probability P: the first metric
+	// component becomes NaN (a wrapped or torn counter read).
+	KindNaN
+	// KindStuck freezes the tier: every sample repeats the last clean
+	// vector seen before the fault (a counter that stopped counting).
+	KindStuck
+	// KindStall holds samples back in delivery order, releasing them in a
+	// burst once N are queued or the fault ends — bounded-latency
+	// collector stalls that turn into late, out-of-window deliveries.
+	KindStall
+	// KindDup delivers each sample twice with probability P.
+	KindDup
+	// KindSkew shifts sample timestamps forward by P seconds (clock skew
+	// between the collector host and the aggregation point).
+	KindSkew
+	// KindOutage loses every sample of the tier — a whole-tier telemetry
+	// outage, the fault the admission valve's fail-safe posture answers.
+	KindOutage
+)
+
+// kindNames maps kinds to their schedule-text spelling, in declaration
+// order (index Kind-1).
+var kindNames = [...]string{"drop", "nan", "stuck", "stall", "dup", "skew", "outage"}
+
+// String returns the kind's schedule-text spelling.
+func (k Kind) String() string {
+	if k >= 1 && int(k) <= len(kindNames) {
+		return kindNames[k-1]
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// parseKind resolves a schedule-text kind name.
+func parseKind(s string) (Kind, error) {
+	for i, name := range kindNames {
+		if s == name {
+			return Kind(i + 1), nil
+		}
+	}
+	return 0, fmt.Errorf("chaos: unknown fault kind %q", s)
+}
+
+// AllTiers is the Fault.Tier value that targets every tier at once.
+const AllTiers = server.TierID(-1)
+
+// Fault is one scripted fault: for Duration seconds starting at virtual
+// time Start, samples of Tier (or all tiers) suffer Kind. P and N are the
+// kind-specific parameters (see the Kind docs); kinds that ignore them
+// leave them zero.
+type Fault struct {
+	Kind     Kind
+	Tier     server.TierID // AllTiers targets every tier
+	Start    float64       // virtual seconds
+	Duration float64
+	P        float64 // probability (drop, nan, dup) or skew seconds (skew)
+	N        int     // stall release depth (stall)
+}
+
+// active reports whether the fault applies to a sample of tier at time t.
+// The window is half-open, [Start, Start+Duration), matching how a phase
+// of tpcw.Schedule owns its seconds.
+func (f Fault) active(t float64, tier server.TierID) bool {
+	return t >= f.Start && t < f.Start+f.Duration &&
+		(f.Tier == AllTiers || f.Tier == tier)
+}
+
+// String renders the fault in canonical schedule text. Parse(f.String())
+// reproduces f exactly; the fuzz round-trip test pins this.
+func (f Fault) String() string {
+	return fmt.Sprintf("%s tier=%s at=%s for=%s p=%s n=%d",
+		f.Kind, tierName(f.Tier), fmtFloat(f.Start), fmtFloat(f.Duration), fmtFloat(f.P), f.N)
+}
+
+// fmtFloat renders a float in the shortest form that parses back to the
+// identical value (strconv round-trip guarantee).
+func fmtFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// tierName spells a fault target for schedule text.
+func tierName(t server.TierID) string {
+	switch t {
+	case AllTiers:
+		return "all"
+	case server.TierApp:
+		return "app"
+	case server.TierDB:
+		return "db"
+	default:
+		return strconv.Itoa(int(t))
+	}
+}
+
+// parseTier resolves a schedule-text tier name.
+func parseTier(s string) (server.TierID, error) {
+	switch s {
+	case "all", "*":
+		return AllTiers, nil
+	case "app":
+		return server.TierApp, nil
+	case "db":
+		return server.TierDB, nil
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil || n < 0 || n >= int(server.NumTiers) {
+		return 0, fmt.Errorf("chaos: unknown tier %q", s)
+	}
+	return server.TierID(n), nil
+}
+
+// Schedule is a scripted fault program: a set of Faults applied to a
+// sample stream by an Injector. Unlike tpcw.Schedule's phases, faults may
+// overlap — a tier outage during a clock-skew window is a legal (and
+// nasty) combination.
+type Schedule struct {
+	Faults []Fault
+}
+
+// Validate checks every fault for well-formedness: known kind, known
+// tier, finite non-negative start, positive finite duration, parameters
+// in range (P is a probability for drop/nan/dup, a finite skew for skew),
+// and non-negative N.
+func (s Schedule) Validate() error {
+	for i, f := range s.Faults {
+		if f.Kind < 1 || int(f.Kind) > len(kindNames) {
+			return fmt.Errorf("chaos: fault %d: unknown kind %d", i, int(f.Kind))
+		}
+		if f.Tier != AllTiers && (f.Tier < 0 || f.Tier >= server.NumTiers) {
+			return fmt.Errorf("chaos: fault %d: tier %d out of range", i, int(f.Tier))
+		}
+		if math.IsNaN(f.Start) || math.IsInf(f.Start, 0) || f.Start < 0 {
+			return fmt.Errorf("chaos: fault %d: bad start %v", i, f.Start)
+		}
+		if math.IsNaN(f.Duration) || math.IsInf(f.Duration, 0) || f.Duration <= 0 {
+			return fmt.Errorf("chaos: fault %d: bad duration %v", i, f.Duration)
+		}
+		switch f.Kind {
+		case KindDrop, KindNaN, KindDup:
+			if math.IsNaN(f.P) || f.P < 0 || f.P > 1 {
+				return fmt.Errorf("chaos: fault %d: probability %v outside [0,1]", i, f.P)
+			}
+		case KindSkew:
+			if math.IsNaN(f.P) || math.IsInf(f.P, 0) {
+				return fmt.Errorf("chaos: fault %d: bad skew %v", i, f.P)
+			}
+		default:
+			if math.IsNaN(f.P) || math.IsInf(f.P, 0) {
+				return fmt.Errorf("chaos: fault %d: bad parameter %v", i, f.P)
+			}
+		}
+		if f.N < 0 {
+			return fmt.Errorf("chaos: fault %d: negative n %d", i, f.N)
+		}
+	}
+	return nil
+}
+
+// Duration returns the time the last fault ends (0 for an empty schedule).
+func (s Schedule) Duration() float64 {
+	var end float64
+	for _, f := range s.Faults {
+		if e := f.Start + f.Duration; e > end {
+			end = e
+		}
+	}
+	return end
+}
+
+// String renders the schedule in canonical text: one fault per clause,
+// sorted by (start, kind, tier), joined by "; ". Parse round-trips it.
+func (s Schedule) String() string {
+	faults := append([]Fault(nil), s.Faults...)
+	sort.SliceStable(faults, func(i, j int) bool {
+		if faults[i].Start != faults[j].Start {
+			return faults[i].Start < faults[j].Start
+		}
+		if faults[i].Kind != faults[j].Kind {
+			return faults[i].Kind < faults[j].Kind
+		}
+		return faults[i].Tier < faults[j].Tier
+	})
+	parts := make([]string, len(faults))
+	for i, f := range faults {
+		parts[i] = f.String()
+	}
+	return strings.Join(parts, "; ")
+}
+
+// Parse reads a fault schedule from text. Clauses are separated by ";" or
+// newlines; each clause is a fault kind followed by key=value fields:
+//
+//	drop tier=app at=120 for=60 p=0.25
+//	outage at=300 for=30
+//	stall tier=db at=500 for=10 n=6
+//
+// Fields: tier (app|db|all, default all), at (start, seconds, default 0),
+// for (duration, seconds, required), p (probability or skew seconds,
+// default 1 for drop/nan/dup, 0 otherwise), n (stall depth, default 5 for
+// stall, 0 otherwise). The result is Validated; Parse never panics on
+// garbage (the schedule fuzz test pins this).
+func Parse(text string) (Schedule, error) {
+	var s Schedule
+	for _, clause := range strings.FieldsFunc(text, func(r rune) bool { return r == ';' || r == '\n' }) {
+		fields := strings.Fields(clause)
+		if len(fields) == 0 {
+			continue
+		}
+		kind, err := parseKind(fields[0])
+		if err != nil {
+			return Schedule{}, err
+		}
+		f := Fault{Kind: kind, Tier: AllTiers, Duration: math.NaN()}
+		switch kind {
+		case KindDrop, KindNaN, KindDup:
+			f.P = 1
+		case KindStall:
+			f.N = 5
+		}
+		for _, field := range fields[1:] {
+			key, val, ok := strings.Cut(field, "=")
+			if !ok {
+				return Schedule{}, fmt.Errorf("chaos: bad field %q in %q", field, clause)
+			}
+			switch key {
+			case "tier":
+				if f.Tier, err = parseTier(val); err != nil {
+					return Schedule{}, err
+				}
+			case "at":
+				if f.Start, err = strconv.ParseFloat(val, 64); err != nil {
+					return Schedule{}, fmt.Errorf("chaos: bad at=%q: %v", val, err)
+				}
+			case "for":
+				if f.Duration, err = strconv.ParseFloat(val, 64); err != nil {
+					return Schedule{}, fmt.Errorf("chaos: bad for=%q: %v", val, err)
+				}
+			case "p":
+				if f.P, err = strconv.ParseFloat(val, 64); err != nil {
+					return Schedule{}, fmt.Errorf("chaos: bad p=%q: %v", val, err)
+				}
+			case "n":
+				if f.N, err = strconv.Atoi(val); err != nil {
+					return Schedule{}, fmt.Errorf("chaos: bad n=%q: %v", val, err)
+				}
+			default:
+				return Schedule{}, fmt.Errorf("chaos: unknown field %q in %q", key, clause)
+			}
+		}
+		if math.IsNaN(f.Duration) {
+			return Schedule{}, fmt.Errorf("chaos: clause %q missing for=<seconds>", strings.TrimSpace(clause))
+		}
+		s.Faults = append(s.Faults, f)
+	}
+	if err := s.Validate(); err != nil {
+		return Schedule{}, err
+	}
+	return s, nil
+}

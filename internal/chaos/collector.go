@@ -1,0 +1,49 @@
+package chaos
+
+import (
+	"fmt"
+
+	"hpcap/internal/metrics"
+	"hpcap/internal/server"
+)
+
+// FlakyCollector wraps a metrics.Collector with deterministic read
+// failures: while a KindStall or KindOutage fault covers the collector's
+// tier, TryCollect returns an error instead of a vector. It implements
+// metrics.FallibleCollector, so wrapping it in metrics.NewRetryCollector
+// exercises the bounded retry-with-backoff path the serving stack uses
+// around flaky PMU reads.
+//
+// Failure is a pure function of the schedule and the snapshot time:
+// retries against the same stall either all fail (the fault window still
+// covers the snapshot time) or deterministically succeed once it has
+// lapsed.
+type FlakyCollector struct {
+	metrics.Collector
+	sched    Schedule
+	attempts uint64
+}
+
+// NewFlakyCollector wraps c so reads fail while sched has a stall or
+// outage active on c's tier.
+func NewFlakyCollector(c metrics.Collector, sched Schedule) *FlakyCollector {
+	return &FlakyCollector{Collector: c, sched: sched}
+}
+
+// TryCollect reads the underlying collector, failing deterministically
+// while a stall or outage fault covers the snapshot time.
+func (f *FlakyCollector) TryCollect(s server.Snapshot, dt float64) ([]float64, error) {
+	f.attempts++
+	for _, fault := range f.sched.Faults {
+		if fault.Kind != KindStall && fault.Kind != KindOutage {
+			continue
+		}
+		if fault.active(s.Time, f.Tier()) {
+			return nil, fmt.Errorf("chaos: %s read failed: %s fault at t=%g", f.Tier(), fault.Kind, s.Time)
+		}
+	}
+	return f.Collector.Collect(s, dt), nil
+}
+
+// Attempts returns how many reads (including failures) were tried.
+func (f *FlakyCollector) Attempts() uint64 { return f.attempts }

@@ -1,0 +1,267 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"hpcap/internal/chaos"
+	"hpcap/internal/core"
+	"hpcap/internal/drift"
+	"hpcap/internal/metrics"
+	"hpcap/internal/ml/bayes"
+	"hpcap/internal/registry"
+	"hpcap/internal/serve"
+	"hpcap/internal/server"
+	"hpcap/internal/tpcw"
+)
+
+// ChaosReplay is the result of one end-to-end fault-storm replay: a
+// browsing-trained monitor serves a clean browsing trace whose telemetry
+// is corrupted mid-run by a scripted chaos.Schedule — NaN bursts, stuck
+// counters, clock skew, a whole-tier outage, duplicates, dropouts, and a
+// bounded collector stall — then recovers. The transcript freezes every
+// decision, every degradation-ladder transition, and the lifecycle
+// guard's work; it is a pure function of the lab's seed, bit-identical
+// for any training worker count.
+type ChaosReplay struct {
+	// Log is the golden-pinned transcript.
+	Log string
+	// Windows and BaselineWindows are the decision counts of the chaos
+	// and the fault-free replay of the same recorded trace; the storm
+	// drops windows, so Windows < BaselineWindows.
+	Windows, BaselineWindows int
+	// Injected is how many times the injector touched the stream.
+	Injected uint64
+	// Transitions counts degradation-ladder moves; the storm must walk
+	// the site off healthy and the recovery must walk it back.
+	Transitions uint64
+	// Guarded is how many degraded decisions the lifecycle refused to
+	// learn from.
+	Guarded uint64
+	// ReconvergeSeq is the first window after which every chaos decision
+	// matches the fault-free baseline again (-1 if the runs never
+	// re-converge).
+	ReconvergeSeq int64
+}
+
+// chaosReplaySeed offsets the chaos trace away from every other seed the
+// lab derives (training 0/1, test 100s, interleave 104, drift replay 300).
+const chaosReplaySeed = 400
+
+// chaosSchedule cycles browsing traffic below and above its knee — long
+// enough to cover a lead-in, an eight-window fault storm, and a recovery
+// tail.
+func chaosSchedule(w Workload, s Scale) tpcw.Schedule {
+	fracs := []float64{0.85, 1.25, 0.7, 1.15}
+	var phases []tpcw.Phase
+	for i := 0; i < 12; i++ {
+		phases = append(phases, tpcw.Phase{
+			Mix:      w.Mix,
+			EBs:      frac(w.Knee, fracs[i%len(fracs)]),
+			Duration: s.StepSec,
+		})
+	}
+	return tpcw.Schedule{Phases: phases}
+}
+
+// chaosStorm scripts the fault storm against the recorded trace: window
+// seq covers sample times [at(seq), at(seq)+W), so each fault lands on
+// exactly the windows named here. The storm spans seqs 8–15; everything
+// after is recovery.
+func chaosStorm(base, w float64) chaos.Schedule {
+	at := func(seq int64) float64 { return base + w*float64(seq-1) }
+	return chaos.Schedule{Faults: []chaos.Fault{
+		{Kind: chaos.KindNaN, Tier: server.TierApp, Start: at(8), Duration: w, P: 0.3},
+		{Kind: chaos.KindStuck, Tier: server.TierDB, Start: at(9), Duration: w},
+		{Kind: chaos.KindSkew, Tier: chaos.AllTiers, Start: at(10), Duration: w, P: 0.25},
+		{Kind: chaos.KindOutage, Tier: chaos.AllTiers, Start: at(11), Duration: w},
+		{Kind: chaos.KindDup, Tier: server.TierApp, Start: at(13), Duration: w, P: 0.5},
+		{Kind: chaos.KindDrop, Tier: chaos.AllTiers, Start: at(14), Duration: w, P: 0.12},
+		{Kind: chaos.KindStall, Tier: server.TierDB, Start: at(15), Duration: w, N: 5},
+	}}
+}
+
+// RunChaosReplay replays a scripted fault storm end to end at the HPC
+// level and returns its transcript. workers bounds the synopsis-build
+// fan-out during training only; the transcript is bit-identical for any
+// value — the chaos determinism golden pins a Workers=1 vs Workers=8
+// comparison.
+func (l *Lab) RunChaosReplay(workers int) (*ChaosReplay, error) {
+	const level = metrics.LevelHPC
+	wb, err := l.Workload(tpcw.Browsing())
+	if err != nil {
+		return nil, err
+	}
+	btr, err := l.TrainingTrace(tpcw.Browsing())
+	if err != nil {
+		return nil, err
+	}
+	names := btr.Names(level)
+	mon, err := core.Train(level, names, []core.TrainingSet{trainingSetOf("browsing", btr, level)}, core.Config{
+		Learner:  bayes.TANLearner(),
+		Synopsis: core.DefaultSynopsisConfig(l.Seed),
+		Workers:  workers,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiment: train chaos monitor: %w", err)
+	}
+
+	tr, err := Generate(TraceConfig{
+		Server:        l.Server,
+		Schedule:      chaosSchedule(wb, l.Scale),
+		Window:        l.Scale.Window,
+		Warmup:        l.Scale.WarmupWindows,
+		Seed:          l.Seed + chaosReplaySeed,
+		Labeler:       l.Labeler,
+		RecordSeconds: true,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiment: generate chaos trace: %w", err)
+	}
+	var vecs [server.NumTiers][][]float64
+	for tier := server.TierID(0); tier < server.NumTiers; tier++ {
+		vecs[tier] = tr.SecondVectors(level, tier)
+	}
+
+	// Fault-free baseline: the same trace, no injector.
+	var baseline []serve.Decision
+	pb, err := serve.NewPipeline(mon, serve.Config{
+		Window:     l.Scale.Window,
+		OnDecision: func(d serve.Decision) { baseline = append(baseline, d) },
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, ts := range tr.SecTimes {
+		for tier := server.TierID(0); tier < server.NumTiers; tier++ {
+			pb.Ingest(serve.Sample{Site: "site", Tier: tier, Time: ts, Values: vecs[tier][i]})
+		}
+	}
+	pb.Flush()
+	baseBySeq := make(map[int64]bool, len(baseline))
+	for _, d := range baseline {
+		baseBySeq[d.Seq] = d.Prediction.Overload
+	}
+
+	// Chaos replay: the same trace through the scripted storm, with the
+	// hardened pipeline and the guarded lifecycle behind it.
+	storm := chaosStorm(tr.SecTimes[0], float64(l.Scale.Window))
+	if err := storm.Validate(); err != nil {
+		return nil, fmt.Errorf("experiment: chaos storm: %w", err)
+	}
+	inj := chaos.NewInjector(storm, l.Seed+chaosReplaySeed)
+
+	var log strings.Builder
+	fmt.Fprintf(&log, "storm %s\n", storm)
+	var decisions []serve.Decision
+	pc, err := serve.NewPipeline(mon, serve.Config{
+		Window:     l.Scale.Window,
+		OnDecision: func(d serve.Decision) { decisions = append(decisions, d) },
+		OnHealth: func(ev serve.HealthEvent) {
+			fmt.Fprintf(&log, "  health %s->%s seq=%d\n", ev.From, ev.To, ev.Seq)
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	mgr, err := registry.NewManager(registry.Config{
+		Pipeline: pc,
+		Initial:  mon,
+		Names:    names,
+		Train: core.Config{
+			Learner:  bayes.TANLearner(),
+			Synopsis: core.DefaultSynopsisConfig(l.Seed + 1),
+			Workers:  workers,
+		},
+		// The same replay-tight detector thresholds the drift replay uses:
+		// with the lifecycle guard on, even a storm this violent must not
+		// push fault-corrupted windows into them.
+		Drift: drift.Config{
+			PHDelta:       0.02,
+			PHLambda:      4,
+			MinWindows:    6,
+			MixRefWindows: 6,
+			MixWindow:     8,
+			MixThreshold:  0.08,
+			MixPatience:   3,
+		},
+		// More history than the trace has windows: any retrain would be a
+		// guard failure, and the transcript would record it.
+		HistoryWindows:  64,
+		MinTrainWindows: 48,
+		ShadowWindows:   8,
+		CooldownWindows: 10 * len(tr.Windows),
+		OnEvent: func(e registry.Event) {
+			fmt.Fprintf(&log, "  %s\n", e)
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	fed := 0
+	deliver := func(upto int) {
+		for ; fed < upto; fed++ {
+			d := decisions[fed]
+			w := tr.Windows[d.Seq-1]
+			fmt.Fprintf(&log, "window seq=%d predicted=%t truth=%t degraded=%t missing=%d\n",
+				d.Seq, d.Prediction.Overload, w.Overload == 1, d.Degraded, d.Missing)
+			mgr.HandleDecision(d)
+			mgr.ObserveTruth(d.Site, d.Seq, registry.Truth{
+				Overload:    w.Overload == 1,
+				Bottleneck:  w.Bottleneck,
+				Throughput:  w.Throughput,
+				ClassCounts: w.Classes,
+			})
+		}
+	}
+	ingest := func(s serve.Sample) {
+		for _, out := range inj.Apply(s) {
+			pc.Ingest(out)
+		}
+	}
+	for i, ts := range tr.SecTimes {
+		for tier := server.TierID(0); tier < server.NumTiers; tier++ {
+			ingest(serve.Sample{Site: "site", Tier: tier, Time: ts, Values: vecs[tier][i]})
+		}
+		deliver(len(decisions) - 1)
+	}
+	for _, s := range inj.Drain() {
+		pc.Ingest(s)
+	}
+	pc.Flush()
+	deliver(len(decisions))
+
+	// Re-convergence: the longest decision suffix that matches the
+	// fault-free baseline window for window.
+	reconv := int64(-1)
+	for i := len(decisions) - 1; i >= 0; i-- {
+		d := decisions[i]
+		b, ok := baseBySeq[d.Seq]
+		if !ok || b != d.Prediction.Overload {
+			break
+		}
+		reconv = d.Seq
+	}
+
+	stats, _ := pc.SiteStats("site")
+	fs := inj.Stats()
+	res := &ChaosReplay{
+		Windows:         len(decisions),
+		BaselineWindows: len(baseline),
+		Injected:        fs.Injected(),
+		Transitions:     stats.HealthChanges(),
+		Guarded:         mgr.Guarded(),
+		ReconvergeSeq:   reconv,
+	}
+	fmt.Fprintf(&log, "faults offered=%d emitted=%d dropped=%d nan=%d stuck=%d stalled=%d dup=%d skew=%d outage=%d\n",
+		fs.Offered, fs.Emitted, fs.Dropped, fs.Corrupted, fs.Frozen, fs.Stalled, fs.Duplicated, fs.Skewed, fs.Outaged)
+	fmt.Fprintf(&log, "pipeline decided=%d degraded=%d dropped=%d skipped_nan=%d skipped_late=%d skipped_gap=%d resets=%d health=%s transitions=%d\n",
+		stats.WindowsDecided, stats.WindowsDegraded, stats.WindowsDropped,
+		stats.SamplesBadValue, stats.SamplesLate, stats.SamplesGapReset,
+		stats.SessionResets, stats.Health, res.Transitions)
+	fmt.Fprintf(&log, "replay windows=%d baseline=%d guarded=%d reconverge_seq=%d\n",
+		res.Windows, res.BaselineWindows, res.Guarded, res.ReconvergeSeq)
+	res.Log = log.String()
+	return res, nil
+}

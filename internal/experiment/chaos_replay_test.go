@@ -1,0 +1,76 @@
+package experiment
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestDeterminismChaosReplay pins the fault-storm replay end to end: a
+// browsing run suffers the scripted storm mid-stream, the degradation
+// ladder walks off healthy and back, the lifecycle guard keeps every
+// corrupted window out of the detectors, and the decision stream
+// re-converges with the fault-free baseline — with the whole transcript
+// byte-identical between a sequential and a Workers=8 run and matching
+// the committed golden. Regenerate the fixture with
+//
+//	go test ./internal/experiment -run TestDeterminismChaosReplay -update
+func TestDeterminismChaosReplay(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full chaos replays; skipped in -short")
+	}
+	seq, err := NewLab(QuickScale()).RunChaosReplay(1)
+	if err != nil {
+		t.Fatalf("RunChaosReplay(1): %v", err)
+	}
+	par, err := NewLab(QuickScale()).RunChaosReplay(8)
+	if err != nil {
+		t.Fatalf("RunChaosReplay(8): %v", err)
+	}
+	if seq.Log != par.Log {
+		t.Fatalf("parallel transcript diverged from sequential\n--- sequential ---\n%s\n--- parallel ---\n%s", seq.Log, par.Log)
+	}
+
+	if seq.Injected == 0 {
+		t.Error("the storm injected no faults")
+	}
+	if seq.Windows >= seq.BaselineWindows {
+		t.Errorf("chaos replay decided %d windows, baseline %d — the outage dropped none",
+			seq.Windows, seq.BaselineWindows)
+	}
+	if seq.Transitions < 2 {
+		t.Errorf("degradation ladder moved %d times, want at least off-healthy and back", seq.Transitions)
+	}
+	if seq.Guarded == 0 {
+		t.Error("lifecycle guard caught no degraded decisions")
+	}
+	if seq.ReconvergeSeq < 0 {
+		t.Error("chaos decisions never re-converged with the fault-free baseline")
+	}
+	if !strings.Contains(seq.Log, "health healthy->") {
+		t.Error("transcript has no off-healthy transition")
+	}
+	if !strings.Contains(seq.Log, "->healthy") {
+		t.Error("transcript has no recovery transition")
+	}
+	if strings.Contains(seq.Log, "retrain site=") {
+		t.Error("a fault-corrupted run retrained — the lifecycle guard failed")
+	}
+
+	golden := filepath.Join("testdata", "chaos_replay.golden")
+	if *update {
+		if err := os.WriteFile(golden, []byte(seq.Log), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s", golden)
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden fixture (run with -update to regenerate): %v", err)
+	}
+	if seq.Log != string(want) {
+		t.Fatalf("transcript diverged from the golden fixture (run with -update if the change is intended)\n--- got ---\n%s\n--- want ---\n%s", seq.Log, want)
+	}
+}

@@ -1,0 +1,82 @@
+package metrics
+
+import (
+	"hpcap/internal/server"
+)
+
+// FallibleCollector is a Collector whose reads can fail transiently — a
+// PMU driver returning EAGAIN, a /proc scrape racing a reboot, a metrics
+// transport timing out. TryCollect returns the vector or an error;
+// Collect (from the embedded Collector contract) must still succeed by
+// whatever fallback the implementation chooses.
+type FallibleCollector interface {
+	Collector
+	TryCollect(s server.Snapshot, dt float64) ([]float64, error)
+}
+
+// RetryCollector hardens a FallibleCollector into a plain Collector with
+// bounded retry: each Collect tries the source up to 1+MaxRetries times,
+// invoking Backoff between attempts, and falls back to the last good
+// vector (initially zeros) when every attempt fails. The serving layer's
+// staleness budget then decides whether the stale vector still supports a
+// degraded decision — the collector never blocks the sampling loop and
+// never emits NaN.
+type RetryCollector struct {
+	src FallibleCollector
+	// MaxRetries bounds extra attempts per read (total attempts are
+	// 1+MaxRetries).
+	MaxRetries int
+	// Backoff, when set, runs between attempts with the 1-based retry
+	// number. Deployments install a capped sleep here; the simulator
+	// leaves it nil because virtual time does not pass during a read.
+	Backoff func(retry int)
+
+	last     []float64
+	retries  uint64
+	failures uint64
+}
+
+// NewRetryCollector wraps src with up to maxRetries retries per read.
+// Negative maxRetries selects 0 (a single attempt, fallback on failure).
+func NewRetryCollector(src FallibleCollector, maxRetries int) *RetryCollector {
+	if maxRetries < 0 {
+		maxRetries = 0
+	}
+	return &RetryCollector{src: src, MaxRetries: maxRetries}
+}
+
+// Tier returns the wrapped collector's tier.
+func (r *RetryCollector) Tier() server.TierID { return r.src.Tier() }
+
+// Names returns the wrapped collector's metric names.
+func (r *RetryCollector) Names() []string { return r.src.Names() }
+
+// Collect reads the source with bounded retry. On total failure it
+// returns the last good vector (zeros before the first success), so the
+// aggregation window closes on a stale-but-finite mean instead of
+// stalling or going NaN.
+func (r *RetryCollector) Collect(s server.Snapshot, dt float64) []float64 {
+	for attempt := 0; attempt <= r.MaxRetries; attempt++ {
+		if attempt > 0 {
+			r.retries++
+			if r.Backoff != nil {
+				r.Backoff(attempt)
+			}
+		}
+		v, err := r.src.TryCollect(s, dt)
+		if err == nil {
+			r.last = append(r.last[:0], v...)
+			return v
+		}
+	}
+	r.failures++
+	if r.last == nil {
+		r.last = make([]float64, len(r.src.Names()))
+	}
+	return r.last
+}
+
+// Retries returns how many extra attempts were made; Failures how many
+// reads exhausted every attempt and fell back to the stale vector.
+func (r *RetryCollector) Retries() uint64  { return r.retries }
+func (r *RetryCollector) Failures() uint64 { return r.failures }

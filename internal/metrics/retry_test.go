@@ -1,0 +1,84 @@
+package metrics
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"hpcap/internal/server"
+)
+
+// scriptedCollector fails its first failN reads, then succeeds forever.
+type scriptedCollector struct {
+	failN int
+	reads int
+	v     []float64
+}
+
+func (c *scriptedCollector) Tier() server.TierID { return server.TierApp }
+func (c *scriptedCollector) Names() []string     { return []string{"a", "b"} }
+func (c *scriptedCollector) Collect(s server.Snapshot, dt float64) []float64 {
+	v, err := c.TryCollect(s, dt)
+	if err != nil {
+		return make([]float64, 2)
+	}
+	return v
+}
+func (c *scriptedCollector) TryCollect(server.Snapshot, float64) ([]float64, error) {
+	c.reads++
+	if c.reads <= c.failN {
+		return nil, errors.New("scripted failure")
+	}
+	return c.v, nil
+}
+
+func TestRetryCollectorRecoversWithinBudget(t *testing.T) {
+	src := &scriptedCollector{failN: 2, v: []float64{1, 2}}
+	r := NewRetryCollector(src, 3)
+	var backoffs []int
+	r.Backoff = func(retry int) { backoffs = append(backoffs, retry) }
+
+	got := r.Collect(server.Snapshot{}, 1)
+	if !reflect.DeepEqual(got, []float64{1, 2}) {
+		t.Fatalf("Collect = %v, want the source vector after retries", got)
+	}
+	if !reflect.DeepEqual(backoffs, []int{1, 2}) {
+		t.Errorf("backoff calls %v, want [1 2]", backoffs)
+	}
+	if r.Retries() != 2 || r.Failures() != 0 {
+		t.Errorf("retries=%d failures=%d, want 2 and 0", r.Retries(), r.Failures())
+	}
+}
+
+func TestRetryCollectorFallsBackToLastGood(t *testing.T) {
+	src := &scriptedCollector{v: []float64{3, 4}}
+	r := NewRetryCollector(src, 1)
+	if got := r.Collect(server.Snapshot{}, 1); !reflect.DeepEqual(got, []float64{3, 4}) {
+		t.Fatalf("first Collect = %v", got)
+	}
+	// Fail every remaining attempt: the stale-but-finite vector comes back.
+	src.failN = 1 << 30
+	src.reads = 0
+	got := r.Collect(server.Snapshot{}, 1)
+	if !reflect.DeepEqual(got, []float64{3, 4}) {
+		t.Fatalf("fallback Collect = %v, want last good [3 4]", got)
+	}
+	if r.Failures() != 1 || r.Retries() != 1 {
+		t.Errorf("failures=%d retries=%d, want 1 and 1", r.Failures(), r.Retries())
+	}
+}
+
+func TestRetryCollectorZerosBeforeFirstSuccess(t *testing.T) {
+	src := &scriptedCollector{failN: 1 << 30, v: []float64{9, 9}}
+	r := NewRetryCollector(src, -5) // negative clamps to a single attempt
+	got := r.Collect(server.Snapshot{}, 1)
+	if !reflect.DeepEqual(got, []float64{0, 0}) {
+		t.Fatalf("pre-success fallback = %v, want zeros sized to Names()", got)
+	}
+	if r.MaxRetries != 0 {
+		t.Errorf("negative maxRetries kept %d, want 0", r.MaxRetries)
+	}
+	if r.Tier() != server.TierApp || len(r.Names()) != 2 {
+		t.Error("Tier/Names not delegated to the source")
+	}
+}

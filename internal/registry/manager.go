@@ -106,6 +106,13 @@ type Config struct {
 	// CooldownWindows is the least labeled windows between retrain
 	// attempts on one site. Zero selects 24.
 	CooldownWindows int
+	// AllowDegraded admits decisions made from partial (degraded) windows
+	// into the lifecycle. Off by default: a fault-corrupted window is
+	// evidence about the stream, not the workload, so feeding it to the
+	// drift detectors or a retraining set would let injected noise trigger
+	// model churn. Guarded decisions are counted (Manager.Guarded) and
+	// otherwise ignored.
+	AllowDegraded bool
 	// Background moves retraining to a goroutine (the daemon's mode).
 	// Synchronous retraining — the default — keeps the whole lifecycle
 	// deterministic for replays.
@@ -169,9 +176,10 @@ type Manager struct {
 	cfg   Config
 	store *Store
 
-	mu    sync.Mutex
-	sites map[string]*managed
-	wg    sync.WaitGroup
+	mu      sync.Mutex
+	sites   map[string]*managed
+	guarded uint64
+	wg      sync.WaitGroup
 }
 
 // NewManager validates the configuration and returns a manager with an
@@ -231,9 +239,27 @@ func (m *Manager) ensure(site string) (*managed, error) {
 	return st, nil
 }
 
+// Guarded returns how many degraded decisions the lifecycle refused to
+// learn from (always 0 with Config.AllowDegraded set).
+func (m *Manager) Guarded() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.guarded
+}
+
 // HandleDecision buffers a decision until its ground truth arrives. Safe
-// to call from the pipeline's OnDecision callback.
+// to call from the pipeline's OnDecision callback. Degraded decisions are
+// guarded out unless Config.AllowDegraded is set: their truth, when it
+// arrives, finds no pending decision and is likewise dropped, so a
+// fault-corrupted window can neither advance the drift detectors nor
+// enter a retraining history.
 func (m *Manager) HandleDecision(d serve.Decision) {
+	if d.Degraded && !m.cfg.AllowDegraded {
+		m.mu.Lock()
+		m.guarded++
+		m.mu.Unlock()
+		return
+	}
 	st, err := m.ensure(d.Site)
 	if err != nil {
 		return

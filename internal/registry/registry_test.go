@@ -344,6 +344,59 @@ func TestManagerIgnoresUnknownTruth(t *testing.T) {
 	}
 }
 
+// TestManagerGuardsDegradedDecisions pins the lifecycle guard: decisions
+// made from partial windows never reach the drift detectors unless
+// AllowDegraded is set, and their orphaned truth is dropped silently.
+func TestManagerGuardsDegradedDecisions(t *testing.T) {
+	lab, mon, _, names := fixture(t)
+	run := func(allow bool) (*registry.Manager, int) {
+		pipe, err := serve.NewPipeline(mon, serve.Config{Window: lab.Scale.Window})
+		if err != nil {
+			t.Fatal(err)
+		}
+		drifts := 0
+		mgr, err := registry.NewManager(registry.Config{
+			Pipeline: pipe, Initial: mon, Names: names,
+			Train:         core.Config{Learner: bayes.TANLearner()},
+			Drift:         drift.Config{PHLambda: 3, MinWindows: 4, MixThreshold: -1},
+			AllowDegraded: allow,
+			OnEvent: func(e registry.Event) {
+				if e.Kind == registry.EventDrift {
+					drifts++
+				}
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Degraded windows scripting an accuracy collapse: eight correct
+		// predictions, then twelve wrong ones. With the guard off the
+		// Page–Hinkley test trips on the shift; with it on, none of the
+		// windows may advance any detector state.
+		for seq := int64(1); seq <= 20; seq++ {
+			mgr.HandleDecision(serve.Decision{Site: "s", Seq: seq, Degraded: true, Missing: 1})
+			mgr.ObserveTruth("s", seq, registry.Truth{Overload: seq > 8})
+		}
+		return mgr, drifts
+	}
+
+	mgr, drifts := run(false)
+	if got := mgr.Guarded(); got != 20 {
+		t.Errorf("guard off-by-default: Guarded() = %d, want 20", got)
+	}
+	if drifts != 0 {
+		t.Errorf("guarded decisions still produced %d drift events", drifts)
+	}
+
+	mgr, drifts = run(true)
+	if got := mgr.Guarded(); got != 0 {
+		t.Errorf("AllowDegraded: Guarded() = %d, want 0", got)
+	}
+	if drifts == 0 {
+		t.Error("AllowDegraded admitted no windows: the wrong predictions never signalled drift")
+	}
+}
+
 // TestEventString pins the golden-facing renderings.
 func TestEventString(t *testing.T) {
 	e := registry.Event{

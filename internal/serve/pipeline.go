@@ -43,8 +43,15 @@ type site struct {
 	started    bool
 	cur        int64 // current window index
 	stats      SiteStats
+	// cleanStreak counts consecutive clean decided windows, the recovery
+	// clock of the degradation ladder; events holds transitions awaiting
+	// publication outside the lock.
+	cleanStreak int
+	events      []HealthEvent
 
 	overloaded atomic.Bool
+	// health mirrors stats.Health for lock-free reads (admission valve).
+	health atomic.Int32
 }
 
 // vectorCollector adapts a raw pre-collected vector to the
@@ -119,29 +126,72 @@ func (p *Pipeline) getSite(name string) *site {
 	return st
 }
 
+// maxWindowIndex caps the absolute window index: beyond it the int64
+// conversion of the float quotient would overflow into
+// implementation-defined territory. A stream can only reach it with an
+// absurd (but finite) timestamp, which then just reads as a gigantic gap.
+const maxWindowIndex = int64(1) << 60
+
 // windowIndex maps a sample time to its absolute window: index w covers
 // times in (w·W, (w+1)·W], matching the batch aggregation, whose windows
-// end on multiples of W.
+// end on multiples of W. Callers have already rejected non-finite times.
 func (p *Pipeline) windowIndex(t float64) int64 {
-	wi := int64(math.Ceil(t/float64(p.cfg.Window))) - 1
-	if wi < 0 {
-		wi = 0
+	w := math.Ceil(t / float64(p.cfg.Window))
+	if !(w > 1) {
+		return 0
 	}
-	return wi
+	if w >= float64(maxWindowIndex) {
+		return maxWindowIndex
+	}
+	return int64(w) - 1
 }
 
 // Ingest feeds one sample. It never panics and never rejects the stream:
-// malformed input (unknown tier, wrong dimension, NaN/Inf values, late or
-// duplicate timestamps) is skipped and counted on the site's stats, and a
-// sample that opens a new window first closes the previous one under the
-// staleness budget.
+// malformed input (unknown tier, wrong dimension, NaN/Inf values or
+// timestamps, late or duplicate timestamps) is skipped and counted on the
+// site's stats, and a sample that opens a new window first closes the
+// previous one under the staleness budget.
 func (p *Pipeline) Ingest(s Sample) {
 	st := p.getSite(s.Site)
 	st.mu.Lock()
 	d := p.ingestLocked(st, s)
+	evs := st.takeEvents()
 	st.mu.Unlock()
 	if d != nil {
 		p.publish(st, *d)
+	}
+	p.publishHealth(evs)
+}
+
+// setHealth moves the site to a new degradation state, counting the edge
+// and queueing the event for publication after the lock is released. A
+// same-state call is a no-op. Callers hold st.mu.
+func (st *site) setHealth(to Health, seq int64) {
+	from := st.stats.Health
+	if from == to {
+		return
+	}
+	st.stats.HealthTransitions[from][to]++
+	st.stats.Health = to
+	st.health.Store(int32(to))
+	st.events = append(st.events, HealthEvent{Site: st.name, From: from, To: to, Seq: seq})
+}
+
+// takeEvents drains the queued health transitions. Callers hold st.mu.
+func (st *site) takeEvents() []HealthEvent {
+	evs := st.events
+	st.events = nil
+	return evs
+}
+
+// publishHealth fires the health callback for each drained transition, in
+// order, outside all locks.
+func (p *Pipeline) publishHealth(evs []HealthEvent) {
+	if p.cfg.OnHealth == nil {
+		return
+	}
+	for _, ev := range evs {
+		p.cfg.OnHealth(ev)
 	}
 }
 
@@ -151,6 +201,12 @@ func (p *Pipeline) ingestLocked(st *site, s Sample) *Decision {
 	st.stats.SamplesIngested++
 	if s.Tier < 0 || s.Tier >= server.NumTiers || len(s.Values) != p.dim {
 		st.stats.SamplesBadShape++
+		return nil
+	}
+	if math.IsNaN(s.Time) || math.IsInf(s.Time, 0) {
+		// A non-finite timestamp cannot be windowed (the float→int64
+		// conversion is implementation-defined); treat it like a NaN value.
+		st.stats.SamplesBadValue++
 		return nil
 	}
 	for _, v := range s.Values {
@@ -253,11 +309,14 @@ func (p *Pipeline) closeCurrent(st *site) *Decision {
 
 // resetSession clears a site's temporal history after a stream gap and
 // fails the admission valve open: with no fresh decision, the site must
-// not keep shedding load on a stale overload verdict.
+// not keep shedding load on a stale overload verdict. The site drops to
+// the bottom of the degradation ladder.
 func (p *Pipeline) resetSession(st *site) {
 	st.sess.ResetHistory()
 	st.stats.SessionResets++
 	st.overloaded.Store(false)
+	st.cleanStreak = 0
+	st.setHealth(HealthStale, st.cur)
 }
 
 // decide predicts on one assembled window (absolute index seq) and builds
@@ -284,6 +343,13 @@ func (p *Pipeline) decide(st *site, vecs [server.NumTiers]metrics.Sample, missin
 	st.stats.WindowsDecided++
 	if missing > 0 {
 		st.stats.WindowsDegraded++
+		st.cleanStreak = 0
+		st.setHealth(HealthDegraded, seq)
+	} else {
+		st.cleanStreak++
+		if st.stats.Health != HealthHealthy && st.cleanStreak >= p.cfg.RecoverWindows {
+			st.setHealth(HealthHealthy, seq)
+		}
 	}
 	if pred.Overload {
 		st.stats.Overloads++
@@ -379,10 +445,12 @@ func (p *Pipeline) Flush() {
 			d = p.closeCurrent(st)
 			st.cur++
 		}
+		evs := st.takeEvents()
 		st.mu.Unlock()
 		if d != nil {
 			p.publish(st, *d)
 		}
+		p.publishHealth(evs)
 	}
 }
 
@@ -445,11 +513,17 @@ func (p *Pipeline) Overloaded(siteName string) bool {
 // latest decision: everything is admitted while the monitor predicts
 // underload; under predicted overload only a short pipeline is kept —
 // requests are admitted while the wait queue is empty and fewer than
-// maxBound workers are busy. Install it with Testbed.SetAdmission to
-// close the measurement→control loop.
+// maxBound workers are busy. While the site is stale (a tier outage or
+// stream gap dropped a window), the valve fails open regardless of the
+// last verdict: shedding load on a decision the fault already invalidated
+// would amplify the outage. Install it with Testbed.SetAdmission to close
+// the measurement→control loop.
 func (p *Pipeline) AdmissionValve(siteName string, maxBound int) server.AdmissionFunc {
 	st := p.getSite(siteName)
 	return func(as server.AdmissionState) bool {
+		if Health(st.health.Load()) == HealthStale {
+			return true
+		}
 		if !st.overloaded.Load() {
 			return true
 		}

@@ -46,6 +46,8 @@ var promMetrics = []promMetric{
 		func(s SiteStats) float64 { return float64(s.ModelVersion) }},
 	{"capserved_last_swap_window", "gauge", "First window decided by the active model (-1 before any swap).",
 		func(s SiteStats) float64 { return float64(s.LastSwapSeq) }},
+	{"capserved_health_state", "gauge", "Degradation-ladder position: 0 healthy, 1 degraded, 2 stale.",
+		func(s SiteStats) float64 { return float64(s.Health) }},
 }
 
 // skipReasons breaks the skipped-sample count out by cause under one
@@ -87,6 +89,25 @@ func (p *Pipeline) WriteMetrics(w io.Writer) error {
 			if _, err := fmt.Fprintf(w, "%s{site=%q,reason=%q} %g\n",
 				skipped, s.Site, r.reason, float64(r.value(s))); err != nil {
 				return err
+			}
+		}
+	}
+	const transitions = "capserved_health_transitions_total"
+	if _, err := fmt.Fprintf(w, "# HELP %s Degradation-state transitions, by edge.\n# TYPE %s counter\n",
+		transitions, transitions); err != nil {
+		return err
+	}
+	for _, s := range stats {
+		for from := Health(0); from < NumHealthStates; from++ {
+			for to := Health(0); to < NumHealthStates; to++ {
+				if from == to {
+					continue
+				}
+				if _, err := fmt.Fprintf(w, "%s{site=%q,from=%q,to=%q} %g\n",
+					transitions, s.Site, from.String(), to.String(),
+					float64(s.HealthTransitions[from][to])); err != nil {
+					return err
+				}
 			}
 		}
 	}

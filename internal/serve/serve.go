@@ -56,6 +56,61 @@ type Config struct {
 	// hot-swap (SwapMonitor). Like OnDecision it runs outside the
 	// pipeline's locks.
 	OnSwap func(SwapEvent)
+	// OnHealth, when set, is invoked synchronously for every
+	// degradation-state transition, after the decision (if any) that
+	// caused it. Like OnDecision it runs outside the pipeline's locks.
+	OnHealth func(HealthEvent)
+	// RecoverWindows is how many consecutive clean (non-degraded) decided
+	// windows move a degraded or stale site back to healthy. Zero selects
+	// 3; negative selects 1 (the first clean window recovers).
+	RecoverWindows int
+}
+
+// Health is a site's position on the degradation ladder. The serving
+// pipeline walks it from window outcomes alone: a partial (degraded)
+// window moves the site to HealthDegraded, a dropped window or stream gap
+// to HealthStale, and Config.RecoverWindows consecutive clean decisions
+// from either state back to HealthHealthy. Every transition increments a
+// per-edge counter (SiteStats.HealthTransitions, exported as the
+// capserved_health_transitions_total Prometheus family) and fires
+// Config.OnHealth.
+type Health int32
+
+// The degradation ladder, in order of decreasing trust.
+const (
+	// HealthHealthy: the latest decisions came from complete windows.
+	HealthHealthy Health = iota
+	// HealthDegraded: deciding, but from partial windows (samples lost
+	// within the staleness budget).
+	HealthDegraded
+	// HealthStale: the stream went bad enough to drop a window and reset
+	// the temporal history; there is no trustworthy recent decision, so
+	// the admission valve fails open.
+	HealthStale
+	// NumHealthStates sizes per-state arrays.
+	NumHealthStates = 3
+)
+
+// String names the state as exported in metrics and transcripts.
+func (h Health) String() string {
+	switch h {
+	case HealthHealthy:
+		return "healthy"
+	case HealthDegraded:
+		return "degraded"
+	case HealthStale:
+		return "stale"
+	default:
+		return fmt.Sprintf("Health(%d)", int32(h))
+	}
+}
+
+// HealthEvent announces one degradation-state transition on a site.
+type HealthEvent struct {
+	Site     string
+	From, To Health
+	// Seq is the window whose outcome caused the transition.
+	Seq int64
 }
 
 // Sample is one 1-second metric vector from one tier of a monitored site,
@@ -142,6 +197,23 @@ type SiteStats struct {
 	// Freshness (for readiness probes).
 	LastDecisionSeq  int64   // most recent decided window; -1 before the first
 	LastDecisionTime float64 // its stream timestamp in seconds
+
+	// Degradation ladder.
+	Health Health // current state (healthy until a fault says otherwise)
+	// HealthTransitions counts state changes by edge, [from][to]; the
+	// diagonal stays zero. Exported as capserved_health_transitions_total.
+	HealthTransitions [NumHealthStates][NumHealthStates]uint64
+}
+
+// HealthChanges sums every degradation-state transition the site has made.
+func (s SiteStats) HealthChanges() uint64 {
+	var n uint64
+	for _, row := range s.HealthTransitions {
+		for _, v := range row {
+			n += v
+		}
+	}
+	return n
 }
 
 // DisagreementRate is the fraction of decided windows whose Global
@@ -178,6 +250,12 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.StalenessBudget >= c.Window {
 		c.StalenessBudget = c.Window - 1
+	}
+	switch {
+	case c.RecoverWindows == 0:
+		c.RecoverWindows = 3
+	case c.RecoverWindows < 0:
+		c.RecoverWindows = 1
 	}
 	return c, nil
 }
