@@ -24,6 +24,15 @@
 //	capserved -level os                             # monitor on OS metrics instead of counters
 //	capserved -adapt                                # retrain and hot-swap on drift
 //	capserved -chaos "outage tier=db at=120 for=30" # inject telemetry faults
+//	capserved -shards 8 -sites 1000                 # sharded fleet-scale ingest
+//
+// With -shards N (N > 0) the daemon serves through the sharded pipeline
+// (serve.ShardedPipeline): sites hash onto N single-threaded shards, each
+// draining its own bounded batch queue, with decisions published off the
+// ingest path and per-shard counters merged only at snapshot time. -batch
+// and -queue size each shard's batches and queue (0 takes the defaults).
+// The decision stream per site is byte-identical to the unsharded
+// pipeline's; only the interleaving across sites may differ.
 //
 // With -chaos the sample stream passes through a deterministic fault
 // injector (internal/chaos) before ingestion: the flag takes a fault
@@ -68,6 +77,22 @@ func main() {
 	}
 }
 
+// servingPipeline is the call surface the daemon needs from a serving
+// pipeline — satisfied by both *serve.Pipeline and *serve.ShardedPipeline,
+// and a superset of registry.Pipeline so the lifecycle manager can drive
+// either. Sharded-only operations (Sync, Close, shard totals) stay off
+// the interface; the run wires them up only when -shards selects them.
+type servingPipeline interface {
+	Ingest(s serve.Sample)
+	Flush()
+	Stats() []serve.SiteStats
+	SiteStats(site string) (serve.SiteStats, bool)
+	WriteMetrics(w io.Writer) error
+	AdmissionValve(site string, limit int) server.AdmissionFunc
+	SwapMonitor(site string, m *core.Monitor, version int64) (serve.SwapEvent, error)
+	NoteDrift(site string, n int)
+}
+
 // simSite is one simulated monitored website: a testbed under its own
 // burst schedule plus the per-tier collectors that sample it.
 type simSite struct {
@@ -99,8 +124,17 @@ func run(args []string, out io.Writer) error {
 	chaosSpec := fs.String("chaos", "", `fault schedule to inject into the telemetry stream, e.g. "drop tier=app at=60 for=30 p=0.25; outage at=300 for=30"`)
 	addr := fs.String("addr", "", "HTTP listen address for /metrics, /debug/vars, /healthz, /readyz, /models; empty disables HTTP")
 	hold := fs.Bool("hold", false, "keep the HTTP endpoint up after the simulated run completes")
+	shards := fs.Int("shards", 0, "ingest shards; 0 serves through the unsharded pipeline")
+	batch := fs.Int("batch", 0, "sharded mode: samples per batch (0 takes the default)")
+	queue := fs.Int("queue", 0, "sharded mode: per-shard queue capacity in samples (0 takes the default)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *shards < 0 {
+		return fmt.Errorf("-shards must be >= 0, got %d", *shards)
+	}
+	if (*batch != 0 || *queue != 0) && *shards == 0 {
+		return fmt.Errorf("-batch and -queue only apply with -shards > 0")
 	}
 
 	var scale experiment.Scale
@@ -169,7 +203,7 @@ func run(args []string, out io.Writer) error {
 		mgr      *registry.Manager
 		trackers map[string]*truthTracker
 	)
-	pipe, err := serve.NewPipeline(monitor, serve.Config{
+	serveCfg := serve.Config{
 		Window: scale.Window,
 		OnDecision: func(d serve.Decision) {
 			bott := "-"
@@ -208,9 +242,32 @@ func run(args []string, out io.Writer) error {
 			fmt.Fprintf(out, "health %s %s -> %s at window %d\n", ev.Site, ev.From, ev.To, ev.Seq)
 			outMu.Unlock()
 		},
-	})
-	if err != nil {
-		return fmt.Errorf("build pipeline: %w", err)
+	}
+	// Sharded mode adds a per-second barrier (Sync) so the lockstep
+	// simulation observes the same decision cadence as the synchronous
+	// pipeline, and a shutdown that stops the shard goroutines.
+	var (
+		pipe     servingPipeline
+		barrier  = func() {}
+		shutdown = func() {}
+		sharded  *serve.ShardedPipeline
+	)
+	if *shards > 0 {
+		sp, err := serve.NewShardedPipeline(monitor, serveCfg, serve.ShardConfig{
+			Shards: *shards, BatchSize: *batch, QueueCapacity: *queue,
+		})
+		if err != nil {
+			return fmt.Errorf("build sharded pipeline: %w", err)
+		}
+		pipe, sharded = sp, sp
+		barrier = sp.Sync
+		shutdown = sp.Close
+	} else {
+		p, err := serve.NewPipeline(monitor, serveCfg)
+		if err != nil {
+			return fmt.Errorf("build pipeline: %w", err)
+		}
+		pipe = p
 	}
 	state.setPipeline(pipe)
 
@@ -289,6 +346,9 @@ func run(args []string, out io.Writer) error {
 				tk.observe(snap)
 			}
 		}
+		// Sharded: drain every shard before advancing the clock so the
+		// simulation's decision cadence matches the synchronous pipeline.
+		barrier()
 	}
 	if inj != nil {
 		for _, s := range inj.Drain() {
@@ -299,6 +359,7 @@ func run(args []string, out io.Writer) error {
 	if mgr != nil {
 		mgr.Wait()
 	}
+	shutdown()
 
 	fmt.Fprintln(out)
 	for _, st := range pipe.Stats() {
@@ -306,6 +367,12 @@ func run(args []string, out io.Writer) error {
 			st.Site, st.WindowsDecided, st.WindowsDegraded, st.WindowsDropped,
 			st.Overloads, st.DisagreementRate()*100, st.MeanPredictLatency(),
 			st.Health, st.HealthChanges())
+	}
+	if sharded != nil {
+		tot := sharded.Totals()
+		fmt.Fprintf(out, "shards   n=%d enqueued=%d processed=%d batches=%d stalls=%d rejected-closed=%d rejected-ref=%d\n",
+			sharded.Shards(), tot.Enqueued, tot.Processed, tot.Batches,
+			tot.Stalls, tot.RejectedClosed, tot.RejectedRef)
 	}
 	if inj != nil {
 		fs := inj.Stats()
@@ -369,7 +436,10 @@ type truthTracker struct {
 	fgBusy      [server.NumTiers]float64
 	classes     [tpcw.NumInteractions]int
 
-	seq   int64
+	seq int64
+	// mu guards ready: in sharded mode take runs on shard goroutines
+	// (decision callbacks) while observe runs on the simulation loop.
+	mu    sync.Mutex
 	ready map[int64]registry.Truth
 }
 
@@ -420,7 +490,9 @@ func (t *truthTracker) observe(snap server.Snapshot) {
 	for c, n := range t.classes {
 		tr.ClassCounts[c] = float64(n)
 	}
+	t.mu.Lock()
 	t.ready[t.seq] = tr
+	t.mu.Unlock()
 	t.seq++
 
 	t.secs, t.arrivals, t.completions, t.rtSum = 0, 0, 0, 0
@@ -430,6 +502,8 @@ func (t *truthTracker) observe(snap server.Snapshot) {
 
 // take removes and returns the truth for a window, if labeled.
 func (t *truthTracker) take(seq int64) (registry.Truth, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	tr, ok := t.ready[seq]
 	if ok {
 		delete(t.ready, seq)
@@ -442,12 +516,12 @@ func (t *truthTracker) take(seq int64) (registry.Truth, bool) {
 // the sites are built, the manager only under -adapt.
 type daemonState struct {
 	mu    sync.Mutex
-	pipe  *serve.Pipeline
+	pipe  servingPipeline
 	mgr   *registry.Manager
 	sites []string
 }
 
-func (s *daemonState) setPipeline(p *serve.Pipeline) {
+func (s *daemonState) setPipeline(p servingPipeline) {
 	s.mu.Lock()
 	s.pipe = p
 	s.mu.Unlock()
@@ -465,7 +539,7 @@ func (s *daemonState) setSites(names []string) {
 	s.mu.Unlock()
 }
 
-func (s *daemonState) snapshot() (*serve.Pipeline, *registry.Manager, []string) {
+func (s *daemonState) snapshot() (servingPipeline, *registry.Manager, []string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.pipe, s.mgr, append([]string(nil), s.sites...)

@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"net"
 	"net/http"
@@ -35,6 +36,73 @@ func TestRunQuick(t *testing.T) {
 	} {
 		if !strings.Contains(got, want) {
 			t.Errorf("output missing %q in:\n%s", want, got)
+		}
+	}
+}
+
+// TestRunSharded runs the same seeded fleet through the unsharded and the
+// sharded pipeline and requires the runs equivalent: every site's decision
+// stream byte-identical (only the cross-site interleaving may move), the
+// per-site summary lines identical, and the sharded run accounting for
+// every enqueued sample. Chaos is on so the equivalence covers the
+// degradation ladder, not just the happy path.
+func TestRunSharded(t *testing.T) {
+	base := []string{
+		"-scale", "quick", "-sites", "3", "-duration", "240", "-seed", "7",
+		"-chaos", "outage tier=db at=90 for=45",
+	}
+	var plain, shardedOut strings.Builder
+	if err := run(base, &plain); err != nil {
+		t.Fatalf("unsharded run: %v", err)
+	}
+	if err := run(append([]string{"-shards", "4", "-batch", "8", "-queue", "64"}, base...), &shardedOut); err != nil {
+		t.Fatalf("sharded run: %v", err)
+	}
+
+	// Per-site projection of the decision stream plus the site's summary
+	// line; cross-site interleaving is the only freedom sharding has.
+	// mean-predict is wall-clock latency — nondeterministic between any
+	// two runs — so it is scrubbed before comparison.
+	project := func(s string) map[string][]string {
+		bySite := make(map[string][]string)
+		for _, line := range strings.Split(s, "\n") {
+			if i := strings.Index(line, " mean-predict="); i >= 0 {
+				if j := strings.Index(line[i+1:], " "); j >= 0 {
+					line = line[:i] + line[i+1+j:]
+				}
+			}
+			for _, site := range []string{"site-1", "site-2", "site-3"} {
+				if strings.Contains(line, site) {
+					bySite[site] = append(bySite[site], line)
+				}
+			}
+		}
+		return bySite
+	}
+	want, got := project(plain.String()), project(shardedOut.String())
+	for site, lines := range want {
+		if strings.Join(got[site], "\n") != strings.Join(lines, "\n") {
+			t.Errorf("%s stream diverged under sharding\n--- unsharded ---\n%s\n--- sharded ---\n%s",
+				site, strings.Join(lines, "\n"), strings.Join(got[site], "\n"))
+		}
+	}
+
+	sharded := shardedOut.String()
+	if !strings.Contains(sharded, "shards   n=4") {
+		t.Errorf("sharded summary missing shard totals line in:\n%s", sharded)
+	}
+	for _, line := range strings.Split(sharded, "\n") {
+		if !strings.HasPrefix(line, "shards   n=4") {
+			continue
+		}
+		var n int
+		var enq, proc, batches, stalls, rejClosed, rejRef uint64
+		if _, err := fmt.Sscanf(line, "shards   n=%d enqueued=%d processed=%d batches=%d stalls=%d rejected-closed=%d rejected-ref=%d",
+			&n, &enq, &proc, &batches, &stalls, &rejClosed, &rejRef); err != nil {
+			t.Fatalf("unparsable shard totals %q: %v", line, err)
+		}
+		if enq == 0 || proc != enq || rejClosed != 0 || rejRef != 0 {
+			t.Errorf("shard totals lost samples: %s", line)
 		}
 	}
 }

@@ -1,6 +1,10 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
 
 func TestMixByName(t *testing.T) {
 	for _, name := range []string{"browsing", "shopping", "ordering", "unknown"} {
@@ -38,5 +42,66 @@ func TestRunSteadyShort(t *testing.T) {
 func TestRunRampShort(t *testing.T) {
 	if err := run([]string{"-mix", "ordering", "-ramp", "10:30:2", "-step", "30"}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestRunScaleLegs drives the fleet-scale ingest leg end to end at toy
+// size, unsharded and sharded, and checks the emitted JSON row: geometry
+// echoed, sample accounting exact, throughput measured, and — window and
+// stream being identical — the same number of decisions from both legs.
+func TestRunScaleLegs(t *testing.T) {
+	rows := make(map[string]scaleRow)
+	for _, shards := range []int{0, 2} {
+		var out, progress strings.Builder
+		err := runScale(scaleOpts{
+			sites: 40, seconds: 8, shards: shards, batch: 4, queue: 16,
+			window: 4, seed: 1,
+		}, &out, &progress)
+		if err != nil {
+			t.Fatalf("runScale(shards=%d): %v", shards, err)
+		}
+		var row scaleRow
+		if err := json.Unmarshal([]byte(out.String()), &row); err != nil {
+			t.Fatalf("row not JSON: %v\n%s", err, out.String())
+		}
+		rows[row.Name] = row
+		if row.Sites != 40 || row.Seconds != 8 || row.Shards != shards {
+			t.Errorf("geometry echoed wrong: %+v", row)
+		}
+		if want := 40 * 2 * 8; row.Samples != want {
+			t.Errorf("samples = %d, want %d", row.Samples, want)
+		}
+		if row.SitesPerSec <= 0 || row.NsPerOp <= 0 || row.P99IngestNs < row.P50IngestNs {
+			t.Errorf("throughput fields not measured: %+v", row)
+		}
+		// 8 measured seconds over 4-second windows: decisions must flow.
+		if row.Decisions == 0 {
+			t.Errorf("no decisions in %s", row.Name)
+		}
+	}
+	u, ok1 := rows["ScaleIngest/unsharded/sites=40"]
+	s, ok2 := rows["ScaleIngest/sharded/sites=40"]
+	if !ok1 || !ok2 {
+		t.Fatalf("row names wrong: %v", rows)
+	}
+	if u.Decisions != s.Decisions {
+		t.Errorf("decision counts diverged: unsharded %d, sharded %d", u.Decisions, s.Decisions)
+	}
+	if s.BatchSize != 4 || s.QueueCapacity != 16 {
+		t.Errorf("sharded geometry not echoed: %+v", s)
+	}
+}
+
+// TestRunScaleFlagErrors pins the scale-leg flag validation.
+func TestRunScaleFlagErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-sites", "10", "-seconds", "0"},
+		{"-shards", "2"},
+		{"-batch", "8"},
+		{"-leg", "x"},
+	} {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
 	}
 }

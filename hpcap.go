@@ -240,6 +240,36 @@ type (
 // monitor; see the serve package for streaming semantics.
 var NewServingPipeline = serve.NewPipeline
 
+// Sharded fleet-scale ingest: the same serving semantics partitioned
+// across single-writer shards with batched queues, for 100k-site fleets
+// on one daemon. Decision streams are byte-identical to the unsharded
+// pipeline's.
+type (
+	// ShardedPipeline is the fleet-scale serving pipeline: sites hashed
+	// to shards, per-shard ingest goroutines, counters merged only at
+	// snapshot time.
+	ShardedPipeline = serve.ShardedPipeline
+	// ShardConfig sets shard count, batch size, and queue capacity.
+	ShardConfig = serve.ShardConfig
+	// SiteRef is a pre-resolved site handle for the allocation-free
+	// ingest fast path (Register once, IngestRef per sample).
+	SiteRef = serve.SiteRef
+	// ShardStats is one shard's queue and rejection counters.
+	ShardStats = serve.ShardStats
+	// Batcher is a single-producer ingest buffer: Add per sample or
+	// AddSite per fused site scrape, Flush before Sync.
+	Batcher = serve.Batcher
+)
+
+// NewShardedPipeline builds the sharded fleet-scale pipeline;
+// DefaultShardConfig is the tuned default geometry, and SiteShard is the
+// exported routing hash (pure FNV-1a of the site name).
+var (
+	NewShardedPipeline = serve.NewShardedPipeline
+	DefaultShardConfig = serve.DefaultShardConfig
+	SiteShard          = serve.SiteShard
+)
+
 // Adaptive model lifecycle: drift detection over the labeled decision
 // stream, versioned model storage, and retrain-shadow-swap management.
 type (

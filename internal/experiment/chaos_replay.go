@@ -87,6 +87,34 @@ func chaosStorm(base, w float64) chaos.Schedule {
 // value — the chaos determinism golden pins a Workers=1 vs Workers=8
 // comparison.
 func (l *Lab) RunChaosReplay(workers int) (*ChaosReplay, error) {
+	return l.runChaosReplay(workers, 0)
+}
+
+// RunChaosReplaySharded runs the same fault-storm replay through the
+// sharded serving pipeline (shards ingest lanes, batched decisions, a
+// per-second Sync standing in for the daemon's cadence). The transcript
+// is byte-identical to RunChaosReplay's: batching and deferral may never
+// change a decision, a ladder transition, or the lifecycle guard's work.
+func (l *Lab) RunChaosReplaySharded(workers, shards int) (*ChaosReplay, error) {
+	if shards < 1 {
+		shards = 1
+	}
+	return l.runChaosReplay(workers, shards)
+}
+
+// chaosServePipeline is the serving surface the replay drives, satisfied
+// by both the unsharded and the sharded pipeline (and by registry.Pipeline).
+type chaosServePipeline interface {
+	Ingest(serve.Sample)
+	Flush()
+	SiteStats(string) (serve.SiteStats, bool)
+	SwapMonitor(string, *core.Monitor, int64) (serve.SwapEvent, error)
+	NoteDrift(string, int)
+}
+
+// runChaosReplay is the shared replay body; shards == 0 selects the
+// unsharded pipeline, anything else the sharded one.
+func (l *Lab) runChaosReplay(workers, shards int) (*ChaosReplay, error) {
 	const level = metrics.LevelHPC
 	wb, err := l.Workload(tpcw.Browsing())
 	if err != nil {
@@ -154,15 +182,31 @@ func (l *Lab) RunChaosReplay(workers int) (*ChaosReplay, error) {
 	var log strings.Builder
 	fmt.Fprintf(&log, "storm %s\n", storm)
 	var decisions []serve.Decision
-	pc, err := serve.NewPipeline(mon, serve.Config{
+	// The sharded run touches decisions and log from shard goroutines; the
+	// per-second Sync below establishes the ordering that makes the plain
+	// slice and builder safe (nothing publishes outside ingest..Sync).
+	scfg := serve.Config{
 		Window:     l.Scale.Window,
 		OnDecision: func(d serve.Decision) { decisions = append(decisions, d) },
 		OnHealth: func(ev serve.HealthEvent) {
 			fmt.Fprintf(&log, "  health %s->%s seq=%d\n", ev.From, ev.To, ev.Seq)
 		},
-	})
-	if err != nil {
-		return nil, err
+	}
+	var pc chaosServePipeline
+	sync := func() {}
+	if shards > 0 {
+		sp, err := serve.NewShardedPipeline(mon, scfg, serve.ShardConfig{Shards: shards})
+		if err != nil {
+			return nil, err
+		}
+		defer sp.Close()
+		pc, sync = sp, sp.Sync
+	} else {
+		p, err := serve.NewPipeline(mon, scfg)
+		if err != nil {
+			return nil, err
+		}
+		pc = p
 	}
 	mgr, err := registry.NewManager(registry.Config{
 		Pipeline: pc,
@@ -224,6 +268,7 @@ func (l *Lab) RunChaosReplay(workers int) (*ChaosReplay, error) {
 		for tier := server.TierID(0); tier < server.NumTiers; tier++ {
 			ingest(serve.Sample{Site: "site", Tier: tier, Time: ts, Values: vecs[tier][i]})
 		}
+		sync()
 		deliver(len(decisions) - 1)
 	}
 	for _, s := range inj.Drain() {

@@ -74,3 +74,33 @@ func TestDeterminismChaosReplay(t *testing.T) {
 		t.Fatalf("transcript diverged from the golden fixture (run with -update if the change is intended)\n--- got ---\n%s\n--- want ---\n%s", seq.Log, want)
 	}
 }
+
+// TestShardedDeterminism replays the same fault storm through the sharded
+// serving pipeline — hash routing, batch queues, deferred batched
+// decisions, per-second Sync — and requires the transcript byte-identical
+// to the unsharded pipeline's committed golden, at several shard counts.
+// Together with TestDeterminismChaosReplay this pins Workers=1 vs
+// Workers=8 vs sharded to one byte stream.
+func TestShardedDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full chaos replays per shard count; skipped in -short")
+	}
+	golden := filepath.Join("testdata", "chaos_replay.golden")
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden fixture (run TestDeterminismChaosReplay -update to regenerate): %v", err)
+	}
+	for _, shards := range []int{1, 4} {
+		res, err := NewLab(QuickScale()).RunChaosReplaySharded(8, shards)
+		if err != nil {
+			t.Fatalf("RunChaosReplaySharded(8, %d): %v", shards, err)
+		}
+		if res.Log != string(want) {
+			t.Errorf("shards=%d transcript diverged from the unsharded golden\n--- got ---\n%s\n--- want ---\n%s",
+				shards, res.Log, want)
+		}
+		if res.Guarded == 0 || res.Transitions < 2 || res.ReconvergeSeq < 0 {
+			t.Errorf("shards=%d summary diverged: %+v", shards, res)
+		}
+	}
+}

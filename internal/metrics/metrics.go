@@ -117,8 +117,31 @@ func NewAggregator(c Collector, window int) (*Aggregator, error) {
 	}, nil
 }
 
-// Names returns the metric names of the underlying collector.
-func (a *Aggregator) Names() []string { return a.collector.Names() }
+// NewValuesAggregator returns an aggregator for pre-collected vectors of a
+// fixed dimension, fed through PushValues — the serving layer's samples
+// arrive as raw values, so it needs no Collector behind the window
+// arithmetic. dim and window must be positive.
+func NewValuesAggregator(dim, window int) (*Aggregator, error) {
+	if window <= 0 {
+		return nil, fmt.Errorf("metrics: window must be positive, got %d", window)
+	}
+	if dim <= 0 {
+		return nil, fmt.Errorf("metrics: dim must be positive, got %d", dim)
+	}
+	return &Aggregator{
+		window: window,
+		sum:    make([]float64, dim),
+	}, nil
+}
+
+// Names returns the metric names of the underlying collector (nil for a
+// values-only aggregator).
+func (a *Aggregator) Names() []string {
+	if a.collector == nil {
+		return nil
+	}
+	return a.collector.Names()
+}
 
 // Push feeds one interval of telemetry (of length dt seconds). When the
 // window fills, it returns the aggregated Sample and true, and resets.
@@ -130,6 +153,19 @@ func (a *Aggregator) Push(s server.Snapshot, dt float64) (Sample, bool) {
 	} else {
 		vec = a.collector.Collect(s, dt)
 	}
+	return a.push(vec, s, dt)
+}
+
+// PushValues folds one pre-collected 1-second vector into the window,
+// bypassing the collector: identical arithmetic to Push with a telemetry
+// snapshot carrying only the timestamp. values must have the aggregator's
+// dimension; the slice is read during the call and not retained.
+func (a *Aggregator) PushValues(time float64, values []float64) (Sample, bool) {
+	return a.push(values, server.Snapshot{Time: time}, 1)
+}
+
+// push is the shared accumulate-and-maybe-emit tail of Push/PushValues.
+func (a *Aggregator) push(vec []float64, s server.Snapshot, dt float64) (Sample, bool) {
 	for i, v := range vec {
 		a.sum[i] += v
 	}

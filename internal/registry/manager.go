@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"hpcap/internal/core"
 	"hpcap/internal/drift"
@@ -71,10 +72,20 @@ func (e Event) String() string {
 	}
 }
 
+// Pipeline is the slice of the serving surface the lifecycle drives:
+// swapping a site's model and surfacing drift signals on its counters.
+// Both serve.Pipeline and serve.ShardedPipeline satisfy it, so one
+// manager runs unchanged over the single-lock and the fleet-scale
+// sharded serving paths.
+type Pipeline interface {
+	SwapMonitor(site string, m *core.Monitor, version int64) (serve.SwapEvent, error)
+	NoteDrift(site string, n int)
+}
+
 // Config tunes a Manager.
 type Config struct {
 	// Pipeline is the serving pipeline whose models the manager swaps.
-	Pipeline *serve.Pipeline
+	Pipeline Pipeline
 	// Initial is the trained monitor the pipeline was built with; it is
 	// registered as version 0 of every site the manager sees.
 	Initial *core.Monitor
@@ -171,14 +182,24 @@ type managed struct {
 	cooldownAt int64 // no retrain before this window seq
 }
 
+// lifecycleStripes is how many ways the manager's site table is striped.
+// Sites route to stripes with the same hash the sharded pipeline routes
+// ingest with, so a fleet spread over shards also spreads over stripes.
+const lifecycleStripes = 16
+
+// stripe is one lock's worth of the manager's site table.
+type stripe struct {
+	mu    sync.Mutex
+	sites map[string]*managed
+}
+
 // Manager runs the adaptive model lifecycle over one pipeline's sites.
 type Manager struct {
 	cfg   Config
 	store *Store
 
-	mu      sync.Mutex
-	sites   map[string]*managed
-	guarded uint64
+	stripes [lifecycleStripes]stripe
+	guarded atomic.Uint64
 	wg      sync.WaitGroup
 }
 
@@ -200,11 +221,14 @@ func NewManager(cfg Config) (*Manager, error) {
 		return nil, fmt.Errorf("registry: %w: Train.Learner is required", core.ErrBadConfig)
 	}
 	cfg = cfg.withDefaults()
-	return &Manager{
+	m := &Manager{
 		cfg:   cfg,
 		store: NewStore(),
-		sites: make(map[string]*managed),
-	}, nil
+	}
+	for i := range m.stripes {
+		m.stripes[i].sites = make(map[string]*managed)
+	}
+	return m, nil
 }
 
 // Store exposes the version store (for endpoints and tests).
@@ -214,11 +238,13 @@ func (m *Manager) Store() *Store { return m.store }
 func (m *Manager) Wait() { m.wg.Wait() }
 
 // ensure returns the site's lifecycle state, creating it (and registering
-// the initial model as version 0) on first use.
+// the initial model as version 0) on first use. Only the site's stripe
+// locks: decisions for sites on different stripes never contend here.
 func (m *Manager) ensure(site string) (*managed, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if st, ok := m.sites[site]; ok {
+	sp := &m.stripes[serve.SiteShard(site, lifecycleStripes)]
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	if st, ok := sp.sites[site]; ok {
 		return st, nil
 	}
 	det, err := drift.New(m.cfg.Drift)
@@ -230,7 +256,7 @@ func (m *Manager) ensure(site string) (*managed, error) {
 		pending:   make(map[int64]serve.Decision),
 		incumbent: m.cfg.Initial,
 	}
-	m.sites[site] = st
+	sp.sites[site] = st
 	m.store.Register(site, Version{
 		Monitor: m.cfg.Initial,
 		Reason:  "initial",
@@ -241,11 +267,7 @@ func (m *Manager) ensure(site string) (*managed, error) {
 
 // Guarded returns how many degraded decisions the lifecycle refused to
 // learn from (always 0 with Config.AllowDegraded set).
-func (m *Manager) Guarded() uint64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.guarded
-}
+func (m *Manager) Guarded() uint64 { return m.guarded.Load() }
 
 // HandleDecision buffers a decision until its ground truth arrives. Safe
 // to call from the pipeline's OnDecision callback. Degraded decisions are
@@ -255,9 +277,7 @@ func (m *Manager) Guarded() uint64 {
 // enter a retraining history.
 func (m *Manager) HandleDecision(d serve.Decision) {
 	if d.Degraded && !m.cfg.AllowDegraded {
-		m.mu.Lock()
-		m.guarded++
-		m.mu.Unlock()
+		m.guarded.Add(1)
 		return
 	}
 	st, err := m.ensure(d.Site)

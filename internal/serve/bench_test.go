@@ -1,6 +1,7 @@
 package serve_test
 
 import (
+	"fmt"
 	"testing"
 
 	"hpcap/internal/serve"
@@ -32,6 +33,134 @@ func BenchmarkPipelineIngest(b *testing.B) {
 			Tier:   tier,
 			Time:   float64(sec + 1),
 			Values: vecs[tier][sec%n],
+		})
+	}
+}
+
+// BenchmarkFleetIngest measures steady-state ingest across a fleet,
+// round-robin over the sites second by second — the access pattern a
+// lockstep fleet produces. Three legs per fleet size: the unsharded
+// pipeline keyed by site name, the sharded pipeline keyed by site name
+// (hash + per-site map lookup per sample), and the sharded pipeline's
+// ref-based fast path (Register once, IngestRef per sample).
+func BenchmarkFleetIngest(b *testing.B) {
+	_, mon, tr := fixture(b)
+	vecs := secondVectors(tr)
+	n := len(tr.SecTimes)
+	for _, nSites := range []int{1000, 10000, 100000} {
+		names := make([]string, nSites)
+		for i := range names {
+			names[i] = fmt.Sprintf("site-%06d", i)
+		}
+		runLeg := func(b *testing.B, ingest func(i int, tier server.TierID, ts float64, v []float64), sync func()) {
+			// Warm: create every site so steady state is measured.
+			for i := range names {
+				for tier := server.TierID(0); tier < server.NumTiers; tier++ {
+					ingest(i, tier, 1, vecs[tier][0])
+				}
+			}
+			sync()
+			b.ReportAllocs()
+			b.ResetTimer()
+			done := 0
+			for sec := 2; done < b.N; sec++ {
+				ts := float64(sec)
+				vi := sec % n
+				for i := 0; i < nSites && done < b.N; i++ {
+					for tier := server.TierID(0); tier < server.NumTiers; tier++ {
+						ingest(i, tier, ts, vecs[tier][vi])
+						done++
+					}
+				}
+			}
+			sync()
+		}
+		b.Run(fmt.Sprintf("unsharded/sites=%d", nSites), func(b *testing.B) {
+			p, err := serve.NewPipeline(mon, serve.Config{Window: 30})
+			if err != nil {
+				b.Fatal(err)
+			}
+			runLeg(b, func(i int, tier server.TierID, ts float64, v []float64) {
+				p.Ingest(serve.Sample{Site: names[i], Tier: tier, Time: ts, Values: v})
+			}, func() {})
+		})
+		b.Run(fmt.Sprintf("sharded/sites=%d", nSites), func(b *testing.B) {
+			sp, err := serve.NewShardedPipeline(mon, serve.Config{Window: 30}, serve.DefaultShardConfig())
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer sp.Close()
+			runLeg(b, func(i int, tier server.TierID, ts float64, v []float64) {
+				sp.Ingest(serve.Sample{Site: names[i], Tier: tier, Time: ts, Values: v})
+			}, sp.Sync)
+		})
+		b.Run(fmt.Sprintf("sharded-ref/sites=%d", nSites), func(b *testing.B) {
+			sp, err := serve.NewShardedPipeline(mon, serve.Config{Window: 30}, serve.DefaultShardConfig())
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer sp.Close()
+			refs := make([]serve.SiteRef, nSites)
+			for i, name := range names {
+				refs[i] = sp.Register(name)
+			}
+			runLeg(b, func(i int, tier server.TierID, ts float64, v []float64) {
+				sp.IngestRef(refs[i], tier, ts, v)
+			}, sp.Sync)
+		})
+		b.Run(fmt.Sprintf("sharded-site/sites=%d", nSites), func(b *testing.B) {
+			sp, err := serve.NewShardedPipeline(mon, serve.Config{Window: 30}, serve.DefaultShardConfig())
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer sp.Close()
+			refs := make([]serve.SiteRef, nSites)
+			for i, name := range names {
+				refs[i] = sp.Register(name)
+			}
+			bt := sp.NewBatcher()
+			// Fused scrapes: b.N still counts per-tier samples so ns/op is
+			// comparable across legs.
+			var scrape [server.NumTiers][]float64
+			for i := range names {
+				for tier := range scrape {
+					scrape[tier] = vecs[tier][0]
+				}
+				bt.AddSite(refs[i], 1, scrape)
+			}
+			bt.Flush()
+			sp.Sync()
+			b.ReportAllocs()
+			b.ResetTimer()
+			done := 0
+			for sec := 2; done < b.N; sec++ {
+				ts := float64(sec)
+				vi := sec % n
+				for tier := range scrape {
+					scrape[tier] = vecs[tier][vi]
+				}
+				for i := 0; i < nSites && done < b.N; i++ {
+					bt.AddSite(refs[i], ts, scrape)
+					done += int(server.NumTiers)
+				}
+			}
+			bt.Flush()
+			sp.Sync()
+		})
+		b.Run(fmt.Sprintf("sharded-batch/sites=%d", nSites), func(b *testing.B) {
+			sp, err := serve.NewShardedPipeline(mon, serve.Config{Window: 30}, serve.DefaultShardConfig())
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer sp.Close()
+			refs := make([]serve.SiteRef, nSites)
+			for i, name := range names {
+				refs[i] = sp.Register(name)
+			}
+			bt := sp.NewBatcher()
+			runLeg(b, func(i int, tier server.TierID, ts float64, v []float64) {
+				bt.Add(refs[i], tier, ts, v)
+			}, func() { bt.Flush(); sp.Sync() })
 		})
 	}
 }

@@ -1,0 +1,474 @@
+package serve
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+
+	"hpcap/internal/core"
+	"hpcap/internal/metrics"
+	"hpcap/internal/server"
+)
+
+// engine is one shard's serving state, owned by that shard's goroutine
+// (cross-goroutine access goes through shard.emu). Unlike Pipeline, which
+// keeps each site behind its own mutex in a pointer-heavy map, the engine
+// lays the fleet out densely: fixed-size site records, one flat window-sum
+// arena indexed [site][tier][dim], and sessions touched only at decision
+// time. A fleet iterated in registration order then streams through the
+// hardware prefetcher instead of chasing pointers through a 100k-entry
+// map, which is where the sharded path's single-core speedup comes from.
+//
+// The transition logic is a line-for-line port of Pipeline.ingestLocked /
+// closeCurrent / decide: per-site decision and health-event streams are
+// byte-identical to the unsharded pipeline (pinned by the chaos-replay
+// determinism golden and the differential property tests).
+type engine struct {
+	monitor   *core.Monitor
+	dim       int
+	window    int
+	staleness int
+	recover   int
+
+	idx   map[string]int32 // site name -> dense index
+	recs  []siteRec
+	stats []SiteStats
+	sess  []*core.Session
+	flags []*siteFlags // pointer-stable: admission valves hold them across slice growth
+	sums  []float64    // window accumulation arena, [site][tier][dim]
+
+	// due holds the batch's deferred clean-window decisions; pubs the
+	// decisions and health events awaiting publication outside all locks.
+	due  []dueWin
+	pubs []pub
+}
+
+// siteRec is the dense hot state of one site: everything the per-sample
+// path touches, in two cache lines.
+type siteRec struct {
+	started     bool
+	pendSet     [server.NumTiers]bool
+	cleanStreak int
+	cur         int64 // current window index
+	lastTime    [server.NumTiers]float64
+	count       [server.NumTiers]int32 // samples in the open window, per tier
+	pendTime    [server.NumTiers]float64
+	pendVals    [server.NumTiers][]float64 // emitted tier means awaiting the full window
+}
+
+// siteFlags is the lock-free face of one site (admission valve reads).
+// Allocated once per site so valves survive dense-slice growth.
+type siteFlags struct {
+	overloaded atomic.Bool
+	health     atomic.Int32
+}
+
+// dueWin is one clean window awaiting its deferred decision.
+type dueWin struct {
+	idx  int32
+	seq  int64
+	vecs [server.NumTiers]metrics.Sample
+}
+
+// pub is one decision or health event queued for publication after the
+// shard lock is released, in generation order.
+type pub struct {
+	idx     int32
+	isEvent bool
+	d       *Decision
+	ev      HealthEvent
+}
+
+// nonFinite reports math.IsNaN(v) || math.IsInf(v, 0) with one integer
+// test: a float64 is NaN or ±Inf exactly when its exponent bits are all
+// ones. The per-sample value scan is the hottest loop in the engine, and
+// the single mask-and-compare replaces three float compares per element.
+func nonFinite(v float64) bool {
+	const expMask = 0x7FF0000000000000
+	return math.Float64bits(v)&expMask == expMask
+}
+
+func newEngine(m *core.Monitor, cfg Config, dim int) *engine {
+	return &engine{
+		monitor:   m,
+		dim:       dim,
+		window:    cfg.Window,
+		staleness: cfg.StalenessBudget,
+		recover:   cfg.RecoverWindows,
+		idx:       make(map[string]int32),
+	}
+}
+
+// site returns the dense index for a site name, creating the site on
+// first use. Callers hold shard.emu or run on the shard goroutine.
+func (e *engine) site(name string) int32 {
+	if i, ok := e.idx[name]; ok {
+		return i
+	}
+	i := int32(len(e.recs))
+	e.idx[name] = i
+	e.recs = append(e.recs, siteRec{})
+	e.sess = append(e.sess, e.monitor.NewSession())
+	e.flags = append(e.flags, &siteFlags{})
+	e.sums = append(e.sums, make([]float64, int(server.NumTiers)*e.dim)...)
+	var ss SiteStats
+	ss.Site = name
+	ss.LastSwapSeq = -1
+	ss.LastDecisionSeq = -1
+	e.stats = append(e.stats, ss)
+	return i
+}
+
+// takePubs drains the queued publications.
+func (e *engine) takePubs() []pub {
+	out := e.pubs
+	e.pubs = nil
+	return out
+}
+
+// processBatch applies one drained batch and flushes its due windows.
+// Unresolvable refs are counted on the shard; everything else lands on
+// site counters, mirroring Pipeline.Ingest's never-reject contract.
+func (e *engine) processBatch(batch []qsample, sh *shard) []pub {
+	for k := range batch {
+		q := &batch[k]
+		var i int32
+		if q.idx > 0 {
+			if int(q.idx) > len(e.recs) {
+				sh.badRefs.Add(1)
+				continue
+			}
+			i = q.idx - 1
+		} else {
+			i = e.site(q.site)
+		}
+		if q.fused {
+			e.ingestSite(i, q)
+		} else {
+			e.ingestOne(i, q)
+		}
+	}
+	e.decideAll()
+	return e.takePubs()
+}
+
+// ingestSite applies one fused site scrape — one sample per tier, all
+// sharing a timestamp — exactly as NumTiers sequential ingestOne calls in
+// tier order, with the per-sample prolog (time check, window index)
+// computed once. Equivalence with the sequential path is pinned by
+// TestBatcherAddSite.
+func (e *engine) ingestSite(i int32, q *qsample) {
+	timeBad := nonFinite(q.time)
+	var wi int64
+	if !timeBad {
+		wi = windowIndex(q.time, e.window)
+	}
+	for tier := server.TierID(0); tier < server.NumTiers; tier++ {
+		if len(e.due) != 0 {
+			e.flushDueFor(i)
+		}
+		e.ingestVec(i, tier, q.time, wi, timeBad, q.vecs[tier])
+	}
+}
+
+// ingestOne is the engine's port of Pipeline.ingestLocked. The one
+// structural difference: a clean window completion is deferred to the due
+// list instead of decided inline — flushed by the site's next sample (the
+// per-site barrier that keeps decision order identical) or by decideAll
+// at batch end, whichever comes first.
+func (e *engine) ingestOne(i int32, q *qsample) {
+	if len(e.due) != 0 {
+		e.flushDueFor(i)
+	}
+	if q.tier < 0 || q.tier >= server.NumTiers {
+		ss := &e.stats[i]
+		ss.SamplesIngested++
+		ss.SamplesBadShape++
+		return
+	}
+	timeBad := nonFinite(q.time)
+	var wi int64
+	if !timeBad {
+		wi = windowIndex(q.time, e.window)
+	}
+	e.ingestVec(i, q.tier, q.time, wi, timeBad, q.values)
+}
+
+// ingestVec is the per-tier core of ingestOne with the sample prolog
+// hoisted: the caller has already run the due-window barrier, validated
+// the tier, and computed the time check and window index (wi is only
+// meaningful when timeBad is false; windowIndex of a non-finite time is
+// never taken). Both entry points — single samples and fused site
+// scrapes — funnel here so the windowing arithmetic exists once.
+func (e *engine) ingestVec(i int32, tier server.TierID, t float64, wi int64, timeBad bool, values []float64) {
+	st, ss := &e.recs[i], &e.stats[i]
+	ss.SamplesIngested++
+	if len(values) != e.dim {
+		ss.SamplesBadShape++
+		return
+	}
+	if timeBad {
+		ss.SamplesBadValue++
+		return
+	}
+	for _, v := range values {
+		if nonFinite(v) {
+			ss.SamplesBadValue++
+			return
+		}
+	}
+
+	if !st.started {
+		st.started = true
+		st.cur = wi
+	}
+	if wi > st.cur {
+		e.closeCurrent(i)
+		// Windows the stream skipped entirely are dropped unseen.
+		if gap := wi - st.cur - 1; gap > 0 {
+			ss.WindowsDropped += uint64(gap)
+			e.resetSession(i)
+		}
+		st.cur = wi
+	} else if wi < st.cur {
+		ss.SamplesLate++
+		return
+	}
+	if t <= st.lastTime[tier] || st.pendSet[tier] {
+		// Duplicate or rewound timestamp, or a tier sending more than
+		// Window samples into one window.
+		ss.SamplesLate++
+		return
+	}
+	st.lastTime[tier] = t
+	base := (int(i)*int(server.NumTiers) + int(tier)) * e.dim
+	sum := e.sums[base : base+e.dim : base+e.dim]
+	for k, v := range values {
+		sum[k] += v
+	}
+	st.count[tier]++
+	if int(st.count[tier]) < e.window {
+		return
+	}
+	// Tier window complete: emit the mean into fresh storage (decisions
+	// own their vectors), the same arithmetic as metrics.Aggregator.emit.
+	vals := make([]float64, e.dim)
+	n := float64(st.count[tier])
+	for k := range sum {
+		vals[k] = sum[k] / n
+		sum[k] = 0
+	}
+	st.count[tier] = 0
+	st.pendVals[tier] = vals
+	st.pendTime[tier] = t
+	st.pendSet[tier] = true
+	for tier := server.TierID(0); tier < server.NumTiers; tier++ {
+		if !st.pendSet[tier] {
+			return
+		}
+	}
+	// Clean window: every tier delivered all its samples.
+	var vecs [server.NumTiers]metrics.Sample
+	for tier := server.TierID(0); tier < server.NumTiers; tier++ {
+		vecs[tier] = metrics.Sample{Time: st.pendTime[tier], Values: st.pendVals[tier]}
+		st.pendVals[tier] = nil
+		st.pendTime[tier] = 0
+		st.pendSet[tier] = false
+	}
+	seq := st.cur
+	st.cur++
+	e.due = append(e.due, dueWin{idx: i, seq: seq, vecs: vecs})
+}
+
+// flushDueFor decides a queued due window for one site before its next
+// sample mutates the site — the barrier that keeps per-site decision and
+// session-history order identical to the sequential pipeline. The due
+// list only ever holds sites that completed a window in the current batch,
+// so the scan is short and allocation-free.
+func (e *engine) flushDueFor(i int32) {
+	for k := range e.due {
+		if e.due[k].idx == i {
+			d := e.due[k]
+			e.due[k] = dueWin{idx: -1}
+			e.decide(i, d.vecs, 0, d.seq)
+			return
+		}
+	}
+}
+
+// decideAll flushes the batch's remaining due windows in completion
+// order — the batched per-shard decision path. (This is also where a
+// future nanosecond decision path can amortize predictor work across a
+// whole shard's due sites instead of predicting site by site.)
+func (e *engine) decideAll() {
+	for k := range e.due {
+		d := e.due[k]
+		if d.idx < 0 {
+			continue
+		}
+		e.decide(d.idx, d.vecs, 0, d.seq)
+	}
+	for k := range e.due {
+		e.due[k] = dueWin{}
+	}
+	e.due = e.due[:0]
+}
+
+// closeCurrent is the engine's port of Pipeline.closeCurrent: force-close
+// the in-progress window, decide degraded inside the staleness budget,
+// drop and reset beyond it. Decides inline (never deferred) because the
+// caller mutates the site immediately after.
+func (e *engine) closeCurrent(i int32) {
+	st, ss := &e.recs[i], &e.stats[i]
+	missing, worst, held := 0, 0, 0
+	var vecs [server.NumTiers]metrics.Sample
+	for tier := server.TierID(0); tier < server.NumTiers; tier++ {
+		if st.pendSet[tier] {
+			vecs[tier] = metrics.Sample{Time: st.pendTime[tier], Values: st.pendVals[tier]}
+			st.pendVals[tier] = nil
+			st.pendTime[tier] = 0
+			st.pendSet[tier] = false
+			held += e.window
+			continue
+		}
+		n := int(st.count[tier])
+		if n > 0 {
+			base := (int(i)*int(server.NumTiers) + int(tier)) * e.dim
+			sum := e.sums[base : base+e.dim : base+e.dim]
+			vals := make([]float64, e.dim)
+			for k := range sum {
+				vals[k] = sum[k] / float64(n)
+				sum[k] = 0
+			}
+			vecs[tier] = metrics.Sample{Time: st.lastTime[tier], Values: vals}
+			st.count[tier] = 0
+		}
+		held += n
+		miss := e.window - n
+		missing += miss
+		if miss > worst {
+			worst = miss
+		}
+	}
+	if worst == 0 {
+		// All tiers complete; the closing sample arrived exactly at the
+		// next boundary.
+		e.decide(i, vecs, 0, st.cur)
+		return
+	}
+	if worst > e.staleness {
+		ss.WindowsDropped++
+		ss.SamplesGapReset += uint64(held)
+		e.resetSession(i)
+		return
+	}
+	e.decide(i, vecs, missing, st.cur)
+}
+
+// resetSession mirrors Pipeline.resetSession.
+func (e *engine) resetSession(i int32) {
+	st, ss := &e.recs[i], &e.stats[i]
+	e.sess[i].ResetHistory()
+	ss.SessionResets++
+	e.flags[i].overloaded.Store(false)
+	st.cleanStreak = 0
+	e.setHealth(i, HealthStale, st.cur)
+}
+
+// setHealth mirrors site.setHealth, queueing the event for publication
+// outside the shard lock.
+func (e *engine) setHealth(i int32, to Health, seq int64) {
+	ss := &e.stats[i]
+	from := ss.Health
+	if from == to {
+		return
+	}
+	ss.HealthTransitions[from][to]++
+	ss.Health = to
+	e.flags[i].health.Store(int32(to))
+	e.pubs = append(e.pubs, pub{idx: i, isEvent: true,
+		ev: HealthEvent{Site: ss.Site, From: from, To: to, Seq: seq}})
+}
+
+// decide mirrors Pipeline.decide, queueing the decision for publication.
+// The decision pub is inserted ahead of the health events its own outcome
+// generated, matching the unsharded publication order (decision first,
+// then the transitions it caused).
+func (e *engine) decide(i int32, vecs [server.NumTiers]metrics.Sample, missing int, seq int64) {
+	st, ss := &e.recs[i], &e.stats[i]
+	obs := core.Observation{}
+	for tier := server.TierID(0); tier < server.NumTiers; tier++ {
+		obs.Vectors[tier] = vecs[tier].Values
+		if vecs[tier].Time > obs.Time {
+			obs.Time = vecs[tier].Time
+		}
+	}
+	start := time.Now()
+	pred, err := e.sess[i].Predict(obs)
+	lat := uint64(time.Since(start))
+	ss.PredictNanos += lat
+	if lat > ss.PredictMaxNanos {
+		ss.PredictMaxNanos = lat
+	}
+	if err != nil {
+		ss.PredictErrors++
+		return
+	}
+	ss.WindowsDecided++
+	mark := len(e.pubs)
+	if missing > 0 {
+		ss.WindowsDegraded++
+		st.cleanStreak = 0
+		e.setHealth(i, HealthDegraded, seq)
+	} else {
+		st.cleanStreak++
+		if ss.Health != HealthHealthy && st.cleanStreak >= e.recover {
+			e.setHealth(i, HealthHealthy, seq)
+		}
+	}
+	if pred.Overload {
+		ss.Overloads++
+	}
+	for _, bit := range pred.GPV {
+		if bit != pred.GPV[0] {
+			ss.GPVDisagreements++
+			break
+		}
+	}
+	e.flags[i].overloaded.Store(pred.Overload)
+	ss.LastDecisionSeq = seq
+	ss.LastDecisionTime = obs.Time
+	d := &Decision{
+		Site:         ss.Site,
+		Seq:          seq,
+		Time:         obs.Time,
+		Prediction:   pred,
+		Degraded:     missing > 0,
+		Missing:      missing,
+		Vectors:      obs.Vectors,
+		ModelVersion: ss.ModelVersion,
+	}
+	e.pubs = append(e.pubs, pub{})
+	copy(e.pubs[mark+1:], e.pubs[mark:])
+	e.pubs[mark] = pub{idx: i, d: d}
+}
+
+// flushAll force-closes every open window (end of stream), in site
+// creation order. Due windows never persist past a batch, so only the
+// half-aggregated state needs closing.
+func (e *engine) flushAll() []pub {
+	for i := range e.recs {
+		st := &e.recs[i]
+		open := false
+		for tier := server.TierID(0); tier < server.NumTiers; tier++ {
+			if st.count[tier] > 0 || st.pendSet[tier] {
+				open = true
+			}
+		}
+		if st.started && open {
+			e.closeCurrent(int32(i))
+			st.cur++
+		}
+	}
+	return e.takePubs()
+}

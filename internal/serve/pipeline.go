@@ -34,7 +34,6 @@ type site struct {
 	mu   sync.Mutex
 	sess *core.Session
 	agg  [server.NumTiers]*metrics.Aggregator
-	vec  [server.NumTiers]*vectorCollector
 	// pending holds, by value, the tiers whose current window already
 	// completed; pendingSet marks which entries are live.
 	pending    [server.NumTiers]metrics.Sample
@@ -52,21 +51,6 @@ type site struct {
 	overloaded atomic.Bool
 	// health mirrors stats.Health for lock-free reads (admission valve).
 	health atomic.Int32
-}
-
-// vectorCollector adapts a raw pre-collected vector to the
-// metrics.Collector interface, so the serving layer windows live samples
-// through the exact aggregation arithmetic the batch trace pipeline uses.
-type vectorCollector struct {
-	tier  server.TierID
-	names []string
-	v     []float64
-}
-
-func (c *vectorCollector) Tier() server.TierID { return c.tier }
-func (c *vectorCollector) Names() []string     { return c.names }
-func (c *vectorCollector) Collect(server.Snapshot, float64) []float64 {
-	return c.v
 }
 
 // NewPipeline builds a serving pipeline over a trained monitor.
@@ -111,12 +95,10 @@ func (p *Pipeline) getSite(name string) *site {
 	st = &site{name: name, sess: p.monitor.NewSession()}
 	st.stats.LastSwapSeq = -1
 	st.stats.LastDecisionSeq = -1
-	names := make([]string, p.dim)
 	for tier := server.TierID(0); tier < server.NumTiers; tier++ {
-		st.vec[tier] = &vectorCollector{tier: tier, names: names}
-		agg, err := metrics.NewAggregator(st.vec[tier], p.cfg.Window)
+		agg, err := metrics.NewValuesAggregator(p.dim, p.cfg.Window)
 		if err != nil {
-			// Window was validated in NewPipeline; this cannot happen.
+			// Window and dim were validated in NewPipeline; this cannot happen.
 			panic(err)
 		}
 		st.agg[tier] = agg
@@ -135,8 +117,9 @@ const maxWindowIndex = int64(1) << 60
 // windowIndex maps a sample time to its absolute window: index w covers
 // times in (w·W, (w+1)·W], matching the batch aggregation, whose windows
 // end on multiples of W. Callers have already rejected non-finite times.
-func (p *Pipeline) windowIndex(t float64) int64 {
-	w := math.Ceil(t / float64(p.cfg.Window))
+// Shared with the sharded engine so both paths window identically.
+func windowIndex(t float64, window int) int64 {
+	w := math.Ceil(t / float64(window))
 	if !(w > 1) {
 		return 0
 	}
@@ -145,6 +128,8 @@ func (p *Pipeline) windowIndex(t float64) int64 {
 	}
 	return int64(w) - 1
 }
+
+func (p *Pipeline) windowIndex(t float64) int64 { return windowIndex(t, p.cfg.Window) }
 
 // Ingest feeds one sample. It never panics and never rejects the stream:
 // malformed input (unknown tier, wrong dimension, NaN/Inf values or
@@ -241,8 +226,7 @@ func (p *Pipeline) ingestLocked(st *site, s Sample) *Decision {
 		return out
 	}
 	st.lastTime[s.Tier] = s.Time
-	st.vec[s.Tier].v = s.Values
-	sample, done := st.agg[s.Tier].Push(server.Snapshot{Time: s.Time}, 1)
+	sample, done := st.agg[s.Tier].PushValues(s.Time, s.Values)
 	if !done {
 		return out
 	}

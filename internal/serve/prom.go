@@ -66,7 +66,12 @@ var skipReasons = []struct {
 // exposition format. Sites appear as a label, ordered by name; scraping
 // is allowed at any time and sees a consistent per-site snapshot.
 func (p *Pipeline) WriteMetrics(w io.Writer) error {
-	stats := p.Stats()
+	return writeSiteMetrics(w, p.Stats())
+}
+
+// writeSiteMetrics renders a per-site stats snapshot — shared by the
+// single-lock and sharded pipelines.
+func writeSiteMetrics(w io.Writer, stats []SiteStats) error {
 	for _, m := range promMetrics {
 		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", m.name, m.help, m.name, m.kind); err != nil {
 			return err
@@ -109,6 +114,57 @@ func (p *Pipeline) WriteMetrics(w io.Writer) error {
 					return err
 				}
 			}
+		}
+	}
+	return nil
+}
+
+// shardMetric describes one exported counter/gauge over all shards.
+type shardMetric struct {
+	name  string
+	kind  string
+	help  string
+	value func(ShardStats) float64
+}
+
+var shardMetrics = []shardMetric{
+	{"capserved_shard_sites", "gauge", "Sites resident on the shard.",
+		func(s ShardStats) float64 { return float64(s.Sites) }},
+	{"capserved_shard_samples_enqueued_total", "counter", "Samples accepted into the shard's batch queue.",
+		func(s ShardStats) float64 { return float64(s.Enqueued) }},
+	{"capserved_shard_samples_processed_total", "counter", "Samples applied by the shard goroutine.",
+		func(s ShardStats) float64 { return float64(s.Processed) }},
+	{"capserved_shard_batches_total", "counter", "Batches drained from the shard queue.",
+		func(s ShardStats) float64 { return float64(s.Batches) }},
+	{"capserved_shard_queue_stalls_total", "counter", "Full-queue waits producers blocked through.",
+		func(s ShardStats) float64 { return float64(s.Stalls) }},
+	{"capserved_shard_queue_depth", "gauge", "Samples accepted but not yet applied.",
+		func(s ShardStats) float64 { return float64(s.QueueDepth) }},
+}
+
+// writeShardMetrics renders the sharded pipeline's queue counters, one
+// series per shard.
+func writeShardMetrics(w io.Writer, stats []ShardStats) error {
+	for _, m := range shardMetrics {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", m.name, m.help, m.name, m.kind); err != nil {
+			return err
+		}
+		for _, s := range stats {
+			if _, err := fmt.Fprintf(w, "%s{shard=\"%d\"} %g\n", m.name, s.Shard, m.value(s)); err != nil {
+				return err
+			}
+		}
+	}
+	const rejected = "capserved_shard_rejected_total"
+	if _, err := fmt.Fprintf(w, "# HELP %s Samples rejected before reaching a shard engine, by reason.\n# TYPE %s counter\n",
+		rejected, rejected); err != nil {
+		return err
+	}
+	for _, s := range stats {
+		if _, err := fmt.Fprintf(w, "%s{shard=\"%d\",reason=\"closed\"} %g\n%s{shard=\"%d\",reason=\"bad-ref\"} %g\n",
+			rejected, s.Shard, float64(s.RejectedClosed),
+			rejected, s.Shard, float64(s.RejectedRef)); err != nil {
+			return err
 		}
 	}
 	return nil
