@@ -253,9 +253,10 @@ func BenchmarkMonitorPredict(b *testing.B) {
 	}
 	w := test.Windows[len(test.Windows)/2]
 	obs := hpcap.Observation{Time: w.Time, Vectors: w.HPC}
+	sess := monitor.NewSession()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := monitor.Predict(obs); err != nil {
+		if _, err := sess.Predict(obs); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -25,6 +25,7 @@
 //	capserved -adapt                                # retrain and hot-swap on drift
 //	capserved -chaos "outage tier=db at=120 for=30" # inject telemetry faults
 //	capserved -shards 8 -sites 1000                 # sharded fleet-scale ingest
+//	capserved -listen :9106 -wal frames.wal         # network ingest from capagent, durable replay
 //
 // With -shards N (N > 0) the daemon serves through the sharded pipeline
 // (serve.ShardedPipeline): sites hash onto N single-threaded shards, each
@@ -41,6 +42,19 @@
 // simulated sites are unaffected — only the telemetry the pipeline sees
 // is corrupted — and every degradation-ladder transition is printed and
 // surfaced on /readyz and /metrics.
+//
+// With -listen the daemon stops simulating sites and instead accepts
+// length-prefixed frame streams from capagent processes (internal/wire),
+// feeding them through the sharded pipeline's network ingest with
+// per-site sequence accounting. /readyz then reports each site's
+// transport staleness (wall time since its last frame, sequence gaps,
+// duplicates) alongside — and distinct from — its decision staleness.
+// -wal names a write-ahead sample log: every accepted frame is appended
+// before its samples reach the pipeline, and on restart an existing log
+// is replayed through the identical ingest path first, so a daemon
+// killed mid-run recovers its exact pre-crash decision state. -agents N
+// exits after N agent connections complete (bounded runs and tests);
+// without it the listener holds forever.
 package main
 
 import (
@@ -54,20 +68,22 @@ import (
 	"os"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"hpcap/internal/chaos"
 	"hpcap/internal/core"
-	"hpcap/internal/cpu"
 	"hpcap/internal/experiment"
 	"hpcap/internal/metrics"
 	"hpcap/internal/ml/bayes"
-	"hpcap/internal/osstat"
 	"hpcap/internal/pi"
 	"hpcap/internal/predictor"
 	"hpcap/internal/registry"
 	"hpcap/internal/serve"
 	"hpcap/internal/server"
+	"hpcap/internal/simsite"
 	"hpcap/internal/tpcw"
+	"hpcap/internal/wal"
+	"hpcap/internal/wire"
 )
 
 func main() {
@@ -93,25 +109,6 @@ type servingPipeline interface {
 	NoteDrift(site string, n int)
 }
 
-// simSite is one simulated monitored website: a testbed under its own
-// burst schedule plus the per-tier collectors that sample it.
-type simSite struct {
-	name string
-	tb   *server.Testbed
-	coll [server.NumTiers][]metrics.Collector
-}
-
-// collect concatenates the site's tier collectors into one sample vector
-// (one collector at the OS or HPC level; both, OS first, at the combined
-// level — matching experiment.Trace vector layout).
-func (s *simSite) collect(tier server.TierID, snap server.Snapshot) []float64 {
-	var v []float64
-	for _, c := range s.coll[tier] {
-		v = append(v, c.Collect(snap, 1)...)
-	}
-	return v
-}
-
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("capserved", flag.ContinueOnError)
 	scaleName := fs.String("scale", "quick", "training scale: quick|full")
@@ -127,6 +124,9 @@ func run(args []string, out io.Writer) error {
 	shards := fs.Int("shards", 0, "ingest shards; 0 serves through the unsharded pipeline")
 	batch := fs.Int("batch", 0, "sharded mode: samples per batch (0 takes the default)")
 	queue := fs.Int("queue", 0, "sharded mode: per-shard queue capacity in samples (0 takes the default)")
+	listen := fs.String("listen", "", "TCP frame-listener address for capagent connections; replaces the local simulation with network ingest")
+	walPath := fs.String("wal", "", "write-ahead sample log: append every accepted frame before ingest, replay it on restart (requires -listen)")
+	agents := fs.Int("agents", 0, "with -listen: exit after this many agent connections complete; 0 holds the listener open")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -135,6 +135,21 @@ func run(args []string, out io.Writer) error {
 	}
 	if (*batch != 0 || *queue != 0) && *shards == 0 {
 		return fmt.Errorf("-batch and -queue only apply with -shards > 0")
+	}
+	if *listen == "" && (*walPath != "" || *agents != 0) {
+		return fmt.Errorf("-wal and -agents only apply with -listen")
+	}
+	if *listen != "" {
+		// Network ingest replaces the local fleet: the agents own the
+		// testbeds, their collectors, and any chaos, so the local-only
+		// modes have nothing to act on.
+		if *adapt || *admission > 0 || *chaosSpec != "" {
+			return fmt.Errorf("-adapt, -admission, and -chaos need local simulation; run chaos at the agent (capagent -chaos)")
+		}
+		if *shards == 0 {
+			// The network ingest path (Register/Batcher) is sharded-only.
+			*shards = serve.DefaultShardConfig().Shards
+		}
 	}
 
 	var scale experiment.Scale
@@ -187,13 +202,16 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return fmt.Errorf("train monitor: %w", err)
 	}
-	wb, err := lab.Workload(tpcw.Browsing())
-	if err != nil {
-		return err
-	}
-	wo, err := lab.Workload(tpcw.Ordering())
-	if err != nil {
-		return err
+	var wb, wo experiment.Workload
+	if *listen == "" {
+		// Only the local simulation needs the workload knees; in listen
+		// mode the agents schedule their own sites.
+		if wb, err = lab.Workload(tpcw.Browsing()); err != nil {
+			return err
+		}
+		if wo, err = lab.Workload(tpcw.Ordering()); err != nil {
+			return err
+		}
 	}
 
 	// Decision and lifecycle-event prints interleave from different
@@ -271,11 +289,15 @@ func run(args []string, out io.Writer) error {
 	}
 	state.setPipeline(pipe)
 
+	if *listen != "" {
+		return serveNetwork(out, state, sharded, *listen, *walPath, *agents)
+	}
+
 	if *adapt {
 		mgr, err = registry.NewManager(registry.Config{
 			Pipeline: pipe,
 			Initial:  monitor,
-			Names:    metricNames(level),
+			Names:    simsite.MetricNames(level),
 			Train: core.Config{
 				Learner:  bayes.TANLearner(),
 				Synopsis: core.DefaultSynopsisConfig(*seed + 1),
@@ -297,18 +319,18 @@ func run(args []string, out io.Writer) error {
 		trackers = make(map[string]*truthTracker)
 	}
 
-	fleet := make([]*simSite, *sites)
+	fleet := make([]*simsite.Site, *sites)
 	names := make([]string, *sites)
 	for i := range fleet {
 		name := fmt.Sprintf("site-%d", i+1)
-		s, err := newSimSite(name, lab.Server, level, i, wb, wo, *seed, *duration)
+		s, err := simsite.New(name, lab.Server, level, i, wb, wo, *seed, *duration)
 		if err != nil {
 			return fmt.Errorf("build %s: %w", name, err)
 		}
 		if *admission > 0 {
-			s.tb.SetAdmission(pipe.AdmissionValve(name, *admission))
+			s.TB.SetAdmission(pipe.AdmissionValve(name, *admission))
 		}
-		if err := s.tb.Start(); err != nil {
+		if err := s.TB.Start(); err != nil {
 			return err
 		}
 		fleet[i] = s
@@ -333,16 +355,16 @@ func run(args []string, out io.Writer) error {
 	}
 	for elapsed := 0.0; elapsed < *duration; elapsed++ {
 		for _, s := range fleet {
-			snap := s.tb.RunInterval(1)
+			snap := s.TB.RunInterval(1)
 			for tier := server.TierID(0); tier < server.NumTiers; tier++ {
 				ingest(serve.Sample{
-					Site:   s.name,
+					Site:   s.Name,
 					Tier:   tier,
 					Time:   snap.Time,
-					Values: s.collect(tier, snap),
+					Values: s.Collect(tier, snap),
 				})
 			}
-			if tk := trackers[s.name]; tk != nil {
+			if tk := trackers[s.Name]; tk != nil {
 				tk.observe(snap)
 			}
 		}
@@ -382,17 +404,17 @@ func run(args []string, out io.Writer) error {
 	}
 	if *admission > 0 {
 		for _, s := range fleet {
-			arrivals, completions, rejections, inFlight := s.tb.Conservation()
+			arrivals, completions, rejections, inFlight := s.TB.Conservation()
 			fmt.Fprintf(out, "%-8s arrivals=%d completions=%d rejections=%d in-flight=%d\n",
-				s.name, arrivals, completions, rejections, inFlight)
+				s.Name, arrivals, completions, rejections, inFlight)
 		}
 	}
 	if mgr != nil {
 		fmt.Fprintln(out)
 		for _, s := range fleet {
-			for _, v := range mgr.Store().History(s.name) {
+			for _, v := range mgr.Store().History(s.Name) {
 				fmt.Fprintf(out, "%-8s model v%d reason=%s windows=%d swapped=%t\n",
-					s.name, v.ID, v.Reason, v.Windows, v.Swapped)
+					s.Name, v.ID, v.Reason, v.Windows, v.Swapped)
 			}
 		}
 	}
@@ -404,19 +426,84 @@ func run(args []string, out io.Writer) error {
 	return nil
 }
 
-// metricNames returns the metric layout the collectors produce at a level
-// (OS first at the combined level, matching simSite.collect).
-func metricNames(level metrics.Level) []string {
-	switch level {
-	case metrics.LevelOS:
-		return osstat.MetricNames
-	case metrics.LevelCombined:
-		names := make([]string, 0, len(osstat.MetricNames)+len(cpu.MetricNames))
-		names = append(names, osstat.MetricNames...)
-		return append(names, cpu.MetricNames...)
-	default:
-		return cpu.MetricNames
+// serveNetwork is the -listen half of the daemon: frames arrive from
+// capagent processes over TCP instead of a local simulation loop. When
+// -wal is set, every accepted frame is appended to the write-ahead
+// sample log strictly before its samples reach the pipeline, and an
+// existing log is replayed through the same ingest path first — so a
+// daemon killed mid-storm restarts into exactly the decision state it
+// crashed with, then continues from the agents' live streams.
+func serveNetwork(out io.Writer, state *daemonState, sp *serve.ShardedPipeline, listen, walPath string, agents int) error {
+	ing := serve.NewIngest(sp)
+	state.setIngest(ing)
+
+	var onFrame func(payload []byte) error
+	if walPath != "" {
+		log, recovered, err := wal.Open(walPath, wal.Config{})
+		if err != nil {
+			return fmt.Errorf("wal %s: %w", walPath, err)
+		}
+		defer log.Close()
+		if recovered > 0 {
+			lane := ing.Conn()
+			undecodable := 0
+			n, rerr := wal.Replay(walPath, wal.Config{}, func(payload []byte) error {
+				f, derr := wire.DecodeFrame(payload)
+				if derr != nil {
+					undecodable++
+					return nil
+				}
+				lane.Accept(&f)
+				return nil
+			})
+			if rerr != nil {
+				return fmt.Errorf("wal replay %s: %w", walPath, rerr)
+			}
+			lane.Close()
+			sp.Sync()
+			fmt.Fprintf(out, "wal: replayed %d frame(s) from %s (%d undecodable)\n", n, walPath, undecodable)
+		}
+		onFrame = log.Append
 	}
+
+	fsrv, err := serve.NewFrameServer(serve.ListenConfig{Addr: listen}, ing, onFrame)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "listening for agents on %s\n", fsrv.Addr())
+
+	if agents == 0 {
+		// Daemon mode: serve until the process is killed.
+		select {}
+	}
+	fsrv.WaitConns(uint64(agents))
+	if cerr := fsrv.Close(); cerr != nil {
+		fmt.Fprintf(out, "listener close: %v\n", cerr)
+	}
+	// Decide what the final partial windows support, then stop the shards.
+	sp.Flush()
+	sp.Close()
+
+	fmt.Fprintln(out)
+	for _, st := range sp.Stats() {
+		fmt.Fprintf(out, "%-8s windows=%d degraded=%d dropped=%d overloads=%d disagreement=%.1f%% mean-predict=%s health=%s transitions=%d\n",
+			st.Site, st.WindowsDecided, st.WindowsDegraded, st.WindowsDropped,
+			st.Overloads, st.DisagreementRate()*100, st.MeanPredictLatency(),
+			st.Health, st.HealthChanges())
+	}
+	for _, tr := range ing.TransportStats() {
+		fmt.Fprintf(out, "%-8s transport frames=%d samples=%d dup=%d reordered=%d gaps=%d lost=%d last-seq=%d last-frame-t=%.0f\n",
+			tr.Site, tr.Frames, tr.Samples, tr.DupFrames, tr.OutOfOrder,
+			tr.SeqGaps, tr.LostFrames, tr.LastSeq, tr.LastFrameTime)
+	}
+	ss := fsrv.Stats()
+	fmt.Fprintf(out, "listener conns=%d frames=%d decode-errors=%d read-errors=%d log-errors=%d\n",
+		ss.ConnsClosed, ss.Frames, ss.DecodeErrors, ss.ReadErrors, ss.LogErrors)
+	tot := sp.Totals()
+	fmt.Fprintf(out, "shards   n=%d enqueued=%d processed=%d batches=%d stalls=%d rejected-closed=%d rejected-ref=%d\n",
+		sp.Shards(), tot.Enqueued, tot.Processed, tot.Batches,
+		tot.Stalls, tot.RejectedClosed, tot.RejectedRef)
+	return nil
 }
 
 // truthTracker derives per-window ground truth for one site from its
@@ -515,10 +602,11 @@ func (t *truthTracker) take(seq int64) (registry.Truth, bool) {
 // progresses: the pipeline exists only after training, the fleet after
 // the sites are built, the manager only under -adapt.
 type daemonState struct {
-	mu    sync.Mutex
-	pipe  servingPipeline
-	mgr   *registry.Manager
-	sites []string
+	mu     sync.Mutex
+	pipe   servingPipeline
+	mgr    *registry.Manager
+	sites  []string
+	ingest *serve.Ingest
 }
 
 func (s *daemonState) setPipeline(p servingPipeline) {
@@ -531,6 +619,18 @@ func (s *daemonState) setManager(m *registry.Manager) {
 	s.mu.Lock()
 	s.mgr = m
 	s.mu.Unlock()
+}
+
+func (s *daemonState) setIngest(in *serve.Ingest) {
+	s.mu.Lock()
+	s.ingest = in
+	s.mu.Unlock()
+}
+
+func (s *daemonState) getIngest() *serve.Ingest {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ingest
 }
 
 func (s *daemonState) setSites(names []string) {
@@ -563,6 +663,24 @@ type siteReadiness struct {
 	LastDecisionSeq  int64   `json:"last_decision_seq"`
 	LastDecisionTime float64 `json:"last_decision_time"`
 	StalenessSeconds float64 `json:"staleness_seconds"`
+	// Transport is present only under -listen: the frame-level view of
+	// the site's feed, kept distinct from sample staleness above. A site
+	// can be transport-fresh yet decision-stale (agent up, collectors
+	// wedged) or transport-stale yet deciding (link down, windows
+	// coasting) — the two page different people.
+	Transport *transportReadiness `json:"transport,omitempty"`
+}
+
+// transportReadiness is the frame-level half of a site's /readyz entry.
+type transportReadiness struct {
+	LastSeq       uint64  `json:"last_seq"`
+	LastFrameTime float64 `json:"last_frame_time"`
+	// StalenessSeconds is wall time since the last frame arrived —
+	// link-level freshness, unrelated to the stream's own clock.
+	StalenessSeconds float64 `json:"staleness_seconds"`
+	LostFrames       uint64  `json:"lost_frames"`
+	DupFrames        uint64  `json:"dup_frames"`
+	OutOfOrder       uint64  `json:"out_of_order"`
 }
 
 // readinessReport is the /readyz body. Unlike /healthz (pure liveness),
@@ -578,6 +696,27 @@ func (s *daemonState) readiness() readinessReport {
 	pipe, _, sites := s.snapshot()
 	if pipe == nil {
 		return readinessReport{Reason: "training monitor"}
+	}
+	// Under -listen the fleet is whatever sites the agents have shipped
+	// frames for; the transport table is their registry.
+	ing := s.getIngest()
+	var transports map[string]serve.SiteTransport
+	if ing != nil {
+		ts := ing.TransportStats()
+		transports = make(map[string]serve.SiteTransport, len(ts))
+		for _, tr := range ts {
+			transports[tr.Site] = tr
+		}
+		if len(sites) == 0 {
+			// setSites is never called under -listen; the transport
+			// table (already name-ordered) is the fleet.
+			for _, tr := range ts {
+				sites = append(sites, tr.Site)
+			}
+		}
+		if len(sites) == 0 {
+			return readinessReport{Reason: "no agent has delivered a frame"}
+		}
 	}
 	if len(sites) == 0 {
 		return readinessReport{Reason: "fleet not started"}
@@ -612,6 +751,16 @@ func (s *daemonState) readiness() readinessReport {
 		} else {
 			rep.Ready = false
 			rep.Reason = "site awaiting first decision"
+		}
+		if tr, ok := transports[name]; ok {
+			sr.Transport = &transportReadiness{
+				LastSeq:          tr.LastSeq,
+				LastFrameTime:    tr.LastFrameTime,
+				StalenessSeconds: time.Since(tr.LastFrameAt).Seconds(),
+				LostFrames:       tr.LostFrames,
+				DupFrames:        tr.DupFrames,
+				OutOfOrder:       tr.OutOfOrder,
+			}
 		}
 		rep.Sites = append(rep.Sites, sr)
 	}
@@ -672,6 +821,12 @@ func newMux(st *daemonState) *http.ServeMux {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 		if err := pipe.WriteMetrics(w); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		if ing := st.getIngest(); ing != nil {
+			if err := ing.WriteTransportMetrics(w); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
 		}
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
@@ -715,56 +870,4 @@ func startHTTP(addr string, st *daemonState) error {
 	}
 	go func() { _ = (&http.Server{Handler: newMux(st)}).Serve(ln) }()
 	return nil
-}
-
-// newSimSite builds one monitored site. Sites alternate between the
-// browsing and ordering mixes and rotate their burst phase so the fleet
-// does not overload in lockstep; each has its own seed.
-func newSimSite(name string, base server.Config, level metrics.Level, index int, wb, wo experiment.Workload, seed int64, duration float64) (*simSite, error) {
-	w := wb
-	if index%2 == 1 {
-		w = wo
-	}
-	ebs := func(f float64) int {
-		n := int(float64(w.Knee)*f + 0.5)
-		if n < 1 {
-			n = 1
-		}
-		return n
-	}
-	// One cycle: cruise below the knee, burst past it, recover. Rotating
-	// the cruise length staggers the bursts across the fleet.
-	cruise := 120.0 + 30.0*float64(index%4)
-	cycle := tpcw.Concat(
-		tpcw.Steady(w.Mix, ebs(0.70), cruise),
-		tpcw.Steady(w.Mix, ebs(1.45), 120),
-		tpcw.Steady(w.Mix, ebs(0.55), 60),
-	)
-	sched := cycle
-	for sched.Duration() < duration {
-		sched = tpcw.Concat(sched, cycle)
-	}
-
-	cfg := base
-	cfg.Seed = seed + 1000*int64(index+1)
-	tb, err := server.NewTestbed(cfg, sched)
-	if err != nil {
-		return nil, err
-	}
-	s := &simSite{name: name, tb: tb}
-	machines := [server.NumTiers]server.MachineConfig{cfg.App.Machine, cfg.DB.Machine}
-	memMB := [server.NumTiers]float64{512, 1024}
-	for tier := server.TierID(0); tier < server.NumTiers; tier++ {
-		osColl := osstat.NewCollector(tier, memMB[tier], 0.05, cfg.Seed*10+int64(tier))
-		hpcColl := cpu.NewCollector(tier, machines[tier], 0.02, cfg.Seed*10+int64(tier)+100)
-		switch level {
-		case metrics.LevelOS:
-			s.coll[tier] = []metrics.Collector{osColl}
-		case metrics.LevelHPC:
-			s.coll[tier] = []metrics.Collector{hpcColl}
-		default: // combined: OS first, matching experiment.Trace layout
-			s.coll[tier] = []metrics.Collector{osColl, hpcColl}
-		}
-	}
-	return s, nil
 }

@@ -21,6 +21,10 @@
 //     for any number of sites, windows them, fans prediction across
 //     per-site sessions, publishes Decisions, and can gate a testbed's
 //     admission control — resilient to late, missing, and NaN samples.
+//     For distributed deployments, FrameSender (cmd/capagent) ships
+//     sequenced sample frames over TCP to a FrameServer (cmd/capserved)
+//     that write-ahead logs every accepted frame before ingest, so a
+//     crashed daemon replays back to its exact pre-crash decision state.
 //   - Experiments: a Lab regenerates every table and figure of the paper's
 //     evaluation (Table I, Figures 3-4, the timing, overhead and ablation
 //     studies) at QuickScale or FullScale.
@@ -58,6 +62,8 @@ import (
 	"hpcap/internal/serve"
 	"hpcap/internal/server"
 	"hpcap/internal/tpcw"
+	"hpcap/internal/wal"
+	"hpcap/internal/wire"
 )
 
 // Typed sentinel errors; every failure returned by the monitor, its
@@ -268,6 +274,83 @@ var (
 	NewShardedPipeline = serve.NewShardedPipeline
 	DefaultShardConfig = serve.DefaultShardConfig
 	SiteShard          = serve.SiteShard
+)
+
+// Distributed collection: capagent edge senders batch fused per-site
+// scrapes into sequenced wire frames and ship them to capserved over
+// TCP; the server appends every accepted frame to a write-ahead sample
+// log strictly before ingest, so a crashed daemon replays the log back
+// to the exact pre-crash decision state. See cmd/capagent and DESIGN.md
+// §12 for the protocol and recovery procedure.
+type (
+	// WireFrame is one site's batch of fused scrapes plus its per-site
+	// sequence number.
+	WireFrame = wire.Frame
+	// WireSample is one fused scrape inside a frame: every tier's
+	// 1-second vector under one timestamp.
+	WireSample = wire.Sample
+	// AgentConfig tunes a FrameSender (batch size, queue depth, retry
+	// budget, backoff).
+	AgentConfig = wire.AgentConfig
+	// FrameSender is the edge agent's transmit side: a bounded send
+	// queue that batches, sequences, retries with backoff, and sheds
+	// oldest-first under backpressure so loss surfaces as sequence gaps
+	// at the server rather than a wedged agent.
+	FrameSender = wire.Sender
+	// SenderStats counts a FrameSender's deliveries, retries, and drops.
+	SenderStats = wire.SenderStats
+	// FrameIngest turns decoded frames into pipeline ingest with
+	// per-site sequence accounting (gaps, duplicates, reorders).
+	FrameIngest = serve.Ingest
+	// SiteTransport is the frame-level view of one site's feed,
+	// distinct from its sample-level serving staleness.
+	SiteTransport = serve.SiteTransport
+	// FrameServer accepts agent connections and pumps frames through
+	// the WAL hook into a shared FrameIngest.
+	FrameServer = serve.FrameServer
+	// ListenConfig shapes a FrameServer (address, frame size bound,
+	// read timeout).
+	ListenConfig = serve.ListenConfig
+	// FrameServerStats counts a FrameServer's connection and frame
+	// traffic.
+	FrameServerStats = serve.ServerStats
+	// SampleLog is the write-ahead sample log: frame payloads appended
+	// before ingest, checksummed, torn-tail tolerant, replayable.
+	SampleLog = wal.Log
+	// SampleLogConfig tunes a SampleLog (sync cadence, record bound).
+	SampleLogConfig = wal.Config
+)
+
+// Wire protocol errors and codec entry points. ErrFrame marks a
+// malformed frame payload; ErrLogCorrupt marks a WAL whose body (not
+// tail) fails its checksum.
+var (
+	ErrFrame      = wire.ErrFrame
+	ErrLogCorrupt = wal.ErrCorrupt
+
+	// EncodeFrame appends a frame's canonical payload encoding;
+	// DecodeFrame parses one back (never panics, preserves Seq
+	// bit-exactly).
+	EncodeFrame = wire.AppendFrame
+	DecodeFrame = wire.DecodeFrame
+)
+
+// Distributed-collection constructors.
+var (
+	NewFrameSender     = wire.NewSender
+	DefaultAgentConfig = wire.DefaultAgentConfig
+
+	NewFrameIngest      = serve.NewIngest
+	NewFrameServer      = serve.NewFrameServer
+	DefaultListenConfig = serve.DefaultListenConfig
+
+	// OpenSampleLog opens (creating or recovering) a write-ahead sample
+	// log and reports how many intact records survived; ReplaySampleLog
+	// streams a log's records read-only, e.g. back through a
+	// FrameIngest after a crash.
+	OpenSampleLog          = wal.Open
+	ReplaySampleLog        = wal.Replay
+	DefaultSampleLogConfig = wal.DefaultConfig
 )
 
 // Adaptive model lifecycle: drift detection over the labeled decision

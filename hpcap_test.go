@@ -92,7 +92,8 @@ func TestFacadeTrainMonitor(t *testing.T) {
 	var obs hpcap.Observation
 	obs.Vectors[0] = []float64{0.95}
 	obs.Vectors[1] = []float64{0.2}
-	p, err := m.Predict(obs)
+	var sess *hpcap.MonitorSession = m.NewSession()
+	p, err := sess.Predict(obs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,14 +101,14 @@ func TestFacadeTrainMonitor(t *testing.T) {
 		t.Errorf("prediction = %+v, want app-tier overload", p)
 	}
 
-	// A concurrent caller takes its own session over the shared monitor.
-	var sess *hpcap.MonitorSession = m.NewSession()
-	sp, err := sess.Predict(obs)
+	// A concurrent caller takes its own independent session over the
+	// shared monitor and sees the same inference.
+	sp, err := m.NewSession().Predict(obs)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if sp.Overload != p.Overload || sp.Bottleneck != p.Bottleneck {
-		t.Errorf("session prediction %+v differs from monitor prediction %+v", sp, p)
+		t.Errorf("second session prediction %+v differs from first %+v", sp, p)
 	}
 }
 
@@ -118,8 +119,8 @@ func TestFacadeSentinelErrors(t *testing.T) {
 		t.Errorf("bad training config: got %v, want ErrBadConfig", err)
 	}
 	var m hpcap.Monitor
-	if _, err := m.Predict(hpcap.Observation{}); !errors.Is(err, hpcap.ErrUntrained) {
-		t.Errorf("untrained monitor: got %v, want ErrUntrained", err)
+	if _, err := m.NewSession().Predict(hpcap.Observation{}); !errors.Is(err, hpcap.ErrUntrained) {
+		t.Errorf("session over untrained monitor: got %v, want ErrUntrained", err)
 	}
 	if _, err := hpcap.NewServingPipeline(&m, hpcap.ServingConfig{}); !errors.Is(err, hpcap.ErrUntrained) {
 		t.Errorf("pipeline over untrained monitor: got %v, want ErrUntrained", err)
@@ -210,5 +211,63 @@ func TestFacadeLearners(t *testing.T) {
 		if c := l.New(); c == nil {
 			t.Errorf("learner %s constructs nil", l.Name)
 		}
+	}
+}
+
+// TestFacadeDistributedCollection exercises the re-exported wire codec
+// and write-ahead sample log: encode a frame, log it, recover the log,
+// and replay the payload back into an identical frame.
+func TestFacadeDistributedCollection(t *testing.T) {
+	if errs := hpcap.DefaultAgentConfig().Validate(); len(errs) > 0 {
+		t.Fatalf("DefaultAgentConfig invalid: %v", errs)
+	}
+	if errs := hpcap.DefaultListenConfig().Validate(); len(errs) > 0 {
+		t.Fatalf("DefaultListenConfig invalid: %v", errs)
+	}
+	if errs := hpcap.DefaultSampleLogConfig().Validate(); len(errs) > 0 {
+		t.Fatalf("DefaultSampleLogConfig invalid: %v", errs)
+	}
+
+	frame := hpcap.WireFrame{
+		Site: "edge-1",
+		Seq:  7,
+		Samples: []hpcap.WireSample{{
+			Time: 30,
+			Vecs: [hpcap.NumTiers][]float64{{1, 2}, {3, 4}},
+		}},
+	}
+	payload := hpcap.EncodeFrame(nil, &frame)
+	if _, err := hpcap.DecodeFrame(payload[:len(payload)-1]); !errors.Is(err, hpcap.ErrFrame) {
+		t.Fatalf("truncated payload error = %v, want ErrFrame", err)
+	}
+
+	path := t.TempDir() + "/samples.wal"
+	log, recovered, err := hpcap.OpenSampleLog(path, hpcap.SampleLogConfig{SyncEvery: -1})
+	if err != nil || recovered != 0 {
+		t.Fatalf("OpenSampleLog = recovered %d, %v", recovered, err)
+	}
+	if err := log.Append(payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var replayed []hpcap.WireFrame
+	n, err := hpcap.ReplaySampleLog(path, hpcap.SampleLogConfig{}, func(p []byte) error {
+		f, err := hpcap.DecodeFrame(p)
+		if err != nil {
+			return err
+		}
+		replayed = append(replayed, f)
+		return nil
+	})
+	if err != nil || n != 1 {
+		t.Fatalf("ReplaySampleLog = %d, %v", n, err)
+	}
+	got := replayed[0]
+	if got.Site != frame.Site || got.Seq != frame.Seq || len(got.Samples) != 1 ||
+		got.Samples[0].Time != frame.Samples[0].Time {
+		t.Fatalf("replayed frame %+v differs from original %+v", got, frame)
 	}
 }

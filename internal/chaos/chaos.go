@@ -20,12 +20,14 @@
 package chaos
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
 	"strconv"
 	"strings"
 
+	"hpcap/internal/core"
 	"hpcap/internal/server"
 )
 
@@ -55,11 +57,29 @@ const (
 	// KindOutage loses every sample of the tier — a whole-tier telemetry
 	// outage, the fault the admission valve's fail-safe posture answers.
 	KindOutage
+	// KindPartition is a wire-level fault: the agent→server link is down
+	// and every frame in the window is lost. Applied by LinkInjector to
+	// wire frames; the sample Injector ignores it.
+	KindPartition
+	// KindReorder is a wire-level fault: with probability P a frame is
+	// held back and delivered after its successor (adjacent swap), the
+	// classic reordering a retransmitting transport produces.
+	KindReorder
+	// KindDupFrame is a wire-level fault: with probability P a frame is
+	// delivered twice (a retransmit whose original was not lost).
+	KindDupFrame
 )
 
 // kindNames maps kinds to their schedule-text spelling, in declaration
 // order (index Kind-1).
-var kindNames = [...]string{"drop", "nan", "stuck", "stall", "dup", "skew", "outage"}
+var kindNames = [...]string{"drop", "nan", "stuck", "stall", "dup", "skew", "outage",
+	"partition", "reorder", "dupframe"}
+
+// wireKind reports whether the kind acts on wire frames (LinkInjector)
+// rather than on samples (Injector).
+func wireKind(k Kind) bool {
+	return k == KindPartition || k == KindReorder || k == KindDupFrame
+}
 
 // String returns the kind's schedule-text spelling.
 func (k Kind) String() string {
@@ -155,43 +175,70 @@ type Schedule struct {
 	Faults []Fault
 }
 
-// Validate checks every fault for well-formedness: known kind, known
+// DefaultFault returns the canonical starting point for a fault of the
+// given kind: every-tier targeting and the kind-specific parameter
+// defaults (P=1 for the probabilistic kinds, N=5 for stall). Start and
+// Duration stay zero — a schedule author always supplies them. Parse
+// builds every clause from this.
+func DefaultFault(kind Kind) Fault {
+	f := Fault{Kind: kind, Tier: AllTiers}
+	switch kind {
+	case KindDrop, KindNaN, KindDup, KindReorder, KindDupFrame:
+		f.P = 1
+	case KindStall:
+		f.N = 5
+	}
+	return f
+}
+
+// Validate checks every fault for well-formedness — known kind, known
 // tier, finite non-negative start, positive finite duration, parameters
-// in range (P is a probability for drop/nan/dup, a finite skew for skew),
-// and non-negative N.
-func (s Schedule) Validate() error {
+// in range (P is a probability for drop/nan/dup/reorder/dupframe, a
+// finite skew for skew), non-negative N, and every-tier targeting for
+// the wire-level kinds (a frame carries all tiers at once) — returning
+// one ErrBadConfig-wrapped error per violation. It never panics.
+func (s Schedule) Validate() []error {
+	var errs []error
+	bad := func(i int, format string, args ...any) {
+		errs = append(errs, fmt.Errorf("chaos: %w: fault %d: %s",
+			core.ErrBadConfig, i, fmt.Sprintf(format, args...)))
+	}
 	for i, f := range s.Faults {
 		if f.Kind < 1 || int(f.Kind) > len(kindNames) {
-			return fmt.Errorf("chaos: fault %d: unknown kind %d", i, int(f.Kind))
+			bad(i, "unknown kind %d", int(f.Kind))
+			continue
 		}
 		if f.Tier != AllTiers && (f.Tier < 0 || f.Tier >= server.NumTiers) {
-			return fmt.Errorf("chaos: fault %d: tier %d out of range", i, int(f.Tier))
+			bad(i, "tier %d out of range", int(f.Tier))
+		}
+		if wireKind(f.Kind) && f.Tier != AllTiers {
+			bad(i, "%s is a wire-level fault; it targets the whole link (tier=all)", f.Kind)
 		}
 		if math.IsNaN(f.Start) || math.IsInf(f.Start, 0) || f.Start < 0 {
-			return fmt.Errorf("chaos: fault %d: bad start %v", i, f.Start)
+			bad(i, "bad start %v", f.Start)
 		}
 		if math.IsNaN(f.Duration) || math.IsInf(f.Duration, 0) || f.Duration <= 0 {
-			return fmt.Errorf("chaos: fault %d: bad duration %v", i, f.Duration)
+			bad(i, "bad duration %v", f.Duration)
 		}
 		switch f.Kind {
-		case KindDrop, KindNaN, KindDup:
+		case KindDrop, KindNaN, KindDup, KindReorder, KindDupFrame:
 			if math.IsNaN(f.P) || f.P < 0 || f.P > 1 {
-				return fmt.Errorf("chaos: fault %d: probability %v outside [0,1]", i, f.P)
+				bad(i, "probability %v outside [0,1]", f.P)
 			}
 		case KindSkew:
 			if math.IsNaN(f.P) || math.IsInf(f.P, 0) {
-				return fmt.Errorf("chaos: fault %d: bad skew %v", i, f.P)
+				bad(i, "bad skew %v", f.P)
 			}
 		default:
 			if math.IsNaN(f.P) || math.IsInf(f.P, 0) {
-				return fmt.Errorf("chaos: fault %d: bad parameter %v", i, f.P)
+				bad(i, "bad parameter %v", f.P)
 			}
 		}
 		if f.N < 0 {
-			return fmt.Errorf("chaos: fault %d: negative n %d", i, f.N)
+			bad(i, "negative n %d", f.N)
 		}
 	}
-	return nil
+	return errs
 }
 
 // Duration returns the time the last fault ends (0 for an empty schedule).
@@ -248,13 +295,9 @@ func Parse(text string) (Schedule, error) {
 		if err != nil {
 			return Schedule{}, err
 		}
-		f := Fault{Kind: kind, Tier: AllTiers, Duration: math.NaN()}
-		switch kind {
-		case KindDrop, KindNaN, KindDup:
-			f.P = 1
-		case KindStall:
-			f.N = 5
-		}
+		f := DefaultFault(kind)
+		f.Duration = math.NaN() // required field: a clause must set for=
+
 		for _, field := range fields[1:] {
 			key, val, ok := strings.Cut(field, "=")
 			if !ok {
@@ -290,8 +333,8 @@ func Parse(text string) (Schedule, error) {
 		}
 		s.Faults = append(s.Faults, f)
 	}
-	if err := s.Validate(); err != nil {
-		return Schedule{}, err
+	if errs := s.Validate(); len(errs) > 0 {
+		return Schedule{}, errors.Join(errs...)
 	}
 	return s, nil
 }

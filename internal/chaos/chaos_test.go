@@ -1,12 +1,14 @@
 package chaos
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"strings"
 	"sync"
 	"testing"
 
+	"hpcap/internal/core"
 	"hpcap/internal/metrics"
 	"hpcap/internal/serve"
 	"hpcap/internal/server"
@@ -58,20 +60,20 @@ func TestParseDefaults(t *testing.T) {
 
 func TestParseErrors(t *testing.T) {
 	bad := []string{
-		"explode for=10",          // unknown kind
-		"drop tier=cache for=10",  // unknown tier
-		"drop at=10",              // missing for=
-		"drop for=-5",             // negative duration
-		"drop for=10 p=1.5",       // probability out of range
-		"drop for=10 p=NaN",       // NaN probability
-		"drop for=10 volume=11",   // unknown field
-		"drop for=10 p",           // field without value
-		"stall for=10 n=-1",       // negative depth
-		"skew for=10 p=Inf",       // infinite skew
-		"drop at=-1 for=10",       // negative start
-		"drop at=Inf for=10",      // infinite start
-		"drop for=10 n=zz",        // unparsable int
-		"drop tier=9 for=10",      // numeric tier out of range
+		"explode for=10",         // unknown kind
+		"drop tier=cache for=10", // unknown tier
+		"drop at=10",             // missing for=
+		"drop for=-5",            // negative duration
+		"drop for=10 p=1.5",      // probability out of range
+		"drop for=10 p=NaN",      // NaN probability
+		"drop for=10 volume=11",  // unknown field
+		"drop for=10 p",          // field without value
+		"stall for=10 n=-1",      // negative depth
+		"skew for=10 p=Inf",      // infinite skew
+		"drop at=-1 for=10",      // negative start
+		"drop at=Inf for=10",     // infinite start
+		"drop for=10 n=zz",       // unparsable int
+		"drop tier=9 for=10",     // numeric tier out of range
 	}
 	for _, text := range bad {
 		if _, err := Parse(text); err == nil {
@@ -280,8 +282,15 @@ func TestValidateRejectsBadFaults(t *testing.T) {
 		{Kind: KindStuck, Duration: 1, P: math.NaN()},
 	}
 	for i, f := range bad {
-		if err := (Schedule{Faults: []Fault{f}}).Validate(); err == nil {
+		errs := (Schedule{Faults: []Fault{f}}).Validate()
+		if len(errs) == 0 {
 			t.Errorf("case %d: Validate accepted %+v", i, f)
+			continue
+		}
+		for _, err := range errs {
+			if !errors.Is(err, core.ErrBadConfig) {
+				t.Errorf("case %d: error %v does not wrap ErrBadConfig", i, err)
+			}
 		}
 	}
 }

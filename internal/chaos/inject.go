@@ -116,7 +116,8 @@ func (in *Injector) Apply(s serve.Sample) []serve.Sample {
 	var out []serve.Sample
 	stalled := false
 	for i, f := range in.sched.Faults {
-		if !f.active(s.Time, s.Tier) {
+		// Wire-level kinds act on frames (LinkInjector), not samples.
+		if wireKind(f.Kind) || !f.active(s.Time, s.Tier) {
 			continue
 		}
 		u := coin(in.seed, site.key, uint64(s.Tier), ord, uint64(i))

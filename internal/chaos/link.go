@@ -1,0 +1,152 @@
+package chaos
+
+import (
+	"sort"
+	"sync"
+
+	"hpcap/internal/wire"
+)
+
+// LinkStats counts what a LinkInjector did to the frame stream.
+type LinkStats struct {
+	Offered uint64 // frames presented to Apply
+	Emitted uint64 // frames returned for shipping
+
+	Partitioned uint64 // frames lost to KindPartition
+	Reordered   uint64 // frames delivered after their successor (KindReorder)
+	DupFrames   uint64 // extra copies emitted by KindDupFrame
+}
+
+// Injected sums the per-kind fault counts.
+func (s LinkStats) Injected() uint64 {
+	return s.Partitioned + s.Reordered + s.DupFrames
+}
+
+// linkState is the injector's per-site memory.
+type linkState struct {
+	key  uint64 // hash of the site name, mixed into every coin flip
+	ord  uint64 // frames seen, the hash counter
+	held *wire.Frame
+}
+
+// LinkInjector applies the wire-level faults of a Schedule — partition,
+// reorder, dupframe — to a stream of frames between the agent's framing
+// loop and its Sender. The sample-level kinds in the schedule are
+// ignored here, exactly as the sample Injector ignores the wire-level
+// kinds, so one schedule can script both layers of a storm.
+//
+// Like Injector, everything is a pure function of (schedule, seed,
+// per-site frame stream): coin flips are keyed by site, frame ordinal,
+// and fault index, so a chaos run replays byte-for-byte. A site's frames
+// must be applied in stream order; a frame's fault time is its first
+// sample's timestamp.
+type LinkInjector struct {
+	sched Schedule
+	seed  int64
+
+	mu    sync.Mutex
+	sites map[string]*linkState
+	stats LinkStats
+}
+
+// NewLinkInjector builds a link injector for a validated schedule.
+func NewLinkInjector(sched Schedule, seed int64) *LinkInjector {
+	return &LinkInjector{sched: sched, seed: seed, sites: make(map[string]*linkState)}
+}
+
+// Stats returns a snapshot of the fault counters.
+func (l *LinkInjector) Stats() LinkStats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.stats
+}
+
+// site returns the per-site state, creating it on first use.
+func (l *LinkInjector) site(name string) *linkState {
+	st, ok := l.sites[name]
+	if !ok {
+		st = &linkState{key: hashString(name)}
+		l.sites[name] = st
+	}
+	return st
+}
+
+// Apply runs one frame through the schedule's wire-level faults and
+// returns the frames to actually ship: usually the frame itself,
+// possibly preceded by a held predecessor (reorder release), duplicated,
+// or dropped entirely. Frames are never mutated.
+func (l *LinkInjector) Apply(f wire.Frame) []wire.Frame {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.stats.Offered++
+	st := l.site(f.Site)
+	ord := st.ord
+	st.ord++
+	var t float64
+	if len(f.Samples) > 0 {
+		t = f.Samples[0].Time
+	}
+
+	var out []wire.Frame
+	dup := false
+	for i, fault := range l.sched.Faults {
+		if !wireKind(fault.Kind) || !fault.active(t, AllTiers) {
+			continue
+		}
+		u := coin(l.seed, st.key, 0, ord, uint64(i))
+		switch fault.Kind {
+		case KindPartition:
+			// Link down: the frame is lost. A held predecessor stays held —
+			// it was in flight on the transport, not yet delivered.
+			l.stats.Partitioned++
+			return out
+		case KindReorder:
+			if st.held == nil && u < fault.P {
+				// Hold this frame; it ships after its successor.
+				hf := f
+				st.held = &hf
+				l.stats.Reordered++
+				return out
+			}
+		case KindDupFrame:
+			if u < fault.P {
+				dup = true
+			}
+		}
+	}
+	out = append(out, f)
+	l.stats.Emitted++
+	if dup {
+		out = append(out, f)
+		l.stats.DupFrames++
+		l.stats.Emitted++
+	}
+	if st.held != nil {
+		// The held predecessor follows its successor: the adjacent swap.
+		out = append(out, *st.held)
+		l.stats.Emitted++
+		st.held = nil
+	}
+	return out
+}
+
+// Drain releases every site's held frame (end of stream), ordered by
+// site name for deterministic delivery.
+func (l *LinkInjector) Drain() []wire.Frame {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	names := make([]string, 0, len(l.sites))
+	for name := range l.sites {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var out []wire.Frame
+	for _, name := range names {
+		if st := l.sites[name]; st.held != nil {
+			out = append(out, *st.held)
+			l.stats.Emitted++
+			st.held = nil
+		}
+	}
+	return out
+}

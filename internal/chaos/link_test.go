@@ -1,0 +1,158 @@
+package chaos
+
+import (
+	"reflect"
+	"testing"
+
+	"hpcap/internal/serve"
+	"hpcap/internal/wire"
+)
+
+// lf makes a one-sample frame whose fault time is t.
+func lf(site string, seq uint64, t float64) wire.Frame {
+	return wire.Frame{Site: site, Seq: seq, Samples: []wire.Sample{{Time: t}}}
+}
+
+// seqs flattens emitted frames to their sequence numbers.
+func seqs(frames []wire.Frame) []uint64 {
+	out := make([]uint64, len(frames))
+	for i, f := range frames {
+		out[i] = f.Seq
+	}
+	return out
+}
+
+func TestLinkPartitionDropsWindow(t *testing.T) {
+	sched, err := Parse("partition at=100 for=50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := NewLinkInjector(sched, 1)
+	var got []uint64
+	times := []float64{0, 99, 100, 120, 149, 150, 200}
+	for seq, tm := range times {
+		got = append(got, seqs(l.Apply(lf("a", uint64(seq), tm)))...)
+	}
+	want := []uint64{0, 1, 5, 6} // frames at 100, 120, 149 lost
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("emitted seqs %v, want %v", got, want)
+	}
+	st := l.Stats()
+	if st.Partitioned != 3 || st.Offered != 7 || st.Emitted != 4 {
+		t.Errorf("stats %+v: want 3 partitioned of 7 offered", st)
+	}
+}
+
+func TestLinkReorderAdjacentSwap(t *testing.T) {
+	sched, err := Parse("reorder at=0 for=1000 p=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := NewLinkInjector(sched, 1)
+	var got []uint64
+	for seq := uint64(0); seq < 5; seq++ {
+		got = append(got, seqs(l.Apply(lf("a", seq, float64(seq)*30)))...)
+	}
+	got = append(got, seqs(l.Drain())...)
+	// p=1 holds every frame that finds nothing held: pairs swap, and the
+	// final odd frame is released by Drain.
+	want := []uint64{1, 0, 3, 2, 4}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("emitted seqs %v, want %v", got, want)
+	}
+	if st := l.Stats(); st.Reordered != 3 || st.Emitted != 5 {
+		t.Errorf("stats %+v: want 3 reordered, 5 emitted", st)
+	}
+}
+
+func TestLinkDupFrameEmitsTwice(t *testing.T) {
+	sched, err := Parse("dupframe at=0 for=1000 p=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := NewLinkInjector(sched, 1)
+	got := seqs(l.Apply(lf("a", 7, 10)))
+	if !reflect.DeepEqual(got, []uint64{7, 7}) {
+		t.Errorf("emitted %v, want the frame twice", got)
+	}
+	if st := l.Stats(); st.DupFrames != 1 || st.Emitted != 2 {
+		t.Errorf("stats %+v: want 1 dup, 2 emitted", st)
+	}
+}
+
+// TestLinkPartitionHoldsHeldFrame pins the interaction: a reorder-held
+// frame stays held across a partition window (it was in flight, not
+// delivered) and is released by the next delivered frame.
+func TestLinkPartitionHoldsHeldFrame(t *testing.T) {
+	sched, err := Parse("reorder at=0 for=50 p=1; partition at=50 for=50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := NewLinkInjector(sched, 1)
+	var got []uint64
+	got = append(got, seqs(l.Apply(lf("a", 0, 10)))...)  // held by reorder
+	got = append(got, seqs(l.Apply(lf("a", 1, 60)))...)  // lost to partition
+	got = append(got, seqs(l.Apply(lf("a", 2, 110)))...) // delivered, releases 0
+	if want := []uint64{2, 0}; !reflect.DeepEqual(got, want) {
+		t.Errorf("emitted seqs %v, want %v", got, want)
+	}
+}
+
+func TestLinkIgnoresSampleKindsAndViceVersa(t *testing.T) {
+	// A schedule mixing both layers: the link injector must act only on
+	// the wire kinds, the sample injector only on the sample kinds.
+	sched, err := Parse("drop at=0 for=1000 p=1; partition at=0 for=1000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := NewLinkInjector(sched, 1)
+	if got := l.Apply(lf("a", 0, 10)); len(got) != 0 {
+		t.Errorf("partition ignored by link injector: %v", got)
+	}
+	if st := l.Stats(); st.Partitioned != 1 {
+		t.Errorf("stats %+v: drop fault must not count at the link layer", st)
+	}
+
+	inj := NewInjector(sched, 1)
+	out := inj.Apply(serve.Sample{Site: "a", Tier: 0, Time: 10, Values: []float64{1, 2, 3}})
+	if len(out) != 0 {
+		t.Errorf("sample injector emitted %v, want drop (partition must not mask drop)", out)
+	}
+	if st := inj.Stats(); st.Dropped != 1 || st.Outaged != 0 {
+		t.Errorf("stats %+v: partition fault must not count at the sample layer", st)
+	}
+}
+
+func TestLinkDeterministicReplay(t *testing.T) {
+	sched, err := Parse("reorder at=0 for=600 p=0.4; dupframe at=0 for=600 p=0.3; partition at=200 for=60")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() ([]uint64, LinkStats) {
+		l := NewLinkInjector(sched, 42)
+		var got []uint64
+		for _, site := range []string{"a", "b"} {
+			for seq := uint64(0); seq < 20; seq++ {
+				got = append(got, seqs(l.Apply(lf(site, seq, float64(seq)*30)))...)
+			}
+		}
+		got = append(got, seqs(l.Drain())...)
+		return got, l.Stats()
+	}
+	g1, s1 := run()
+	g2, s2 := run()
+	if !reflect.DeepEqual(g1, g2) || s1 != s2 {
+		t.Errorf("same seed diverged: %v vs %v (%+v vs %+v)", g1, g2, s1, s2)
+	}
+	l3 := NewLinkInjector(sched, 43)
+	var g3 []uint64
+	for _, site := range []string{"a", "b"} {
+		for seq := uint64(0); seq < 20; seq++ {
+			g3 = append(g3, seqs(l3.Apply(lf(site, seq, float64(seq)*30)))...)
+		}
+	}
+	g3 = append(g3, seqs(l3.Drain())...)
+	if reflect.DeepEqual(g1, g3) {
+		t.Error("different seeds produced identical streams; coins are not seed-keyed")
+	}
+}

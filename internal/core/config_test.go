@@ -1,0 +1,55 @@
+package core_test
+
+import (
+	"errors"
+	"testing"
+
+	"hpcap/internal/core"
+	"hpcap/internal/featsel"
+	"hpcap/internal/ml/bayes"
+	"hpcap/internal/predictor"
+	"hpcap/internal/synopsis"
+)
+
+func TestDefaultConfigValid(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cfg.Learner = bayes.TANLearner()
+	if errs := cfg.Validate(); len(errs) > 0 {
+		t.Fatalf("DefaultConfig + learner invalid: %v", errs)
+	}
+}
+
+func TestConfigValidateErrors(t *testing.T) {
+	base := func() core.Config {
+		cfg := core.DefaultConfig()
+		cfg.Learner = bayes.TANLearner()
+		return cfg
+	}
+	tests := []struct {
+		name   string
+		mutate func(*core.Config)
+	}{
+		{"missing learner", func(c *core.Config) { c.Learner.New = nil }},
+		{"bad coordinator", func(c *core.Config) { c.Coordinator = predictor.Config{HistoryBits: 13} }},
+		{"bad synopsis selection", func(c *core.Config) {
+			c.Synopsis = synopsis.Config{Selection: featsel.Config{Folds: 1}}
+		}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := base()
+			tt.mutate(&cfg)
+			errs := cfg.Validate()
+			if len(errs) == 0 {
+				t.Fatalf("%s not rejected", tt.name)
+			}
+			// Nested violations are re-wrapped, so one errors.Is covers the
+			// whole training configuration.
+			for _, err := range errs {
+				if !errors.Is(err, core.ErrBadConfig) {
+					t.Errorf("error %v does not wrap ErrBadConfig", err)
+				}
+			}
+		})
+	}
+}

@@ -21,6 +21,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"hpcap/internal/featsel"
@@ -85,6 +86,40 @@ type Config struct {
 	Workers int
 }
 
+// DefaultConfig returns the training knobs at their defaults. Learner
+// stays zero — there is no default learner; callers pick one of the
+// four (the paper recommends TAN).
+func DefaultConfig() Config {
+	return Config{TrainPasses: 12}
+}
+
+// withDefaults resolves zero fields to DefaultConfig.
+func (c Config) withDefaults() Config {
+	if c.TrainPasses <= 0 {
+		c.TrainPasses = DefaultConfig().TrainPasses
+	}
+	return c
+}
+
+// Validate applies defaults first, then returns one error per violated
+// constraint, each wrapping ErrBadConfig. The nested synopsis and
+// coordinator configs are validated too, their violations wrapped so
+// one errors.Is check covers the whole training configuration.
+func (c Config) Validate() []error {
+	c = c.withDefaults()
+	var errs []error
+	if c.Learner.New == nil {
+		errs = append(errs, fmt.Errorf("core: %w: Config.Learner is required", ErrBadConfig))
+	}
+	for _, err := range c.Synopsis.Validate() {
+		errs = append(errs, fmt.Errorf("core: %w: %v", ErrBadConfig, err))
+	}
+	for _, err := range c.Coordinator.Validate() {
+		errs = append(errs, fmt.Errorf("core: %w: %v", ErrBadConfig, err))
+	}
+	return errs
+}
+
 // Monitor is the trained capacity measurement system for one metric level.
 type Monitor struct {
 	Level    metrics.Level
@@ -99,16 +134,13 @@ type Monitor struct {
 // Train builds a monitor: one synopsis per (training set × tier), then the
 // coordinated predictor over the training traces in order.
 func Train(level metrics.Level, names []string, sets []TrainingSet, cfg Config) (*Monitor, error) {
-	if cfg.Learner.New == nil {
-		return nil, fmt.Errorf("core: %w: Config.Learner is required", ErrBadConfig)
+	if errs := cfg.Validate(); len(errs) > 0 {
+		return nil, errors.Join(errs...)
 	}
 	if len(sets) == 0 {
 		return nil, fmt.Errorf("core: %w: no training sets", ErrBadConfig)
 	}
-	passes := cfg.TrainPasses
-	if passes <= 0 {
-		passes = 12
-	}
+	passes := cfg.withDefaults().TrainPasses
 
 	m := &Monitor{Level: level, dim: len(names)}
 	buildOne := func(set TrainingSet, tier server.TierID) (*synopsis.Synopsis, error) {
@@ -179,9 +211,10 @@ func (m *Monitor) gpv(obs Observation) []int {
 // Predict is the single-stream compatibility shim: it serializes all
 // callers on one shared temporal history (the monitor's default session),
 // so observations must arrive in trace order and unrelated traces need a
-// ResetHistory between them. New code — and anything with more than one
-// concurrent prediction stream — should take a Session per stream via
-// NewSession instead.
+// ResetHistory between them.
+//
+// Deprecated: take a Session per prediction stream via NewSession and use
+// its Predict; the shim exists only so pre-Session callers keep working.
 func (m *Monitor) Predict(obs Observation) (Prediction, error) {
 	if m.coordinator == nil {
 		return Prediction{}, fmt.Errorf("core: %w", ErrUntrained)
@@ -273,8 +306,9 @@ func (s *Session) ResetHistory() {
 
 // Feedback reinforces the default session's last prediction with observed
 // truth. Like Predict, it is a single-stream compatibility shim over the
-// monitor's default session; concurrent streams should hold a Session and
-// use its Feedback.
+// monitor's default session.
+//
+// Deprecated: hold a Session per prediction stream and use its Feedback.
 func (m *Monitor) Feedback(overload bool, bottleneck server.TierID) {
 	if m.coordinator == nil {
 		return
@@ -287,8 +321,10 @@ func (m *Monitor) Feedback(overload bool, bottleneck server.TierID) {
 }
 
 // ResetHistory clears the default session's temporal state (between traces
-// or after long gaps). It is part of the single-stream compatibility shim;
-// a Session resets its own history independently.
+// or after long gaps). It is part of the single-stream compatibility shim.
+//
+// Deprecated: a Session resets its own history independently; use
+// Session.ResetHistory on a per-stream Session from NewSession.
 func (m *Monitor) ResetHistory() {
 	if m.coordinator != nil {
 		m.coordinator.ResetHistory()

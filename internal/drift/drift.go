@@ -28,8 +28,10 @@
 package drift
 
 import (
+	"errors"
 	"fmt"
 
+	"hpcap/internal/core"
 	"hpcap/internal/pi"
 	"hpcap/internal/server"
 )
@@ -170,47 +172,112 @@ type Config struct {
 	MixPatience int
 }
 
+// DefaultConfig returns the detector's conservative defaults — each
+// chosen so an i.i.d. decision stream stays quiet (the fuzz invariant).
+// Candidates stays nil (New resolves it to pi.DefaultCandidates) so the
+// default value carries no shared slice.
+func DefaultConfig() Config {
+	return Config{
+		PHDelta:       0.01,
+		PHLambda:      25,
+		MinWindows:    20,
+		CorrWindow:    64,
+		CorrEvery:     4,
+		CorrMargin:    0.2,
+		CorrMinBest:   0.7,
+		CorrPatience:  3,
+		MixRefWindows: 8,
+		MixWindow:     12,
+		MixThreshold:  0.08,
+		MixPatience:   4,
+	}
+}
+
 func (c Config) withDefaults() Config {
+	def := DefaultConfig()
 	if c.PHDelta == 0 {
-		c.PHDelta = 0.01
+		c.PHDelta = def.PHDelta
 	}
 	if c.PHLambda == 0 {
-		c.PHLambda = 25
+		c.PHLambda = def.PHLambda
 	}
 	if c.MinWindows == 0 {
-		c.MinWindows = 20
+		c.MinWindows = def.MinWindows
 	}
 	if c.Candidates == nil {
 		c.Candidates = pi.DefaultCandidates()
 	}
 	if c.CorrWindow == 0 {
-		c.CorrWindow = 64
+		c.CorrWindow = def.CorrWindow
 	}
 	if c.CorrEvery == 0 {
-		c.CorrEvery = 4
+		c.CorrEvery = def.CorrEvery
 	}
 	if c.CorrMargin == 0 {
-		c.CorrMargin = 0.2
+		c.CorrMargin = def.CorrMargin
 	}
 	if c.CorrMinBest == 0 {
-		c.CorrMinBest = 0.7
+		c.CorrMinBest = def.CorrMinBest
 	}
 	if c.CorrPatience == 0 {
-		c.CorrPatience = 3
+		c.CorrPatience = def.CorrPatience
 	}
 	if c.MixRefWindows == 0 {
-		c.MixRefWindows = 8
+		c.MixRefWindows = def.MixRefWindows
 	}
 	if c.MixWindow == 0 {
-		c.MixWindow = 12
+		c.MixWindow = def.MixWindow
 	}
 	if c.MixThreshold == 0 {
-		c.MixThreshold = 0.08
+		c.MixThreshold = def.MixThreshold
 	}
 	if c.MixPatience == 0 {
-		c.MixPatience = 4
+		c.MixPatience = def.MixPatience
 	}
 	return c
+}
+
+// Validate applies defaults first, then returns one error per violated
+// constraint, each wrapping core.ErrBadConfig. Negative PHLambda and
+// MixThreshold are legal (they disable their tests), so they are never
+// reported.
+func (c Config) Validate() []error {
+	c = c.withDefaults()
+	var errs []error
+	bad := func(format string, args ...any) {
+		errs = append(errs, fmt.Errorf("drift: %w: "+format, append([]any{core.ErrBadConfig}, args...)...))
+	}
+	if c.PHDelta < 0 {
+		bad("PH delta %g, need >= 0", c.PHDelta)
+	}
+	if c.MinWindows < 0 {
+		bad("min windows %d, need >= 0", c.MinWindows)
+	}
+	if c.CorrWindow < 2 {
+		bad("correlation window %d, need >= 2", c.CorrWindow)
+	}
+	if c.CorrEvery < 1 {
+		bad("correlation cadence %d, need >= 1", c.CorrEvery)
+	}
+	if c.CorrMargin < 0 {
+		bad("correlation margin %g, need >= 0", c.CorrMargin)
+	}
+	if c.CorrMinBest < 0 || c.CorrMinBest > 1 {
+		bad("correlation floor %g outside [0,1]", c.CorrMinBest)
+	}
+	if c.CorrPatience < 1 {
+		bad("correlation patience %d, need >= 1", c.CorrPatience)
+	}
+	if c.MixRefWindows < 1 {
+		bad("mix reference windows %d, need >= 1", c.MixRefWindows)
+	}
+	if c.MixWindow < 1 {
+		bad("mix window %d, need >= 1", c.MixWindow)
+	}
+	if c.MixPatience < 1 {
+		bad("mix patience %d, need >= 1", c.MixPatience)
+	}
+	return errs
 }
 
 // Detector aggregates the three drift tests over one decision stream. It
@@ -227,6 +294,9 @@ type Detector struct {
 // Names resolve the tier's Reference candidate; the mix-shift test is
 // armed on the first observation carrying class counts.
 func New(cfg Config) (*Detector, error) {
+	if errs := cfg.Validate(); len(errs) > 0 {
+		return nil, errors.Join(errs...)
+	}
 	cfg = cfg.withDefaults()
 	d := &Detector{cfg: cfg}
 	if cfg.PHLambda >= 0 {

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 
@@ -174,8 +175,8 @@ func (l *Lab) runChaosReplay(workers, shards int) (*ChaosReplay, error) {
 	// Chaos replay: the same trace through the scripted storm, with the
 	// hardened pipeline and the guarded lifecycle behind it.
 	storm := chaosStorm(tr.SecTimes[0], float64(l.Scale.Window))
-	if err := storm.Validate(); err != nil {
-		return nil, fmt.Errorf("experiment: chaos storm: %w", err)
+	if errs := storm.Validate(); len(errs) > 0 {
+		return nil, fmt.Errorf("experiment: chaos storm: %w", errors.Join(errs...))
 	}
 	inj := chaos.NewInjector(storm, l.Seed+chaosReplaySeed)
 

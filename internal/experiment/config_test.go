@@ -1,0 +1,65 @@
+package experiment
+
+import (
+	"errors"
+	"testing"
+
+	"hpcap/internal/core"
+	"hpcap/internal/server"
+	"hpcap/internal/tpcw"
+)
+
+func TestDefaultTraceConfigValid(t *testing.T) {
+	cfg := DefaultTraceConfig()
+	cfg.Schedule = tpcw.Steady(tpcw.Browsing(), 20, 60)
+	if errs := cfg.Validate(); len(errs) > 0 {
+		t.Fatalf("DefaultTraceConfig + schedule invalid: %v", errs)
+	}
+	// Zero window resolves to the default rather than failing.
+	cfg.Window = 0
+	if errs := cfg.Validate(); len(errs) > 0 {
+		t.Fatalf("zero window invalid after defaults: %v", errs)
+	}
+}
+
+func TestTraceConfigValidateErrors(t *testing.T) {
+	base := func() TraceConfig {
+		cfg := DefaultTraceConfig()
+		cfg.Schedule = tpcw.Steady(tpcw.Browsing(), 20, 60)
+		return cfg
+	}
+	tests := []struct {
+		name   string
+		mutate func(*TraceConfig)
+	}{
+		{"missing schedule", func(c *TraceConfig) { c.Schedule = tpcw.Schedule{} }},
+		{"negative warmup", func(c *TraceConfig) { c.Warmup = -1 }},
+		{"bad server config", func(c *TraceConfig) { c.Server.App.MaxWorkers = 0 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := base()
+			tt.mutate(&cfg)
+			errs := cfg.Validate()
+			if len(errs) == 0 {
+				t.Fatalf("%s not rejected", tt.name)
+			}
+			for _, err := range errs {
+				if !errors.Is(err, core.ErrBadConfig) {
+					t.Errorf("error %v does not wrap ErrBadConfig", err)
+				}
+			}
+			if _, err := Generate(cfg); !errors.Is(err, core.ErrBadConfig) {
+				t.Errorf("Generate error %v does not wrap ErrBadConfig", err)
+			}
+		})
+	}
+	// The server config is still validated structurally, not just passed
+	// through: a tier shape NewTestbed would reject fails here too.
+	var sc server.Config
+	cfg := base()
+	cfg.Server = sc
+	if errs := cfg.Validate(); len(errs) == 0 {
+		t.Fatal("zero server config not rejected")
+	}
+}

@@ -1,8 +1,10 @@
 package experiment
 
 import (
+	"errors"
 	"fmt"
 
+	"hpcap/internal/core"
 	"hpcap/internal/cpu"
 	"hpcap/internal/metrics"
 	"hpcap/internal/osstat"
@@ -136,6 +138,40 @@ type TraceConfig struct {
 	RecordSeconds bool
 }
 
+// DefaultTraceConfig returns trace generation at the paper's settings:
+// the calibrated two-tier testbed and the 30-second window. Schedule
+// stays zero — there is no default workload; callers supply one.
+func DefaultTraceConfig() TraceConfig {
+	return TraceConfig{Server: server.DefaultConfig(), Window: metrics.DefaultWindow}
+}
+
+// withDefaults resolves zero fields to DefaultTraceConfig.
+func (c TraceConfig) withDefaults() TraceConfig {
+	if c.Window <= 0 {
+		c.Window = metrics.DefaultWindow
+	}
+	return c
+}
+
+// Validate applies defaults first, then returns one error per violated
+// constraint, each wrapping core.ErrBadConfig. The nested server and
+// schedule configurations are validated too, their violations re-wrapped
+// so one errors.Is check covers the whole generation configuration.
+func (c TraceConfig) Validate() []error {
+	c = c.withDefaults()
+	var errs []error
+	if c.Warmup < 0 {
+		errs = append(errs, fmt.Errorf("experiment: %w: Warmup %d is negative", core.ErrBadConfig, c.Warmup))
+	}
+	if err := c.Schedule.Validate(); err != nil {
+		errs = append(errs, fmt.Errorf("experiment: %w: %v", core.ErrBadConfig, err))
+	}
+	for _, err := range c.Server.Validate() {
+		errs = append(errs, fmt.Errorf("experiment: %w: %v", core.ErrBadConfig, err))
+	}
+	return errs
+}
+
 // recordingCollector wraps a collector and keeps a copy of every vector it
 // produces, so a generated trace can later be replayed one second at a
 // time.
@@ -153,8 +189,9 @@ func (r *recordingCollector) Collect(s server.Snapshot, dt float64) []float64 {
 // Generate runs the testbed under the schedule and collects the labeled
 // window trace at both metric levels.
 func Generate(cfg TraceConfig) (*Trace, error) {
-	if cfg.Window <= 0 {
-		cfg.Window = metrics.DefaultWindow
+	cfg = cfg.withDefaults()
+	if errs := cfg.Validate(); len(errs) > 0 {
+		return nil, errors.Join(errs...)
 	}
 	srvCfg := cfg.Server
 	srvCfg.Seed = cfg.Seed

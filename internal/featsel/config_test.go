@@ -1,0 +1,33 @@
+package featsel
+
+import "testing"
+
+func TestDefaultConfigValid(t *testing.T) {
+	if errs := DefaultConfig().Validate(); len(errs) > 0 {
+		t.Fatalf("DefaultConfig invalid: %v", errs)
+	}
+	if errs := (Config{}).Validate(); len(errs) > 0 {
+		t.Fatalf("zero Config invalid after defaults: %v", errs)
+	}
+	// Non-positive knobs resolve to defaults rather than failing.
+	if errs := (Config{MaxAttrs: -1, Folds: -1, MinGain: -1, Patience: -1, Bins: -1}).Validate(); len(errs) > 0 {
+		t.Fatalf("negative knobs should resolve to defaults: %v", errs)
+	}
+}
+
+func TestConfigValidateErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		cfg  Config
+	}{
+		{"single fold", Config{Folds: 1}},
+		{"single bin", Config{Bins: 1}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if errs := tt.cfg.Validate(); len(errs) == 0 {
+				t.Fatalf("%s not rejected", tt.name)
+			}
+		})
+	}
+}

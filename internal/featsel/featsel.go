@@ -8,6 +8,7 @@ package featsel
 
 import (
 	"errors"
+	"fmt"
 	"sort"
 
 	"hpcap/internal/ml"
@@ -36,23 +37,45 @@ type Config struct {
 	Seed int64
 }
 
+// DefaultConfig returns the paper's selection settings: at most 8
+// attributes, 10-fold cross validation, 10 discretization bins.
+func DefaultConfig() Config {
+	return Config{MaxAttrs: 8, Folds: 10, MinGain: 0.01, Patience: 3, Bins: 10}
+}
+
 func (c Config) withDefaults() Config {
+	def := DefaultConfig()
 	if c.MaxAttrs <= 0 {
-		c.MaxAttrs = 8
+		c.MaxAttrs = def.MaxAttrs
 	}
 	if c.Folds <= 0 {
-		c.Folds = 10
+		c.Folds = def.Folds
 	}
 	if c.MinGain <= 0 {
-		c.MinGain = 0.01
+		c.MinGain = def.MinGain
 	}
 	if c.Patience <= 0 {
-		c.Patience = 3
+		c.Patience = def.Patience
 	}
 	if c.Bins <= 0 {
-		c.Bins = 10
+		c.Bins = def.Bins
 	}
 	return c
+}
+
+// Validate applies defaults first, then returns one error per violated
+// constraint. Like predictor, this package sits below core in the
+// import graph, so the errors carry no shared sentinel.
+func (c Config) Validate() []error {
+	c = c.withDefaults()
+	var errs []error
+	if c.Folds < 2 {
+		errs = append(errs, fmt.Errorf("featsel: %d folds, cross validation needs >= 2", c.Folds))
+	}
+	if c.Bins < 2 {
+		errs = append(errs, fmt.Errorf("featsel: %d bins, discretization needs >= 2", c.Bins))
+	}
+	return errs
 }
 
 // Ranked is one attribute with its information gain.
@@ -108,6 +131,9 @@ type Result struct {
 // candidate — at a tenth of the partitioning work. Candidate projections
 // are zero-copy column views of d.
 func Select(l ml.Learner, d *ml.Dataset, cfg Config) (Result, error) {
+	if errs := cfg.Validate(); len(errs) > 0 {
+		return Result{}, errors.Join(errs...)
+	}
 	cfg = cfg.withDefaults()
 	if d.Len() < cfg.Folds {
 		return Result{}, errors.New("featsel: too few instances for cross validation")

@@ -1,0 +1,30 @@
+package predictor
+
+import "testing"
+
+func TestDefaultConfigValid(t *testing.T) {
+	if errs := DefaultConfig().Validate(); len(errs) > 0 {
+		t.Fatalf("DefaultConfig invalid: %v", errs)
+	}
+	if errs := (Config{}).Validate(); len(errs) > 0 {
+		t.Fatalf("zero Config invalid after defaults: %v", errs)
+	}
+}
+
+func TestConfigValidateErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		cfg  Config
+	}{
+		{"negative history bits", Config{HistoryBits: -1}},
+		{"history bits above table limit", Config{HistoryBits: 13}},
+		{"unknown scheme", Config{Scheme: Scheme(99)}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if errs := tt.cfg.Validate(); len(errs) == 0 {
+				t.Fatalf("%s not rejected", tt.name)
+			}
+		})
+	}
+}

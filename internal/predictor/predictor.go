@@ -27,6 +27,7 @@
 package predictor
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 )
@@ -68,23 +69,46 @@ type Config struct {
 	CounterMax int
 }
 
+// DefaultConfig returns the paper's §V.C settings: h=3, δ=5, optimistic
+// tie-break, counters saturating at 64.
+func DefaultConfig() Config {
+	return Config{HistoryBits: 3, Delta: 5, Scheme: Optimistic, CounterMax: 64}
+}
+
 func (c Config) withDefaults() Config {
+	def := DefaultConfig()
 	if c.HistoryBits == 0 {
-		c.HistoryBits = 3
+		c.HistoryBits = def.HistoryBits
 	}
 	if c.Delta == 0 {
-		c.Delta = 5
+		c.Delta = def.Delta
 	}
 	if c.Delta < 0 {
 		c.Delta = 0
 	}
 	if c.Scheme == 0 {
-		c.Scheme = Optimistic
+		c.Scheme = def.Scheme
 	}
 	if c.CounterMax <= 0 {
-		c.CounterMax = 64
+		c.CounterMax = def.CounterMax
 	}
 	return c
+}
+
+// Validate applies defaults first, then returns one error per violated
+// constraint. The predictor sits below the core package in the import
+// graph, so unlike the higher-layer configs these errors carry no
+// shared sentinel — match on the message.
+func (c Config) Validate() []error {
+	c = c.withDefaults()
+	var errs []error
+	if c.HistoryBits < 1 || c.HistoryBits > 12 {
+		errs = append(errs, fmt.Errorf("predictor: history bits %d out of range [1,12]", c.HistoryBits))
+	}
+	if c.Scheme != Optimistic && c.Scheme != Pessimistic {
+		errs = append(errs, fmt.Errorf("predictor: unknown tie-break scheme %d", c.Scheme))
+	}
+	return errs
 }
 
 // Predictor is the trained two-level coordinated predictor. The tables are
@@ -115,10 +139,10 @@ func New(m, tiers int, cfg Config) (*Predictor, error) {
 	if tiers < 1 {
 		return nil, fmt.Errorf("predictor: tiers = %d must be positive", tiers)
 	}
-	cfg = cfg.withDefaults()
-	if cfg.HistoryBits < 1 || cfg.HistoryBits > 12 {
-		return nil, fmt.Errorf("predictor: history bits %d out of range [1,12]", cfg.HistoryBits)
+	if errs := cfg.Validate(); len(errs) > 0 {
+		return nil, errors.Join(errs...)
 	}
+	cfg = cfg.withDefaults()
 	gptSize := 1 << m
 	lhtSize := 1 << cfg.HistoryBits
 	p := &Predictor{cfg: cfg, m: m, tiers: tiers}

@@ -1,6 +1,7 @@
 package registry
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 	"sync"
@@ -133,30 +134,80 @@ type Config struct {
 	OnEvent func(Event)
 }
 
+// DefaultConfig returns the lifecycle thresholds at their conservative
+// defaults. Pipeline, Initial, Names, and Train have no defaults — the
+// manager is meaningless without them.
+func DefaultConfig() Config {
+	return Config{
+		HistoryWindows:  128,
+		MinTrainWindows: 32,
+		ShadowWindows:   12,
+		SwapMargin:      0.02,
+		CooldownWindows: 24,
+	}
+}
+
 func (c Config) withDefaults() Config {
+	def := DefaultConfig()
 	if c.HistoryWindows == 0 {
-		c.HistoryWindows = 128
+		c.HistoryWindows = def.HistoryWindows
 	}
 	if c.MinTrainWindows == 0 {
-		c.MinTrainWindows = 32
+		c.MinTrainWindows = def.MinTrainWindows
 	}
 	if c.ShadowWindows == 0 {
-		c.ShadowWindows = 12
+		c.ShadowWindows = def.ShadowWindows
 	}
 	if c.SwapMargin == 0 {
-		c.SwapMargin = 0.02
+		c.SwapMargin = def.SwapMargin
 	} else if c.SwapMargin < 0 {
 		// "Any improvement wins": a strictly better candidate swaps, a
 		// tied or worse one never does.
 		c.SwapMargin = 0
 	}
 	if c.CooldownWindows == 0 {
-		c.CooldownWindows = 24
+		c.CooldownWindows = def.CooldownWindows
 	}
 	if len(c.Drift.Names) == 0 {
 		c.Drift.Names = c.Names
 	}
 	return c
+}
+
+// Validate applies defaults first, then returns one error per violated
+// constraint, each wrapping core.ErrBadConfig. Monitor-shape checks
+// (trained initial model, name/dimension agreement) stay in NewManager
+// under their own sentinel errors; Validate covers configuration shape
+// only.
+func (c Config) Validate() []error {
+	c = c.withDefaults()
+	var errs []error
+	bad := func(format string, args ...any) {
+		errs = append(errs, fmt.Errorf("registry: %w: "+format, append([]any{core.ErrBadConfig}, args...)...))
+	}
+	if c.Pipeline == nil {
+		bad("nil pipeline")
+	}
+	if c.Train.Learner.New == nil {
+		bad("Train.Learner is required")
+	}
+	if c.HistoryWindows < 1 {
+		bad("history windows %d, need >= 1", c.HistoryWindows)
+	}
+	if c.ShadowWindows < 1 {
+		bad("shadow windows %d, need >= 1", c.ShadowWindows)
+	}
+	if c.ShadowWindows >= c.HistoryWindows {
+		bad("shadow windows %d must fit inside history windows %d", c.ShadowWindows, c.HistoryWindows)
+	}
+	if c.MinTrainWindows < 1 {
+		bad("min train windows %d, need >= 1", c.MinTrainWindows)
+	}
+	if c.CooldownWindows < 0 {
+		bad("cooldown windows %d, need >= 0", c.CooldownWindows)
+	}
+	errs = append(errs, c.Drift.Validate()...)
+	return errs
 }
 
 // labeled is one decided window paired with its ground truth.
@@ -207,8 +258,8 @@ type Manager struct {
 // empty store. Wire it up by calling HandleDecision from the pipeline's
 // OnDecision (or a subscriber) and ObserveTruth as labels arrive.
 func NewManager(cfg Config) (*Manager, error) {
-	if cfg.Pipeline == nil {
-		return nil, fmt.Errorf("registry: %w: nil pipeline", core.ErrBadConfig)
+	if errs := cfg.Validate(); len(errs) > 0 {
+		return nil, errors.Join(errs...)
 	}
 	if cfg.Initial == nil || cfg.Initial.Coordinator() == nil {
 		return nil, fmt.Errorf("registry: %w: initial monitor", core.ErrUntrained)
@@ -216,9 +267,6 @@ func NewManager(cfg Config) (*Manager, error) {
 	if len(cfg.Names) != cfg.Initial.InputDim() {
 		return nil, fmt.Errorf("registry: %w: %d metric names for input dim %d",
 			core.ErrDimensionMismatch, len(cfg.Names), cfg.Initial.InputDim())
-	}
-	if cfg.Train.Learner.New == nil {
-		return nil, fmt.Errorf("registry: %w: Train.Learner is required", core.ErrBadConfig)
 	}
 	cfg = cfg.withDefaults()
 	m := &Manager{

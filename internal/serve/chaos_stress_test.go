@@ -290,11 +290,11 @@ func TestHealthLadderProperty(t *testing.T) {
 	_, mon, _ := fixture(t)
 	dim := mon.InputDim()
 	const (
-		window  = 30
+		window   = 30
 		recoverN = 3
-		budget  = 5
-		nSeeds  = 12
-		nWin    = 36
+		budget   = 5
+		nSeeds   = 12
+		nWin     = 36
 	)
 	outcomes := []string{"clean", "degraded", "dropped", "gap"}
 

@@ -1,0 +1,84 @@
+package serve_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"hpcap/internal/core"
+	"hpcap/internal/serve"
+)
+
+// checkRejected asserts every error wraps core.ErrBadConfig.
+func checkRejected(t *testing.T, name string, errs []error) {
+	t.Helper()
+	if len(errs) == 0 {
+		t.Fatalf("%s not rejected", name)
+	}
+	for _, err := range errs {
+		if !errors.Is(err, core.ErrBadConfig) {
+			t.Errorf("%s: error %v does not wrap ErrBadConfig", name, err)
+		}
+	}
+}
+
+func TestServeConfigValidate(t *testing.T) {
+	if errs := serve.DefaultConfig().Validate(); len(errs) > 0 {
+		t.Fatalf("DefaultConfig invalid: %v", errs)
+	}
+	if errs := (serve.Config{}).Validate(); len(errs) > 0 {
+		t.Fatalf("zero Config invalid after defaults: %v", errs)
+	}
+	// Clamped fields validate: negatives are documented shorthands.
+	ok := serve.Config{Window: 30, StalenessBudget: -1, RecoverWindows: -1}
+	if errs := ok.Validate(); len(errs) > 0 {
+		t.Fatalf("clamped config rejected: %v", errs)
+	}
+	checkRejected(t, "negative window", serve.Config{Window: -30}.Validate())
+}
+
+func TestShardConfigValidate(t *testing.T) {
+	if errs := serve.DefaultShardConfig().Validate(); len(errs) > 0 {
+		t.Fatalf("DefaultShardConfig invalid: %v", errs)
+	}
+	if errs := (serve.ShardConfig{}).Validate(); len(errs) > 0 {
+		t.Fatalf("zero ShardConfig invalid after defaults: %v", errs)
+	}
+	tests := []struct {
+		name string
+		cfg  serve.ShardConfig
+	}{
+		{"negative shards", serve.ShardConfig{Shards: -1}},
+		{"too many shards", serve.ShardConfig{Shards: serve.MaxShards + 1}},
+		{"negative batch", serve.ShardConfig{BatchSize: -1}},
+		{"negative queue", serve.ShardConfig{QueueCapacity: -1}},
+		{"queue over cap", serve.ShardConfig{QueueCapacity: serve.MaxQueueCapacity + 1}},
+		{"queue below batch", serve.ShardConfig{BatchSize: 128, QueueCapacity: 64}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			checkRejected(t, tt.name, tt.cfg.Validate())
+		})
+	}
+}
+
+func TestListenConfigValidate(t *testing.T) {
+	if errs := serve.DefaultListenConfig().Validate(); len(errs) > 0 {
+		t.Fatalf("DefaultListenConfig invalid: %v", errs)
+	}
+	if errs := (serve.ListenConfig{}).Validate(); len(errs) > 0 {
+		t.Fatalf("zero ListenConfig invalid after defaults: %v", errs)
+	}
+	tests := []struct {
+		name string
+		cfg  serve.ListenConfig
+	}{
+		{"negative frame bytes", serve.ListenConfig{MaxFrameBytes: -1}},
+		{"negative read timeout", serve.ListenConfig{ReadTimeout: -time.Second}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			checkRejected(t, tt.name, tt.cfg.Validate())
+		})
+	}
+}

@@ -1,0 +1,212 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"hpcap/internal/wire"
+)
+
+// SiteTransport is the frame-level view of one site's feed: what the
+// network delivered, as opposed to what the serving pipeline decided.
+// The split matters operationally — a site can be transport-fresh but
+// sample-stale (agent up, collectors wedged) or transport-stale but
+// decision-healthy (link down, decisions coasting on the last window) —
+// and the two call for different pages.
+type SiteTransport struct {
+	Site string
+
+	Frames  uint64 // frames accepted for ingest
+	Samples uint64 // fused scrapes unpacked from accepted frames
+
+	DupFrames  uint64 // frames re-delivering the current sequence number
+	OutOfOrder uint64 // frames arriving below the sequence high-water mark
+	SeqGaps    uint64 // accepted frames that skipped ahead of the expected seq
+	LostFrames uint64 // frames the gaps imply were never delivered
+
+	LastSeq       uint64    // sequence high-water mark
+	LastFrameTime float64   // stream time of the newest sample in the last accepted frame
+	LastFrameAt   time.Time // wall clock of the last accepted frame (reporting only)
+}
+
+// siteTransport is the mutable table entry behind SiteTransport.
+type siteTransport struct {
+	stats SiteTransport
+	ref   SiteRef
+}
+
+// Ingest is the network ingest entry point of a ShardedPipeline: it
+// turns decoded wire frames into fused Batcher.AddSite calls, keeping
+// per-site sequence accounting so duplicated and reordered frames from
+// a lossy link are counted and dropped instead of corrupting the
+// per-site stream order the pipeline's determinism depends on.
+//
+// One Ingest is shared by every connection of a FrameServer; sequence
+// state survives agent reconnects, so a redelivered frame after a
+// flap is still recognised as a duplicate. Accounting is keyed by the
+// frame's site name — agents, not connections, own sites.
+type Ingest struct {
+	pipe *ShardedPipeline
+	now  func() time.Time
+
+	mu    sync.Mutex
+	sites map[string]*siteTransport
+}
+
+// NewIngest builds the shared ingest front-end for a pipeline.
+func NewIngest(pipe *ShardedPipeline) *Ingest {
+	return &Ingest{pipe: pipe, now: time.Now, sites: make(map[string]*siteTransport)}
+}
+
+// SetNow replaces the wall clock used to stamp LastFrameAt. Reporting
+// only — nothing on the decision path reads it. Call before serving.
+func (in *Ingest) SetNow(now func() time.Time) { in.now = now }
+
+// site returns the transport entry, creating (and registering the site
+// with the pipeline) on first use. Callers hold in.mu.
+func (in *Ingest) site(name string) *siteTransport {
+	st, ok := in.sites[name]
+	if !ok {
+		st = &siteTransport{stats: SiteTransport{Site: name}, ref: in.pipe.Register(name)}
+		in.sites[name] = st
+	}
+	return st
+}
+
+// Conn opens a per-connection ingest lane with its own Batcher. Frames
+// from one connection must be delivered to Accept in arrival order; the
+// connection's goroutine owns the lane (no internal locking on the
+// batching path beyond the shared sequence table).
+func (in *Ingest) Conn() *ConnIngest {
+	return &ConnIngest{ingest: in, batch: in.pipe.NewBatcher()}
+}
+
+// Transport returns one site's transport counters.
+func (in *Ingest) Transport(site string) (SiteTransport, bool) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	st, ok := in.sites[site]
+	if !ok {
+		return SiteTransport{}, false
+	}
+	return st.stats, true
+}
+
+// TransportStats snapshots every site's transport counters, ordered by
+// site name.
+func (in *Ingest) TransportStats() []SiteTransport {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make([]SiteTransport, 0, len(in.sites))
+	for _, st := range in.sites {
+		out = append(out, st.stats)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Site < out[j].Site })
+	return out
+}
+
+// ConnIngest is one connection's ingest lane: sequence-checks each
+// frame against the shared transport table, then unpacks accepted
+// frames into fused scrapes on its private Batcher.
+type ConnIngest struct {
+	ingest *Ingest
+	batch  *Batcher
+}
+
+// Accept runs one decoded frame through sequence accounting and, if it
+// advances the site's stream, enqueues its samples. Returns false for
+// frames dropped as duplicates or late reorderings — dropped frames are
+// always counted, never silent.
+func (ci *ConnIngest) Accept(f *wire.Frame) bool {
+	in := ci.ingest
+	in.mu.Lock()
+	st := in.site(f.Site)
+	s := &st.stats
+	switch {
+	case s.Frames == 0:
+		// First frame fixes the stream origin; the agent numbers from 0
+		// but a mid-stream join (server restart without WAL) is legal.
+		if f.Seq > 0 {
+			s.SeqGaps++
+			s.LostFrames += f.Seq
+		}
+	case f.Seq == s.LastSeq:
+		s.DupFrames++
+		in.mu.Unlock()
+		return false
+	case f.Seq < s.LastSeq:
+		s.OutOfOrder++
+		in.mu.Unlock()
+		return false
+	case f.Seq > s.LastSeq+1:
+		s.SeqGaps++
+		s.LostFrames += f.Seq - s.LastSeq - 1
+	}
+	s.LastSeq = f.Seq
+	s.Frames++
+	s.Samples += uint64(len(f.Samples))
+	if n := len(f.Samples); n > 0 {
+		s.LastFrameTime = f.Samples[n-1].Time
+	}
+	s.LastFrameAt = in.now()
+	ref := st.ref
+	in.mu.Unlock()
+
+	for i := range f.Samples {
+		ci.batch.AddSite(ref, f.Samples[i].Time, f.Samples[i].Vecs)
+	}
+	return true
+}
+
+// Flush pushes the lane's pending batch into the shard queues.
+func (ci *ConnIngest) Flush() { ci.batch.Flush() }
+
+// Close flushes the lane; the ConnIngest must not be used afterwards.
+func (ci *ConnIngest) Close() { ci.batch.Flush() }
+
+// transportMetric describes one exported transport counter/gauge.
+type transportMetric struct {
+	name  string
+	kind  string
+	help  string
+	value func(SiteTransport) float64
+}
+
+var transportMetrics = []transportMetric{
+	{"capserved_transport_frames_total", "counter", "Frames accepted for ingest.",
+		func(s SiteTransport) float64 { return float64(s.Frames) }},
+	{"capserved_transport_samples_total", "counter", "Fused scrapes unpacked from accepted frames.",
+		func(s SiteTransport) float64 { return float64(s.Samples) }},
+	{"capserved_transport_dup_frames_total", "counter", "Duplicate frames dropped.",
+		func(s SiteTransport) float64 { return float64(s.DupFrames) }},
+	{"capserved_transport_reordered_frames_total", "counter", "Late out-of-order frames dropped.",
+		func(s SiteTransport) float64 { return float64(s.OutOfOrder) }},
+	{"capserved_transport_seq_gaps_total", "counter", "Accepted frames that skipped ahead of the expected sequence.",
+		func(s SiteTransport) float64 { return float64(s.SeqGaps) }},
+	{"capserved_transport_lost_frames_total", "counter", "Frames sequence gaps imply were never delivered.",
+		func(s SiteTransport) float64 { return float64(s.LostFrames) }},
+	{"capserved_transport_last_seq", "gauge", "Sequence high-water mark.",
+		func(s SiteTransport) float64 { return float64(s.LastSeq) }},
+	{"capserved_transport_last_frame_time", "gauge", "Stream time of the newest ingested sample.",
+		func(s SiteTransport) float64 { return s.LastFrameTime }},
+}
+
+// WriteTransportMetrics renders the per-site transport counters in
+// Prometheus text exposition format, alongside WriteMetrics' families.
+func (in *Ingest) WriteTransportMetrics(w io.Writer) error {
+	stats := in.TransportStats()
+	for _, m := range transportMetrics {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", m.name, m.help, m.name, m.kind); err != nil {
+			return err
+		}
+		for _, s := range stats {
+			if _, err := fmt.Fprintf(w, "%s{site=%q} %g\n", m.name, s.Site, m.value(s)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

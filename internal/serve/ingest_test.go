@@ -1,0 +1,381 @@
+package serve_test
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"hpcap/internal/serve"
+	"hpcap/internal/server"
+	"hpcap/internal/wal"
+	"hpcap/internal/wire"
+)
+
+// traceFrames slices the recorded trace into fused wire frames for one
+// site, perFrame scrapes per frame, sequenced from 0.
+func traceFrames(tr [server.NumTiers][][]float64, times []float64, site string, perFrame int) []wire.Frame {
+	var frames []wire.Frame
+	cur := wire.Frame{Site: site}
+	for i, ts := range times {
+		var s wire.Sample
+		s.Time = ts
+		for tier := server.TierID(0); tier < server.NumTiers; tier++ {
+			s.Vecs[tier] = tr[tier][i]
+		}
+		cur.Samples = append(cur.Samples, s)
+		if len(cur.Samples) == perFrame {
+			frames = append(frames, cur)
+			cur = wire.Frame{Site: site, Seq: cur.Seq + 1}
+		}
+	}
+	if len(cur.Samples) > 0 {
+		frames = append(frames, cur)
+	}
+	return frames
+}
+
+// TestIngestSeqAccounting pins the sequence semantics frame by frame:
+// mid-stream joins are legal but counted, duplicates and late frames are
+// dropped and counted, gaps are counted and crossed. Nothing is silent.
+func TestIngestSeqAccounting(t *testing.T) {
+	_, mon, _ := fixture(t)
+	sp, err := serve.NewShardedPipeline(mon, serve.Config{Window: 30}, serve.ShardConfig{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sp.Close()
+	ing := serve.NewIngest(sp)
+	wall := time.Unix(1000, 0)
+	ing.SetNow(func() time.Time { return wall })
+	lane := ing.Conn()
+	defer lane.Close()
+
+	check := func(step string, accepted, wantAccepted bool, want serve.SiteTransport) {
+		t.Helper()
+		if accepted != wantAccepted {
+			t.Fatalf("%s: accepted=%t, want %t", step, accepted, wantAccepted)
+		}
+		got, ok := ing.Transport("a")
+		if !ok {
+			t.Fatalf("%s: site unknown to transport table", step)
+		}
+		want.Site = "a"
+		want.LastFrameAt = got.LastFrameAt // checked separately
+		if got != want {
+			t.Fatalf("%s: transport %+v, want %+v", step, got, want)
+		}
+	}
+
+	// A first frame with seq>0 is a mid-stream join: accepted, the gap
+	// and implied losses counted.
+	ok := lane.Accept(&wire.Frame{Site: "a", Seq: 3})
+	check("mid-stream join", ok, true, serve.SiteTransport{
+		Frames: 1, SeqGaps: 1, LostFrames: 3, LastSeq: 3})
+
+	// In-order successor with samples: counters advance, freshness stamps.
+	ok = lane.Accept(&wire.Frame{Site: "a", Seq: 4, Samples: []wire.Sample{{Time: 30}, {Time: 31}}})
+	check("in-order", ok, true, serve.SiteTransport{
+		Frames: 2, Samples: 2, SeqGaps: 1, LostFrames: 3, LastSeq: 4, LastFrameTime: 31})
+	if got, _ := ing.Transport("a"); !got.LastFrameAt.Equal(wall) {
+		t.Fatalf("LastFrameAt = %v, want injected clock %v", got.LastFrameAt, wall)
+	}
+
+	// Redelivery of the current frame: dropped, counted, nothing else moves.
+	ok = lane.Accept(&wire.Frame{Site: "a", Seq: 4, Samples: []wire.Sample{{Time: 30}}})
+	check("duplicate", ok, false, serve.SiteTransport{
+		Frames: 2, Samples: 2, DupFrames: 1, SeqGaps: 1, LostFrames: 3, LastSeq: 4, LastFrameTime: 31})
+
+	// A frame below the high-water mark: a late reordering, dropped.
+	ok = lane.Accept(&wire.Frame{Site: "a", Seq: 2})
+	check("out-of-order", ok, false, serve.SiteTransport{
+		Frames: 2, Samples: 2, DupFrames: 1, OutOfOrder: 1, SeqGaps: 1, LostFrames: 3, LastSeq: 4, LastFrameTime: 31})
+
+	// A skip ahead: accepted, the two missing frames counted as lost.
+	ok = lane.Accept(&wire.Frame{Site: "a", Seq: 7})
+	check("gap", ok, true, serve.SiteTransport{
+		Frames: 3, Samples: 2, DupFrames: 1, OutOfOrder: 1, SeqGaps: 2, LostFrames: 5, LastSeq: 7, LastFrameTime: 31})
+
+	// Unknown sites stay unknown; known ones list sorted.
+	if _, ok := ing.Transport("nope"); ok {
+		t.Error("unknown site reported as known")
+	}
+	lane.Accept(&wire.Frame{Site: "0-first", Seq: 0})
+	stats := ing.TransportStats()
+	if len(stats) != 2 || stats[0].Site != "0-first" || stats[1].Site != "a" {
+		t.Errorf("TransportStats order: %+v", stats)
+	}
+
+	var buf bytes.Buffer
+	if err := ing.WriteTransportMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`capserved_transport_frames_total{site="a"} 3`,
+		`capserved_transport_lost_frames_total{site="a"} 5`,
+		`capserved_transport_last_seq{site="a"} 7`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics output missing %q", want)
+		}
+	}
+}
+
+// TestFrameServerLoopback is the distributed-collection golden: the same
+// recorded streams ingested directly (plain ShardedPipeline.Ingest, no
+// network) and shipped as wire frames through a real Sender → TCP →
+// FrameServer → Ingest chain must produce byte-identical per-site
+// decision transcripts. The transport may batch, frame, and buffer, but
+// it may not change a single decision.
+func TestFrameServerLoopback(t *testing.T) {
+	lab, mon, tr := fixture(t)
+	window := lab.Scale.Window
+	vecs := secondVectors(tr)
+	sites := []string{"site-a", "site-b"}
+
+	// Direct run: per-sample ingest, no wire anywhere.
+	ref := newRecorder()
+	sp1, err := serve.NewShardedPipeline(mon, ref.config(window), serve.ShardConfig{Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, site := range sites {
+		for i, ts := range tr.SecTimes {
+			for tier := server.TierID(0); tier < server.NumTiers; tier++ {
+				sp1.Ingest(serve.Sample{Site: site, Tier: tier, Time: ts, Values: vecs[tier][i]})
+			}
+		}
+	}
+	sp1.Flush()
+	sp1.Close()
+
+	// Network run: one Sender (one TCP connection) per site.
+	rec := newRecorder()
+	sp2, err := serve.NewShardedPipeline(mon, rec.config(window), serve.ShardConfig{Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sp2.Close()
+	ing := serve.NewIngest(sp2)
+	fsrv, err := serve.NewFrameServer(serve.ListenConfig{}, ing, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := fsrv.Addr().String()
+	wantFrames := make(map[string]uint64)
+	for _, site := range sites {
+		// The queue must hold the whole burst: the test enqueues far
+		// faster than a real sampling loop, and eviction is load-shedding,
+		// not an error — but here every frame must arrive.
+		snd, err := wire.NewSender(addr, wire.AgentConfig{FrameSamples: 5, QueueFrames: 4096})
+		if err != nil {
+			t.Fatal(err)
+		}
+		frames := traceFrames(vecs, tr.SecTimes, site, 5)
+		wantFrames[site] = uint64(len(frames))
+		for i := range frames {
+			snd.Send(&frames[i])
+		}
+		snd.Close()
+		st := snd.Stats()
+		if st.Dropped() != 0 || st.Sent != uint64(len(frames)) {
+			t.Fatalf("%s sender lost frames on a clean loopback: %+v", site, st)
+		}
+	}
+	fsrv.WaitConns(uint64(len(sites)))
+	if err := fsrv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sp2.Flush()
+
+	for _, site := range sites {
+		want, got := ref.transcript(site), rec.transcript(site)
+		if want == "" {
+			t.Fatalf("%s: empty reference transcript", site)
+		}
+		if got != want {
+			t.Errorf("%s transcript diverged\n--- direct ---\n%s--- network ---\n%s", site, want, got)
+		}
+		tp, ok := ing.Transport(site)
+		if !ok {
+			t.Fatalf("%s missing from transport table", site)
+		}
+		if tp.Frames != wantFrames[site] || tp.DupFrames != 0 || tp.SeqGaps != 0 || tp.OutOfOrder != 0 {
+			t.Errorf("%s transport not clean: %+v", site, tp)
+		}
+	}
+	if st := fsrv.Stats(); st.ReadErrors != 0 || st.DecodeErrors != 0 || st.LogErrors != 0 {
+		t.Errorf("server counted errors on a clean loopback: %+v", st)
+	}
+}
+
+// TestWALCrashReplay is the durability golden: a daemon killed mid-storm
+// — WAL holding half the stream plus a torn record — must, after
+// recovery (truncate the tear, replay the log, resume the live feed),
+// finish with decision transcripts byte-identical to a daemon that never
+// crashed. The WAL is appended strictly before ingest, so the log can
+// only run ahead of the pipeline, never behind; replay therefore
+// reconstructs at least everything the pre-crash pipeline decided.
+func TestWALCrashReplay(t *testing.T) {
+	lab, mon, tr := fixture(t)
+	window := lab.Scale.Window
+	vecs := secondVectors(tr)
+	sites := []string{"site-a", "site-b"}
+
+	// Interleave the two sites' frames round-robin, the arrival order two
+	// concurrent agents would produce.
+	var lists [][]wire.Frame
+	maxLen := 0
+	for _, site := range sites {
+		l := traceFrames(vecs, tr.SecTimes, site, 4)
+		lists = append(lists, l)
+		if len(l) > maxLen {
+			maxLen = len(l)
+		}
+	}
+	var order []wire.Frame
+	for i := 0; i < maxLen; i++ {
+		for _, l := range lists {
+			if i < len(l) {
+				order = append(order, l[i])
+			}
+		}
+	}
+
+	// Reference: every frame through an uninterrupted daemon.
+	ref := newRecorder()
+	spRef, err := serve.NewShardedPipeline(mon, ref.config(window), serve.ShardConfig{Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	laneRef := serve.NewIngest(spRef).Conn()
+	for i := range order {
+		laneRef.Accept(&order[i])
+	}
+	laneRef.Close()
+	spRef.Flush()
+	spRef.Close()
+
+	// Crashing daemon: WAL-append then ingest for the first half…
+	walPath := filepath.Join(t.TempDir(), "crash.wal")
+	log, recovered, err := wal.Open(walPath, wal.Config{SyncEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recovered != 0 {
+		t.Fatalf("fresh WAL recovered %d frames", recovered)
+	}
+	crash := newRecorder()
+	spCrash, err := serve.NewShardedPipeline(mon, crash.config(window), serve.ShardConfig{Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	laneCrash := serve.NewIngest(spCrash).Conn()
+	half := len(order) / 2
+	for i := 0; i < half; i++ {
+		if err := log.Append(wire.AppendFrame(nil, &order[i])); err != nil {
+			t.Fatal(err)
+		}
+		laneCrash.Accept(&order[i])
+	}
+	// …then dies mid-Append of the next frame: a torn record on disk, the
+	// in-memory pipeline state gone. (Close only reclaims the goroutines;
+	// its decisions are discarded like a crashed process's would be.)
+	next := wire.AppendFrame(nil, &order[half])
+	torn := binary.AppendUvarint(nil, uint64(len(next)))
+	torn = append(torn, next[:len(next)/2]...)
+	fh, err := os.OpenFile(walPath, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fh.Write(torn); err != nil {
+		t.Fatal(err)
+	}
+	fh.Close()
+	spCrash.Close()
+
+	// Recovery: reopen (truncates the tear), replay into a fresh
+	// pipeline, then resume the live stream from the first unlogged frame.
+	log2, recovered, err := wal.Open(walPath, wal.Config{SyncEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recovered != half {
+		t.Fatalf("recovered %d frames, want %d", recovered, half)
+	}
+	rec := newRecorder()
+	spRec, err := serve.NewShardedPipeline(mon, rec.config(window), serve.ShardConfig{Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lane := serve.NewIngest(spRec).Conn()
+	n, err := wal.Replay(walPath, wal.Config{}, func(payload []byte) error {
+		f, err := wire.DecodeFrame(payload)
+		if err != nil {
+			return fmt.Errorf("logged frame does not decode: %w", err)
+		}
+		lane.Accept(&f)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != half {
+		t.Fatalf("replayed %d frames, want %d", n, half)
+	}
+	for i := half; i < len(order); i++ {
+		if err := log2.Append(wire.AppendFrame(nil, &order[i])); err != nil {
+			t.Fatal(err)
+		}
+		lane.Accept(&order[i])
+	}
+	lane.Close()
+	spRec.Flush()
+	spRec.Close()
+	if err := log2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, site := range sites {
+		want, got := ref.transcript(site), rec.transcript(site)
+		if want == "" {
+			t.Fatalf("%s: empty reference transcript", site)
+		}
+		if got != want {
+			t.Errorf("%s recovered transcript diverged\n--- uninterrupted ---\n%s--- recovered ---\n%s",
+				site, want, got)
+		}
+	}
+
+	// The healed WAL now holds the complete storm: replaying it alone
+	// reproduces the full transcripts — the WAL doubles as a capture.
+	cap2 := newRecorder()
+	spCap, err := serve.NewShardedPipeline(mon, cap2.config(window), serve.ShardConfig{Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	laneCap := serve.NewIngest(spCap).Conn()
+	if n, err := wal.Replay(walPath, wal.Config{}, func(payload []byte) error {
+		f, err := wire.DecodeFrame(payload)
+		if err != nil {
+			return err
+		}
+		laneCap.Accept(&f)
+		return nil
+	}); err != nil || n != len(order) {
+		t.Fatalf("capture replay: n=%d err=%v, want %d frames", n, err, len(order))
+	}
+	laneCap.Close()
+	spCap.Flush()
+	spCap.Close()
+	for _, site := range sites {
+		if got := cap2.transcript(site); got != ref.transcript(site) {
+			t.Errorf("%s capture-replay transcript diverged", site)
+		}
+	}
+}

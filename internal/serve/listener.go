@@ -1,0 +1,250 @@
+package serve
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"hpcap/internal/core"
+	"hpcap/internal/wire"
+)
+
+// ListenConfig shapes a FrameServer.
+type ListenConfig struct {
+	// Addr is the TCP listen address. Port 0 picks a free port; read it
+	// back with Addr() — that is how tests wire agent to server.
+	Addr string
+
+	// MaxFrameBytes bounds one frame's encoded payload. Oversized
+	// length prefixes fail before allocating, so a corrupt or hostile
+	// peer cannot balloon memory.
+	MaxFrameBytes int
+
+	// ReadTimeout bounds the wait for each frame; 0 means wait forever.
+	// Deterministic tests leave it 0 and close connections explicitly.
+	ReadTimeout time.Duration
+}
+
+// DefaultListenConfig returns the canonical FrameServer settings.
+func DefaultListenConfig() ListenConfig {
+	return ListenConfig{
+		Addr:          "127.0.0.1:0",
+		MaxFrameBytes: wire.MaxFrameBytes,
+	}
+}
+
+// Validate applies defaults for zero fields and returns one error per
+// violated constraint, each wrapping core.ErrBadConfig.
+func (c ListenConfig) Validate() []error {
+	c = c.withDefaults()
+	var errs []error
+	if c.Addr == "" {
+		errs = append(errs, fmt.Errorf("%w: listen: empty address", core.ErrBadConfig))
+	}
+	if c.MaxFrameBytes <= 0 {
+		errs = append(errs, fmt.Errorf("%w: listen: max frame bytes %d, need > 0", core.ErrBadConfig, c.MaxFrameBytes))
+	}
+	if c.ReadTimeout < 0 {
+		errs = append(errs, fmt.Errorf("%w: listen: read timeout %v, need >= 0", core.ErrBadConfig, c.ReadTimeout))
+	}
+	return errs
+}
+
+// withDefaults fills zero fields from DefaultListenConfig.
+func (c ListenConfig) withDefaults() ListenConfig {
+	def := DefaultListenConfig()
+	if c.Addr == "" {
+		c.Addr = def.Addr
+	}
+	if c.MaxFrameBytes == 0 {
+		c.MaxFrameBytes = def.MaxFrameBytes
+	}
+	return c
+}
+
+// ServerStats counts a FrameServer's connection and frame traffic.
+type ServerStats struct {
+	ConnsOpened  uint64 // connections accepted
+	ConnsClosed  uint64 // connections fully drained and closed
+	Frames       uint64 // well-formed frames handed to ingest
+	DecodeErrors uint64 // frames rejected by wire.DecodeFrame
+	ReadErrors   uint64 // connections torn down mid-frame
+	LogErrors    uint64 // OnFrame (write-ahead log) failures
+}
+
+// FrameServer accepts agent connections and pumps their frames into a
+// shared Ingest. Each accepted frame passes through an optional OnFrame
+// hook — the write-ahead log append — strictly before its samples reach
+// the pipeline, and hook plus sequence-accounting run under one lock,
+// so the log's frame order is exactly the order ingest observed. Replay
+// the log through a fresh Ingest and the pipeline lands in the same
+// state, byte for byte.
+type FrameServer struct {
+	cfg    ListenConfig
+	ingest *Ingest
+	ln     net.Listener
+
+	// OnFrame, when set, sees every well-formed frame payload before
+	// ingest. An error drops the connection: a server that cannot
+	// persist must not keep consuming, or a crash would strand frames
+	// the agent believes delivered.
+	onFrame func(payload []byte) error
+
+	frameMu sync.Mutex // serializes OnFrame + Accept across connections
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	conns  map[net.Conn]struct{}
+	stats  ServerStats
+	closed bool
+
+	wg sync.WaitGroup
+}
+
+// NewFrameServer starts listening and serving. onFrame may be nil.
+func NewFrameServer(cfg ListenConfig, ing *Ingest, onFrame func(payload []byte) error) (*FrameServer, error) {
+	cfg = cfg.withDefaults()
+	if errs := cfg.Validate(); len(errs) > 0 {
+		return nil, errors.Join(errs...)
+	}
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("serve: listen %s: %w", cfg.Addr, err)
+	}
+	fs := &FrameServer{
+		cfg:     cfg,
+		ingest:  ing,
+		ln:      ln,
+		onFrame: onFrame,
+		conns:   make(map[net.Conn]struct{}),
+	}
+	fs.cond = sync.NewCond(&fs.mu)
+	fs.wg.Add(1)
+	go fs.acceptLoop()
+	return fs, nil
+}
+
+// Addr returns the bound listen address.
+func (fs *FrameServer) Addr() net.Addr { return fs.ln.Addr() }
+
+// Stats returns a snapshot of the traffic counters.
+func (fs *FrameServer) Stats() ServerStats {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.stats
+}
+
+// WaitConns blocks until n connections have opened and fully closed —
+// how a bounded run knows every agent finished its stream.
+func (fs *FrameServer) WaitConns(n uint64) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	for fs.stats.ConnsClosed < n && !fs.closed {
+		fs.cond.Wait()
+	}
+}
+
+// Close stops accepting, tears down live connections, and waits for
+// every connection goroutine to drain its batcher.
+func (fs *FrameServer) Close() error {
+	fs.mu.Lock()
+	if fs.closed {
+		fs.mu.Unlock()
+		return nil
+	}
+	fs.closed = true
+	err := fs.ln.Close()
+	for c := range fs.conns {
+		c.Close()
+	}
+	fs.cond.Broadcast()
+	fs.mu.Unlock()
+	fs.wg.Wait()
+	return err
+}
+
+// acceptLoop admits connections until the listener closes.
+func (fs *FrameServer) acceptLoop() {
+	defer fs.wg.Done()
+	for {
+		conn, err := fs.ln.Accept()
+		if err != nil {
+			return
+		}
+		fs.mu.Lock()
+		if fs.closed {
+			fs.mu.Unlock()
+			conn.Close()
+			return
+		}
+		fs.conns[conn] = struct{}{}
+		fs.stats.ConnsOpened++
+		fs.wg.Add(1)
+		fs.mu.Unlock()
+		go fs.serveConn(conn)
+	}
+}
+
+// serveConn pumps one connection's frames into the shared ingest.
+func (fs *FrameServer) serveConn(conn net.Conn) {
+	defer fs.wg.Done()
+	lane := fs.ingest.Conn()
+	r := bufio.NewReader(conn)
+	var buf []byte
+	for {
+		if fs.cfg.ReadTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(fs.cfg.ReadTimeout))
+		}
+		payload, err := wire.ReadFrame(r, fs.cfg.MaxFrameBytes, buf)
+		if err != nil {
+			fs.connDone(conn, err)
+			break
+		}
+		buf = payload[:0]
+		f, derr := wire.DecodeFrame(payload)
+		if derr != nil {
+			// Framing survived, the payload did not: skip the frame but
+			// keep the stream — the next length prefix is still aligned.
+			fs.count(func(s *ServerStats) { s.DecodeErrors++ })
+			continue
+		}
+		fs.frameMu.Lock()
+		if fs.onFrame != nil {
+			if werr := fs.onFrame(payload); werr != nil {
+				fs.frameMu.Unlock()
+				fs.count(func(s *ServerStats) { s.LogErrors++ })
+				fs.connDone(conn, werr)
+				break
+			}
+		}
+		lane.Accept(&f)
+		fs.frameMu.Unlock()
+		fs.count(func(s *ServerStats) { s.Frames++ })
+	}
+	lane.Close()
+}
+
+// connDone retires a connection: clean EOF is a normal end of stream,
+// anything else counts as a read error.
+func (fs *FrameServer) connDone(conn net.Conn, err error) {
+	conn.Close()
+	fs.mu.Lock()
+	delete(fs.conns, conn)
+	if err != nil && !errors.Is(err, io.EOF) && !fs.closed {
+		fs.stats.ReadErrors++
+	}
+	fs.stats.ConnsClosed++
+	fs.cond.Broadcast()
+	fs.mu.Unlock()
+}
+
+// count applies a stats mutation under the lock.
+func (fs *FrameServer) count(mut func(*ServerStats)) {
+	fs.mu.Lock()
+	mut(&fs.stats)
+	fs.mu.Unlock()
+}

@@ -28,6 +28,7 @@
 package serve
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -234,28 +235,59 @@ func (s SiteStats) MeanPredictLatency() time.Duration {
 	return time.Duration(s.PredictNanos / s.WindowsDecided)
 }
 
-// withDefaults resolves the config against a pipeline window.
-func (c Config) withDefaults() (Config, error) {
-	if c.Window == 0 {
-		c.Window = metrics.DefaultWindow
+// DefaultConfig returns the canonical serving settings: the paper's
+// window, a budget of five missing samples, three clean windows to
+// recover. Callbacks default to nil.
+func DefaultConfig() Config {
+	return Config{
+		Window:          metrics.DefaultWindow,
+		StalenessBudget: 5,
+		RecoverWindows:  3,
 	}
-	if c.Window < 0 {
-		return c, fmt.Errorf("serve: %w: window %d must be positive", core.ErrBadConfig, c.Window)
+}
+
+// normalize fills zero fields from DefaultConfig and applies the
+// documented clamps (negative budgets mean strict, budgets of a full
+// window clamp to Window-1, negative RecoverWindows means 1).
+func (c Config) normalize() Config {
+	def := DefaultConfig()
+	if c.Window == 0 {
+		c.Window = def.Window
 	}
 	switch {
 	case c.StalenessBudget == 0:
-		c.StalenessBudget = 5
+		c.StalenessBudget = def.StalenessBudget
 	case c.StalenessBudget < 0:
 		c.StalenessBudget = 0
 	}
-	if c.StalenessBudget >= c.Window {
+	if c.Window > 0 && c.StalenessBudget >= c.Window {
 		c.StalenessBudget = c.Window - 1
 	}
 	switch {
 	case c.RecoverWindows == 0:
-		c.RecoverWindows = 3
+		c.RecoverWindows = def.RecoverWindows
 	case c.RecoverWindows < 0:
 		c.RecoverWindows = 1
 	}
-	return c, nil
+	return c
+}
+
+// Validate applies defaults and clamps first, then returns one error
+// per remaining violation, each wrapping core.ErrBadConfig. A nil (or
+// empty) result means the configuration is servable as resolved.
+func (c Config) Validate() []error {
+	c = c.normalize()
+	var errs []error
+	if c.Window < 0 {
+		errs = append(errs, fmt.Errorf("serve: %w: window %d must be positive", core.ErrBadConfig, c.Window))
+	}
+	return errs
+}
+
+// withDefaults resolves the config against a pipeline window.
+func (c Config) withDefaults() (Config, error) {
+	if errs := c.Validate(); len(errs) > 0 {
+		return c, errors.Join(errs...)
+	}
+	return c.normalize(), nil
 }

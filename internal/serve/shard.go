@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"sort"
@@ -45,15 +46,8 @@ func DefaultShardConfig() ShardConfig {
 	return ShardConfig{Shards: 8, BatchSize: 64, QueueCapacity: 4096}
 }
 
-// Validate reports whether the configuration (with zero fields resolved
-// to defaults) is usable. It never panics.
-func (c ShardConfig) Validate() error {
-	_, err := c.withDefaults()
-	return err
-}
-
-// withDefaults resolves zero fields and bounds-checks the rest.
-func (c ShardConfig) withDefaults() (ShardConfig, error) {
+// normalize resolves zero fields to DefaultShardConfig.
+func (c ShardConfig) normalize() ShardConfig {
 	d := DefaultShardConfig()
 	if c.Shards == 0 {
 		c.Shards = d.Shards
@@ -64,21 +58,37 @@ func (c ShardConfig) withDefaults() (ShardConfig, error) {
 	if c.QueueCapacity == 0 {
 		c.QueueCapacity = d.QueueCapacity
 	}
+	return c
+}
+
+// Validate applies defaults first, then returns one error per violated
+// constraint, each wrapping core.ErrBadConfig. It never panics.
+func (c ShardConfig) Validate() []error {
+	c = c.normalize()
+	var errs []error
 	if c.Shards < 0 || c.Shards > MaxShards {
-		return c, fmt.Errorf("serve: %w: shards %d outside 1..%d", core.ErrBadConfig, c.Shards, MaxShards)
+		errs = append(errs, fmt.Errorf("serve: %w: shards %d outside 1..%d", core.ErrBadConfig, c.Shards, MaxShards))
 	}
 	if c.BatchSize < 0 {
-		return c, fmt.Errorf("serve: %w: batch size %d must be positive", core.ErrBadConfig, c.BatchSize)
+		errs = append(errs, fmt.Errorf("serve: %w: batch size %d must be positive", core.ErrBadConfig, c.BatchSize))
 	}
 	if c.QueueCapacity < 0 || c.QueueCapacity > MaxQueueCapacity {
-		return c, fmt.Errorf("serve: %w: queue capacity %d outside 1..%d",
-			core.ErrBadConfig, c.QueueCapacity, MaxQueueCapacity)
+		errs = append(errs, fmt.Errorf("serve: %w: queue capacity %d outside 1..%d",
+			core.ErrBadConfig, c.QueueCapacity, MaxQueueCapacity))
 	}
-	if c.QueueCapacity < c.BatchSize {
-		return c, fmt.Errorf("serve: %w: queue capacity %d below batch size %d",
-			core.ErrBadConfig, c.QueueCapacity, c.BatchSize)
+	if c.QueueCapacity >= 0 && c.BatchSize >= 0 && c.QueueCapacity < c.BatchSize {
+		errs = append(errs, fmt.Errorf("serve: %w: queue capacity %d below batch size %d",
+			core.ErrBadConfig, c.QueueCapacity, c.BatchSize))
 	}
-	return c, nil
+	return errs
+}
+
+// withDefaults resolves zero fields and bounds-checks the rest.
+func (c ShardConfig) withDefaults() (ShardConfig, error) {
+	if errs := c.Validate(); len(errs) > 0 {
+		return c, errors.Join(errs...)
+	}
+	return c.normalize(), nil
 }
 
 // SiteShard routes a site name to its shard: FNV-1a over the name, mod

@@ -29,14 +29,16 @@ func FuzzShardConfig(f *testing.F) {
 	f.Add(3, 1<<30, 1<<30)
 	f.Fuzz(func(t *testing.T, shards, batch, queue int) {
 		cfg := serve.ShardConfig{Shards: shards, BatchSize: batch, QueueCapacity: queue}
-		verr := cfg.Validate()
+		verrs := cfg.Validate()
 		sp, perr := serve.NewShardedPipeline(mon, serve.Config{Window: 30}, cfg)
-		if (verr == nil) != (perr == nil) {
-			t.Fatalf("Validate says %v, constructor says %v", verr, perr)
+		if (len(verrs) == 0) != (perr == nil) {
+			t.Fatalf("Validate says %v, constructor says %v", verrs, perr)
 		}
-		if verr != nil {
-			if !errors.Is(verr, core.ErrBadConfig) {
-				t.Fatalf("invalid config rejected with %v, want ErrBadConfig", verr)
+		if len(verrs) > 0 {
+			for _, verr := range verrs {
+				if !errors.Is(verr, core.ErrBadConfig) {
+					t.Fatalf("invalid config rejected with %v, want ErrBadConfig", verr)
+				}
 			}
 			return
 		}
@@ -84,7 +86,7 @@ func FuzzShardQueue(f *testing.F) {
 			BatchSize:     1 + int(batchRaw%128),
 			QueueCapacity: 1 + int(queueRaw%512),
 		}
-		if cfg.Validate() != nil {
+		if len(cfg.Validate()) > 0 {
 			cfg.QueueCapacity = cfg.BatchSize
 		}
 		perProducer := int(nRaw % 2048)

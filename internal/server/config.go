@@ -187,31 +187,35 @@ func DefaultConfig() Config {
 	}
 }
 
-// Validate checks the configuration for obvious mistakes.
-func (c Config) Validate() error {
+// Validate returns one error per violated constraint. The simulator
+// sits at the bottom of the import graph, below the core package, so
+// unlike the higher-layer configs these errors carry no shared
+// sentinel — join them with errors.Join and match on the message.
+func (c Config) Validate() []error {
+	var errs []error
 	for _, tc := range []struct {
 		name string
 		t    TierConfig
 	}{{"app", c.App}, {"db", c.DB}} {
 		if tc.t.MaxWorkers <= 0 {
-			return fmt.Errorf("server: %s tier MaxWorkers must be positive", tc.name)
+			errs = append(errs, fmt.Errorf("server: %s tier MaxWorkers must be positive", tc.name))
 		}
 		if tc.t.Machine.Speed <= 0 || tc.t.Machine.ClockHz <= 0 {
-			return fmt.Errorf("server: %s tier machine speed/clock must be positive", tc.name)
+			errs = append(errs, fmt.Errorf("server: %s tier machine speed/clock must be positive", tc.name))
 		}
 		if tc.t.Machine.BaseIPC <= 0 || tc.t.Machine.InstrPerDemandSec <= 0 {
-			return fmt.Errorf("server: %s tier machine IPC/instruction rate must be positive", tc.name)
+			errs = append(errs, fmt.Errorf("server: %s tier machine IPC/instruction rate must be positive", tc.name))
 		}
 		if tc.t.BaseMissRatio < 0 || tc.t.MaxMissRatio < tc.t.BaseMissRatio || tc.t.MaxMissRatio >= 1 {
-			return fmt.Errorf("server: %s tier miss ratios invalid (base %v, max %v)",
-				tc.name, tc.t.BaseMissRatio, tc.t.MaxMissRatio)
+			errs = append(errs, fmt.Errorf("server: %s tier miss ratios invalid (base %v, max %v)",
+				tc.name, tc.t.BaseMissRatio, tc.t.MaxMissRatio))
 		}
 		if tc.t.ThrashMB <= 0 {
-			return fmt.Errorf("server: %s tier ThrashMB must be positive", tc.name)
+			errs = append(errs, fmt.Errorf("server: %s tier ThrashMB must be positive", tc.name))
 		}
 	}
 	if c.NetworkHop < 0 {
-		return errors.New("server: NetworkHop must be non-negative")
+		errs = append(errs, errors.New("server: NetworkHop must be non-negative"))
 	}
-	return nil
+	return errs
 }

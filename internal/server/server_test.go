@@ -8,8 +8,8 @@ import (
 )
 
 func TestDefaultConfigValid(t *testing.T) {
-	if err := DefaultConfig().Validate(); err != nil {
-		t.Fatalf("DefaultConfig invalid: %v", err)
+	if errs := DefaultConfig().Validate(); len(errs) > 0 {
+		t.Fatalf("DefaultConfig invalid: %v", errs)
 	}
 }
 
@@ -34,7 +34,7 @@ func TestConfigValidateErrors(t *testing.T) {
 		t.Run(tt.name, func(t *testing.T) {
 			cfg := DefaultConfig()
 			tt.mutate(&cfg)
-			if err := cfg.Validate(); err == nil {
+			if errs := cfg.Validate(); len(errs) == 0 {
 				t.Errorf("%s not rejected", tt.name)
 			}
 		})

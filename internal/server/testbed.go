@@ -1,6 +1,7 @@
 package server
 
 import (
+	"errors"
 	"fmt"
 
 	"hpcap/internal/sim"
@@ -59,8 +60,8 @@ type ebRunner struct {
 // NewTestbed builds a testbed for the given configuration and load
 // schedule.
 func NewTestbed(cfg Config, schedule tpcw.Schedule) (*Testbed, error) {
-	if err := cfg.Validate(); err != nil {
-		return nil, err
+	if errs := cfg.Validate(); len(errs) > 0 {
+		return nil, errors.Join(errs...)
 	}
 	if err := schedule.Validate(); err != nil {
 		return nil, err

@@ -1,0 +1,114 @@
+// Package simsite builds simulated monitored websites: a testbed under a
+// rotated burst schedule plus the per-tier collectors that sample it.
+// Both ends of the distributed deployment share it — cmd/capserved
+// simulates its fleet in-process, cmd/capagent runs the same sites at
+// the edge and ships their samples over the wire — so a site generated
+// by either binary from the same (config, index, seed) is byte-identical.
+package simsite
+
+import (
+	"hpcap/internal/cpu"
+	"hpcap/internal/experiment"
+	"hpcap/internal/metrics"
+	"hpcap/internal/osstat"
+	"hpcap/internal/server"
+	"hpcap/internal/tpcw"
+)
+
+// Site is one simulated monitored website.
+type Site struct {
+	Name string
+	TB   *server.Testbed
+	coll [server.NumTiers][]metrics.Collector
+}
+
+// Collect concatenates the site's tier collectors into one sample vector
+// (one collector at the OS or HPC level; both, OS first, at the combined
+// level — matching experiment.Trace vector layout).
+func (s *Site) Collect(tier server.TierID, snap server.Snapshot) []float64 {
+	var v []float64
+	for _, c := range s.coll[tier] {
+		v = append(v, c.Collect(snap, 1)...)
+	}
+	return v
+}
+
+// WrapCollectors replaces every tier collector c with wrap(c) — the
+// hook cmd/capagent uses to harden its sources with chaos-injectable
+// failure (chaos.FlakyCollector) and bounded retry
+// (metrics.NewRetryCollector) without simsite depending on either.
+func (s *Site) WrapCollectors(wrap func(metrics.Collector) metrics.Collector) {
+	for tier := range s.coll {
+		for i, c := range s.coll[tier] {
+			s.coll[tier][i] = wrap(c)
+		}
+	}
+}
+
+// MetricNames returns the metric layout the collectors produce at a
+// level (OS first at the combined level, matching Collect).
+func MetricNames(level metrics.Level) []string {
+	switch level {
+	case metrics.LevelOS:
+		return osstat.MetricNames
+	case metrics.LevelCombined:
+		names := make([]string, 0, len(osstat.MetricNames)+len(cpu.MetricNames))
+		names = append(names, osstat.MetricNames...)
+		return append(names, cpu.MetricNames...)
+	default:
+		return cpu.MetricNames
+	}
+}
+
+// New builds one monitored site. Sites alternate between the browsing
+// and ordering mixes and rotate their burst phase so the fleet does not
+// overload in lockstep; each has its own seed, a pure function of the
+// master seed and the site's index.
+func New(name string, base server.Config, level metrics.Level, index int, wb, wo experiment.Workload, seed int64, duration float64) (*Site, error) {
+	w := wb
+	if index%2 == 1 {
+		w = wo
+	}
+	ebs := func(f float64) int {
+		n := int(float64(w.Knee)*f + 0.5)
+		if n < 1 {
+			n = 1
+		}
+		return n
+	}
+	// One cycle: cruise below the knee, burst past it, recover. Rotating
+	// the cruise length staggers the bursts across the fleet.
+	cruise := 120.0 + 30.0*float64(index%4)
+	cycle := tpcw.Concat(
+		tpcw.Steady(w.Mix, ebs(0.70), cruise),
+		tpcw.Steady(w.Mix, ebs(1.45), 120),
+		tpcw.Steady(w.Mix, ebs(0.55), 60),
+	)
+	sched := cycle
+	for sched.Duration() < duration {
+		sched = tpcw.Concat(sched, cycle)
+	}
+
+	cfg := base
+	cfg.Seed = seed + 1000*int64(index+1)
+	tb, err := server.NewTestbed(cfg, sched)
+	if err != nil {
+		return nil, err
+	}
+	s := &Site{Name: name, TB: tb}
+	machines := [server.NumTiers]server.MachineConfig{cfg.App.Machine, cfg.DB.Machine}
+	memMB := [server.NumTiers]float64{512, 1024}
+	for tier := server.TierID(0); tier < server.NumTiers; tier++ {
+		osColl := osstat.NewCollector(tier, memMB[tier], 0.05, cfg.Seed*10+int64(tier))
+		hpcColl := cpu.NewCollector(tier, machines[tier], 0.02, cfg.Seed*10+int64(tier)+100)
+		switch level {
+		case metrics.LevelOS:
+			s.coll[tier] = []metrics.Collector{osColl}
+		case metrics.LevelHPC:
+			s.coll[tier] = []metrics.Collector{hpcColl}
+		default: // combined: OS first, matching experiment.Trace layout
+			s.coll[tier] = []metrics.Collector{osColl, hpcColl}
+		}
+	}
+	return s, nil
+}

@@ -44,6 +44,22 @@ type Config struct {
 	SkipSelection bool
 }
 
+// DefaultConfig returns the paper's synopsis settings: full attribute
+// selection at featsel's defaults.
+func DefaultConfig() Config {
+	return Config{Selection: featsel.DefaultConfig()}
+}
+
+// Validate applies defaults first, then returns one error per violated
+// constraint — all delegated to the selection config, which is the only
+// part with constraints to violate.
+func (c Config) Validate() []error {
+	if c.SkipSelection {
+		return nil
+	}
+	return c.Selection.Validate()
+}
+
 // Build selects attributes and trains a synopsis on the labeled dataset,
 // whose columns must correspond to the collector vector for (tier, level).
 func Build(workload string, tier server.TierID, level metrics.Level,

@@ -1,0 +1,230 @@
+package wire
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"time"
+)
+
+// SenderStats counts what a Sender did with the frames offered to it.
+type SenderStats struct {
+	Enqueued uint64 // frames accepted into the send queue
+	Sent     uint64 // frames written to the server
+	Retries  uint64 // extra write attempts after a failure
+
+	DroppedFull     uint64 // oldest frames evicted by a full queue
+	DroppedRetry    uint64 // frames abandoned after exhausting retries
+	DroppedClosed   uint64 // frames offered after Close
+	DroppedOversize uint64 // frames exceeding MaxFrameBytes
+
+	Dials         uint64 // connection attempts
+	DialFailures  uint64
+	WriteFailures uint64
+}
+
+// Dropped sums every frame the sender lost rather than delivered.
+func (s SenderStats) Dropped() uint64 {
+	return s.DroppedFull + s.DroppedRetry + s.DroppedClosed + s.DroppedOversize
+}
+
+// Sender is the agent's shipping half: a bounded queue of encoded frames
+// drained by one goroutine that dials the server lazily, writes frames
+// with bounded retry and exponential backoff, and sheds load instead of
+// wedging. A full queue evicts the *oldest* frame — the freshest samples
+// always flow — and a frame that exhausts its write retries is dropped
+// and counted. Both losses surface at the server as sequence gaps, which
+// feed the site's transport staleness and health ladder; a flapping link
+// therefore degrades the site's decisions instead of stalling the
+// sampling loop.
+//
+// Send is safe for concurrent use; a site's frames keep their relative
+// order (the queue is FIFO and a single goroutine drains it).
+type Sender struct {
+	addr string
+	cfg  AgentConfig
+
+	// dial and sleep are the sender's only environment touchpoints,
+	// injectable by tests.
+	dial  func(addr string, timeout time.Duration) (net.Conn, error)
+	sleep func(time.Duration)
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queue    [][]byte
+	closed   bool
+	inflight bool
+	stats    SenderStats
+
+	conn net.Conn // worker-owned; nil when disconnected
+	wg   sync.WaitGroup
+}
+
+// NewSender validates the configuration and starts the drain goroutine.
+// The server is dialed lazily, on the first queued frame.
+func NewSender(addr string, cfg AgentConfig) (*Sender, error) {
+	if errs := cfg.Validate(); len(errs) > 0 {
+		return nil, errors.Join(errs...)
+	}
+	s := &Sender{
+		addr: addr,
+		cfg:  cfg.withDefaults(),
+		dial: func(addr string, timeout time.Duration) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, timeout)
+		},
+		sleep: time.Sleep,
+	}
+	s.cond = sync.NewCond(&s.mu)
+	s.wg.Add(1)
+	go s.drain()
+	return s, nil
+}
+
+// Send encodes and enqueues one frame. It never blocks: a full queue
+// evicts the oldest queued frame (counted DroppedFull), an oversized or
+// post-Close frame is dropped and counted.
+func (s *Sender) Send(f *Frame) {
+	payload := AppendFrame(nil, f)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		s.stats.DroppedClosed++
+		return
+	}
+	if len(payload) > s.cfg.MaxFrameBytes {
+		s.stats.DroppedOversize++
+		return
+	}
+	if len(s.queue) >= s.cfg.QueueFrames {
+		s.queue = s.queue[1:]
+		s.stats.DroppedFull++
+	}
+	s.queue = append(s.queue, payload)
+	s.stats.Enqueued++
+	s.cond.Signal()
+}
+
+// Stats returns a snapshot of the sender's counters.
+func (s *Sender) Stats() SenderStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Flush blocks until every frame queued before the call has been sent or
+// dropped.
+func (s *Sender) Flush() {
+	s.mu.Lock()
+	for len(s.queue) > 0 || s.inflight {
+		s.cond.Wait()
+	}
+	s.mu.Unlock()
+}
+
+// Close drains the queue (each remaining frame still gets its bounded
+// retries), stops the goroutine, and closes the connection. Frames
+// offered afterwards are dropped and counted.
+func (s *Sender) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.closed = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// drain is the sender goroutine: pop the queue head, deliver it with
+// bounded retry, repeat until closed and empty.
+func (s *Sender) drain() {
+	defer s.wg.Done()
+	for {
+		s.mu.Lock()
+		for len(s.queue) == 0 && !s.closed {
+			s.cond.Wait()
+		}
+		if len(s.queue) == 0 && s.closed {
+			s.mu.Unlock()
+			break
+		}
+		payload := s.queue[0]
+		s.queue = s.queue[1:]
+		s.inflight = true
+		s.mu.Unlock()
+
+		sent := s.sendOne(payload)
+
+		s.mu.Lock()
+		s.inflight = false
+		if sent {
+			s.stats.Sent++
+		} else {
+			s.stats.DroppedRetry++
+		}
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	}
+	if s.conn != nil {
+		_ = s.conn.Close()
+		s.conn = nil
+	}
+}
+
+// sendOne delivers one payload with up to 1+MaxRetries attempts. Each
+// attempt dials if disconnected; a failed write tears the connection down
+// so the next attempt redials. Backoff grows exponentially between
+// attempts, capped at BackoffMax.
+func (s *Sender) sendOne(payload []byte) bool {
+	for attempt := 0; attempt <= s.cfg.MaxRetries; attempt++ {
+		if attempt > 0 {
+			s.mu.Lock()
+			s.stats.Retries++
+			s.mu.Unlock()
+			s.sleep(s.backoff(attempt))
+		}
+		if s.conn == nil {
+			s.mu.Lock()
+			s.stats.Dials++
+			s.mu.Unlock()
+			conn, err := s.dial(s.addr, s.cfg.DialTimeout)
+			if err != nil {
+				s.mu.Lock()
+				s.stats.DialFailures++
+				s.mu.Unlock()
+				continue
+			}
+			s.conn = conn
+		}
+		if s.cfg.WriteTimeout > 0 {
+			_ = s.conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+		}
+		if err := WriteFrame(s.conn, payload); err != nil {
+			s.mu.Lock()
+			s.stats.WriteFailures++
+			s.mu.Unlock()
+			_ = s.conn.Close()
+			s.conn = nil
+			continue
+		}
+		return true
+	}
+	return false
+}
+
+// backoff returns the sleep before the attempt-th retry (1-based).
+func (s *Sender) backoff(attempt int) time.Duration {
+	d := s.cfg.BackoffBase
+	for i := 1; i < attempt; i++ {
+		d *= 2
+		if d >= s.cfg.BackoffMax {
+			return s.cfg.BackoffMax
+		}
+	}
+	if d > s.cfg.BackoffMax {
+		d = s.cfg.BackoffMax
+	}
+	return d
+}

@@ -1,0 +1,262 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// pipeConn adapts one end of net.Pipe-like behaviour onto an in-memory
+// buffer: writes land in the script's buffer, and the script can make any
+// write fail to simulate a dead link.
+type scriptConn struct {
+	script *linkScript
+}
+
+// linkScript is the injectable network: it decides whether each dial and
+// each write succeeds, and collects everything successfully written.
+type linkScript struct {
+	mu sync.Mutex
+	// dialFailures makes the next n dials fail.
+	dialFailures int
+	// writeFailures makes the next n writes fail (tearing the conn down).
+	writeFailures int
+	// blockDial, when non-nil, parks successful dials until it is closed —
+	// a deterministic way to hold the drain goroutine mid-frame.
+	blockDial chan struct{}
+	buf       bytes.Buffer
+	sleeps    []time.Duration
+}
+
+func (l *linkScript) dial(addr string, timeout time.Duration) (net.Conn, error) {
+	l.mu.Lock()
+	if l.dialFailures > 0 {
+		l.dialFailures--
+		l.mu.Unlock()
+		return nil, errors.New("script: dial refused")
+	}
+	block := l.blockDial
+	l.mu.Unlock()
+	if block != nil {
+		<-block
+	}
+	return &scriptConn{script: l}, nil
+}
+
+func (l *linkScript) sleep(d time.Duration) {
+	l.mu.Lock()
+	l.sleeps = append(l.sleeps, d)
+	l.mu.Unlock()
+}
+
+func (l *linkScript) frames(t *testing.T, max int) []Frame {
+	t.Helper()
+	l.mu.Lock()
+	data := append([]byte(nil), l.buf.Bytes()...)
+	l.mu.Unlock()
+	r := bufio.NewReader(bytes.NewReader(data))
+	var out []Frame
+	for {
+		payload, err := ReadFrame(r, max, nil)
+		if err == io.EOF {
+			return out
+		}
+		if err != nil {
+			t.Fatalf("script stream corrupt: %v", err)
+		}
+		f, err := DecodeFrame(payload)
+		if err != nil {
+			t.Fatalf("script frame corrupt: %v", err)
+		}
+		out = append(out, f)
+	}
+}
+
+func (c *scriptConn) Write(p []byte) (int, error) {
+	c.script.mu.Lock()
+	defer c.script.mu.Unlock()
+	if c.script.writeFailures > 0 {
+		c.script.writeFailures--
+		return 0, errors.New("script: write reset")
+	}
+	return c.script.buf.Write(p)
+}
+
+func (c *scriptConn) Read(p []byte) (int, error)         { return 0, io.EOF }
+func (c *scriptConn) Close() error                       { return nil }
+func (c *scriptConn) LocalAddr() net.Addr                { return nil }
+func (c *scriptConn) RemoteAddr() net.Addr               { return nil }
+func (c *scriptConn) SetDeadline(t time.Time) error      { return nil }
+func (c *scriptConn) SetReadDeadline(t time.Time) error  { return nil }
+func (c *scriptConn) SetWriteDeadline(t time.Time) error { return nil }
+
+// newScriptedSender builds a sender wired to an in-memory link script.
+func newScriptedSender(t *testing.T, cfg AgentConfig) (*Sender, *linkScript) {
+	t.Helper()
+	s, err := NewSender("script:0", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	script := &linkScript{}
+	// The drain goroutine dials lazily on the first frame, so rewiring
+	// right after construction is race-free as long as nothing was sent.
+	s.dial = script.dial
+	s.sleep = script.sleep
+	return s, script
+}
+
+func TestSenderDeliversInOrder(t *testing.T) {
+	s, script := newScriptedSender(t, AgentConfig{})
+	for seq := uint64(0); seq < 10; seq++ {
+		s.Send(&Frame{Site: "a", Seq: seq})
+	}
+	s.Close()
+	got := script.frames(t, MaxFrameBytes)
+	if len(got) != 10 {
+		t.Fatalf("delivered %d frames, want 10", len(got))
+	}
+	for i, f := range got {
+		if f.Seq != uint64(i) {
+			t.Errorf("frame %d has seq %d: order not preserved", i, f.Seq)
+		}
+	}
+	st := s.Stats()
+	if st.Sent != 10 || st.Dropped() != 0 || st.Dials != 1 {
+		t.Errorf("stats %+v: want 10 sent, 0 dropped, 1 dial", st)
+	}
+}
+
+func TestSenderRetriesThenDelivers(t *testing.T) {
+	s, script := newScriptedSender(t, AgentConfig{MaxRetries: 3})
+	script.dialFailures = 1
+	script.writeFailures = 1
+	s.Send(&Frame{Site: "a", Seq: 0})
+	s.Flush()
+	got := script.frames(t, MaxFrameBytes)
+	if len(got) != 1 || got[0].Seq != 0 {
+		t.Fatalf("frames %+v, want the one frame delivered", got)
+	}
+	st := s.Stats()
+	if st.Sent != 1 || st.Retries != 2 || st.DialFailures != 1 || st.WriteFailures != 1 {
+		t.Errorf("stats %+v: want 1 sent after 1 dial failure + 1 write failure", st)
+	}
+	if len(script.sleeps) != 2 {
+		t.Errorf("%d backoff sleeps, want 2", len(script.sleeps))
+	}
+	s.Close()
+}
+
+func TestSenderDropsAfterRetryBudget(t *testing.T) {
+	s, script := newScriptedSender(t, AgentConfig{MaxRetries: 2})
+	// Link down for exactly the first frame's 1+2 attempts, then back up:
+	// the next frame must still get through — a dead frame must not wedge
+	// the stream.
+	script.dialFailures = 3
+	s.Send(&Frame{Site: "a", Seq: 0})
+	s.Flush()
+	s.Send(&Frame{Site: "a", Seq: 1})
+	s.Close()
+	got := script.frames(t, MaxFrameBytes)
+	if len(got) != 1 || got[0].Seq != 1 {
+		t.Fatalf("frames %+v, want only seq 1 (seq 0 dropped)", got)
+	}
+	st := s.Stats()
+	if st.DroppedRetry != 1 || st.Sent != 1 {
+		t.Errorf("stats %+v: want 1 retry-dropped, 1 sent", st)
+	}
+}
+
+func TestSenderEvictsOldestWhenFull(t *testing.T) {
+	s, script := newScriptedSender(t, AgentConfig{QueueFrames: 4})
+	// Park the drain goroutine inside its first dial so the queue fills
+	// deterministically behind it.
+	release := make(chan struct{})
+	script.mu.Lock()
+	script.blockDial = release
+	script.mu.Unlock()
+	s.Send(&Frame{Site: "a", Seq: 0})
+	for s.Stats().Dials == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	// Frame 0 is in flight; 11 more frames hit a queue of 4, so the 7
+	// oldest queued frames (seqs 1..7) are evicted.
+	for seq := uint64(1); seq <= 11; seq++ {
+		s.Send(&Frame{Site: "a", Seq: seq})
+	}
+	script.mu.Lock()
+	script.blockDial = nil
+	script.mu.Unlock()
+	close(release)
+	s.Close()
+
+	got := script.frames(t, MaxFrameBytes)
+	st := s.Stats()
+	if st.Enqueued != 12 {
+		t.Errorf("enqueued %d, want 12", st.Enqueued)
+	}
+	if st.DroppedFull != 7 || st.Sent != 5 {
+		t.Errorf("stats %+v: want 7 evicted, 5 sent", st)
+	}
+	want := []uint64{0, 8, 9, 10, 11} // in-flight frame plus the newest 4
+	if len(got) != len(want) {
+		t.Fatalf("delivered %d frames, want %d", len(got), len(want))
+	}
+	for i, f := range got {
+		if f.Seq != want[i] {
+			t.Errorf("delivered[%d] = seq %d, want %d", i, f.Seq, want[i])
+		}
+	}
+}
+
+func TestSenderDropsOversizeAndAfterClose(t *testing.T) {
+	s, script := newScriptedSender(t, AgentConfig{MaxFrameBytes: 64})
+	big := Frame{Site: "a", Seq: 0, Samples: []Sample{{Time: 1}}}
+	for len(AppendFrame(nil, &big)) <= 64 {
+		big.Samples = append(big.Samples, Sample{Time: float64(len(big.Samples))})
+	}
+	s.Send(&big)
+	s.Send(&Frame{Site: "a", Seq: 1})
+	s.Close()
+	s.Send(&Frame{Site: "a", Seq: 2})
+	st := s.Stats()
+	if st.DroppedOversize != 1 || st.DroppedClosed != 1 || st.Sent != 1 {
+		t.Errorf("stats %+v: want 1 oversize-dropped, 1 closed-dropped, 1 sent", st)
+	}
+	if got := script.frames(t, MaxFrameBytes); len(got) != 1 || got[0].Seq != 1 {
+		t.Errorf("frames %+v, want only seq 1", got)
+	}
+}
+
+func TestSenderBackoffCaps(t *testing.T) {
+	s, err := NewSender("script:0", AgentConfig{
+		BackoffBase: 100 * time.Millisecond,
+		BackoffMax:  400 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	want := []time.Duration{
+		100 * time.Millisecond, // attempt 1
+		200 * time.Millisecond, // attempt 2
+		400 * time.Millisecond, // attempt 3 hits the cap
+		400 * time.Millisecond, // and stays there
+	}
+	for i, w := range want {
+		if got := s.backoff(i + 1); got != w {
+			t.Errorf("backoff(%d) = %v, want %v", i+1, got, w)
+		}
+	}
+}
+
+func TestNewSenderRejectsBadConfig(t *testing.T) {
+	_, err := NewSender("script:0", AgentConfig{FrameSamples: -1})
+	if err == nil {
+		t.Fatal("invalid config not rejected")
+	}
+}

@@ -1,0 +1,316 @@
+// Package wire is the batched sample protocol between capagent edge
+// collectors and the capserved decision daemon: the paper's premise is
+// *online* measurement, and at production scale the counters are sampled
+// where the hardware lives while the classifier runs wherever the
+// operator can see the fleet. The protocol therefore treats the edge
+// stream as a lossy, noisy channel the server must tolerate (BayesPerf,
+// arXiv:2102.10837, documents exactly this failure mode for deployed
+// counter pipelines): frames are sequenced per site so the receiver can
+// count every gap, duplicate, and reordering instead of silently
+// absorbing them.
+//
+// A Frame carries one site's fused scrapes — for each sampled second,
+// every tier's metric vector under one timestamp — which maps 1:1 onto
+// the sharded pipeline's fused ingest fast path (serve.Batcher.AddSite).
+// On the stream, each frame is a uvarint length prefix followed by the
+// payload AppendFrame produces; payloads are self-contained, so the same
+// bytes double as the WAL record format (internal/wal) and as a capture
+// format replayable through the Lab.
+//
+// Decoding never panics and never invents data: truncated, oversized, or
+// garbage payloads return an error (the fuzz test pins this), and a
+// successfully decoded frame carries its sequence number bit-exactly.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"hpcap/internal/core"
+	"hpcap/internal/server"
+)
+
+// Version is the frame format version byte; decoders reject others.
+const Version = 1
+
+// Protocol bounds. They guard the receiver against garbage length fields:
+// nothing decoded may allocate beyond them.
+const (
+	// MaxSiteLen bounds the site-name field.
+	MaxSiteLen = 256
+	// MaxFrameSamples bounds the fused scrapes in one frame.
+	MaxFrameSamples = 4096
+	// MaxDim bounds one tier's metric-vector length.
+	MaxDim = 4096
+	// MaxFrameBytes is the default bound on one encoded frame, enforced
+	// by ReadFrame and AgentConfig.
+	MaxFrameBytes = 1 << 20
+)
+
+// ErrFrame marks a malformed frame; every decode failure wraps it.
+var ErrFrame = errors.New("malformed frame")
+
+// Sample is one fused site scrape: every tier's 1-second metric vector
+// under a single timestamp — the unit serve.Batcher.AddSite ingests.
+type Sample struct {
+	// Time is the sample timestamp in stream seconds.
+	Time float64
+	// Vecs holds one metric vector per tier, in the full collector
+	// layout the serving monitor was trained on.
+	Vecs [server.NumTiers][]float64
+}
+
+// Frame is one batch of fused scrapes from one site, sequenced so the
+// receiver can account for every lost, duplicated, or reordered delivery.
+type Frame struct {
+	// Site names the monitored site the samples belong to.
+	Site string
+	// Seq is the per-site frame sequence number. Senders number frames
+	// contiguously from 0; the receiver counts gaps (lost frames),
+	// repeats (duplicates), and regressions (reordering) against it.
+	Seq uint64
+	// Samples are the fused scrapes, in stream order.
+	Samples []Sample
+}
+
+// AppendFrame encodes f and appends the payload to dst (no length
+// prefix — WriteFrame adds the stream framing). The layout is:
+//
+//	version  byte
+//	site     uvarint length + bytes
+//	seq      uvarint
+//	count    uvarint
+//	samples  count × { time float64-bits LE8,
+//	                   NumTiers × (dim uvarint + dim × float64-bits LE8) }
+func AppendFrame(dst []byte, f *Frame) []byte {
+	dst = append(dst, Version)
+	dst = binary.AppendUvarint(dst, uint64(len(f.Site)))
+	dst = append(dst, f.Site...)
+	dst = binary.AppendUvarint(dst, f.Seq)
+	dst = binary.AppendUvarint(dst, uint64(len(f.Samples)))
+	for i := range f.Samples {
+		s := &f.Samples[i]
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(s.Time))
+		for tier := range s.Vecs {
+			dst = binary.AppendUvarint(dst, uint64(len(s.Vecs[tier])))
+			for _, v := range s.Vecs[tier] {
+				dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+			}
+		}
+	}
+	return dst
+}
+
+// decoder walks a payload with bounds checking; every read error poisons
+// the decode.
+type decoder struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *decoder) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("wire: %w: %s", ErrFrame, fmt.Sprintf(format, args...))
+	}
+}
+
+func (d *decoder) uvarint(what string, max uint64) uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b[d.off:])
+	if n <= 0 {
+		d.fail("truncated %s", what)
+		return 0
+	}
+	d.off += n
+	if v > max {
+		d.fail("%s %d exceeds %d", what, v, max)
+		return 0
+	}
+	return v
+}
+
+func (d *decoder) float64() float64 {
+	if d.err != nil {
+		return 0
+	}
+	if d.off+8 > len(d.b) {
+		d.fail("truncated float")
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(d.b[d.off:]))
+	d.off += 8
+	return v
+}
+
+// DecodeFrame parses one payload produced by AppendFrame. It never
+// panics; truncated, oversized, or trailing-garbage payloads return an
+// error wrapping ErrFrame, and a nil error guarantees the returned frame
+// (sequence number included) is exactly what the sender encoded.
+func DecodeFrame(payload []byte) (Frame, error) {
+	var f Frame
+	if len(payload) == 0 {
+		return f, fmt.Errorf("wire: %w: empty payload", ErrFrame)
+	}
+	if payload[0] != Version {
+		return f, fmt.Errorf("wire: %w: version %d, want %d", ErrFrame, payload[0], Version)
+	}
+	d := &decoder{b: payload, off: 1}
+	siteLen := d.uvarint("site length", MaxSiteLen)
+	if d.err == nil && d.off+int(siteLen) > len(d.b) {
+		d.fail("truncated site name")
+	}
+	if d.err == nil {
+		f.Site = string(d.b[d.off : d.off+int(siteLen)])
+		d.off += int(siteLen)
+	}
+	f.Seq = d.uvarint("sequence", math.MaxUint64)
+	count := d.uvarint("sample count", MaxFrameSamples)
+	for i := uint64(0); i < count && d.err == nil; i++ {
+		var s Sample
+		s.Time = d.float64()
+		for tier := range s.Vecs {
+			dim := d.uvarint("vector length", MaxDim)
+			if d.err != nil {
+				break
+			}
+			if dim > 0 {
+				vec := make([]float64, dim)
+				for j := range vec {
+					vec[j] = d.float64()
+				}
+				s.Vecs[tier] = vec
+			}
+		}
+		if d.err == nil {
+			f.Samples = append(f.Samples, s)
+		}
+	}
+	if d.err != nil {
+		return Frame{}, d.err
+	}
+	if d.off != len(d.b) {
+		return Frame{}, fmt.Errorf("wire: %w: %d trailing bytes", ErrFrame, len(d.b)-d.off)
+	}
+	return f, nil
+}
+
+// AgentConfig tunes a Sender — the edge agent's half of the protocol.
+// The zero value selects every default (DefaultAgentConfig); Validate
+// reports each invalid field as an ErrBadConfig-wrapped error.
+type AgentConfig struct {
+	// FrameSamples is how many fused scrapes accumulate into one frame
+	// before it is shipped. Larger frames amortize framing and syscalls;
+	// smaller ones cut the server's transport-staleness lag. Zero
+	// selects 5.
+	FrameSamples int
+	// QueueFrames bounds the send queue. A full queue drops the oldest
+	// queued frame (counted) so the freshest samples keep flowing — the
+	// channel is lossy by design; the server's sequence accounting and
+	// health ladder absorb the gap. Zero selects 256.
+	QueueFrames int
+	// MaxFrameBytes bounds one encoded frame. Zero selects MaxFrameBytes.
+	MaxFrameBytes int
+	// MaxRetries bounds write attempts per frame after the first; a frame
+	// failing 1+MaxRetries writes is dropped (counted) and the stream
+	// moves on. Zero selects 3; negative selects 0.
+	MaxRetries int
+	// BackoffBase and BackoffMax shape the reconnect/retry backoff:
+	// attempt n sleeps min(BackoffBase·2ⁿ⁻¹, BackoffMax). Zero selects
+	// 100ms and 5s.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// DialTimeout bounds one connection attempt. Zero selects 3s.
+	DialTimeout time.Duration
+	// WriteTimeout bounds one frame write. Zero selects 5s.
+	WriteTimeout time.Duration
+}
+
+// DefaultAgentConfig returns the defaults Validate and NewSender resolve
+// zero fields to.
+func DefaultAgentConfig() AgentConfig {
+	return AgentConfig{
+		FrameSamples:  5,
+		QueueFrames:   256,
+		MaxFrameBytes: MaxFrameBytes,
+		MaxRetries:    3,
+		BackoffBase:   100 * time.Millisecond,
+		BackoffMax:    5 * time.Second,
+		DialTimeout:   3 * time.Second,
+		WriteTimeout:  5 * time.Second,
+	}
+}
+
+// Validate reports every invalid field (after zero fields resolve to
+// defaults) as an ErrBadConfig-wrapped error. It never panics.
+func (c AgentConfig) Validate() []error {
+	c = c.withDefaults()
+	var errs []error
+	if c.FrameSamples < 1 || c.FrameSamples > MaxFrameSamples {
+		errs = append(errs, fmt.Errorf("wire: %w: frame samples %d outside 1..%d",
+			core.ErrBadConfig, c.FrameSamples, MaxFrameSamples))
+	}
+	if c.QueueFrames < 1 {
+		errs = append(errs, fmt.Errorf("wire: %w: queue frames %d must be positive",
+			core.ErrBadConfig, c.QueueFrames))
+	}
+	if c.MaxFrameBytes < 64 {
+		errs = append(errs, fmt.Errorf("wire: %w: max frame bytes %d below 64",
+			core.ErrBadConfig, c.MaxFrameBytes))
+	}
+	if c.BackoffBase <= 0 {
+		errs = append(errs, fmt.Errorf("wire: %w: backoff base %v must be positive",
+			core.ErrBadConfig, c.BackoffBase))
+	}
+	if c.BackoffMax < c.BackoffBase {
+		errs = append(errs, fmt.Errorf("wire: %w: backoff max %v below base %v",
+			core.ErrBadConfig, c.BackoffMax, c.BackoffBase))
+	}
+	if c.DialTimeout <= 0 {
+		errs = append(errs, fmt.Errorf("wire: %w: dial timeout %v must be positive",
+			core.ErrBadConfig, c.DialTimeout))
+	}
+	if c.WriteTimeout <= 0 {
+		errs = append(errs, fmt.Errorf("wire: %w: write timeout %v must be positive",
+			core.ErrBadConfig, c.WriteTimeout))
+	}
+	return errs
+}
+
+// withDefaults resolves zero fields to DefaultAgentConfig values.
+func (c AgentConfig) withDefaults() AgentConfig {
+	d := DefaultAgentConfig()
+	if c.FrameSamples == 0 {
+		c.FrameSamples = d.FrameSamples
+	}
+	if c.QueueFrames == 0 {
+		c.QueueFrames = d.QueueFrames
+	}
+	if c.MaxFrameBytes == 0 {
+		c.MaxFrameBytes = d.MaxFrameBytes
+	}
+	switch {
+	case c.MaxRetries == 0:
+		c.MaxRetries = d.MaxRetries
+	case c.MaxRetries < 0:
+		c.MaxRetries = 0
+	}
+	if c.BackoffBase == 0 {
+		c.BackoffBase = d.BackoffBase
+	}
+	if c.BackoffMax == 0 {
+		c.BackoffMax = d.BackoffMax
+	}
+	if c.DialTimeout == 0 {
+		c.DialTimeout = d.DialTimeout
+	}
+	if c.WriteTimeout == 0 {
+		c.WriteTimeout = d.WriteTimeout
+	}
+	return c
+}

@@ -1,0 +1,207 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"io"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"hpcap/internal/core"
+	"hpcap/internal/server"
+)
+
+// frameA returns a representative frame with mixed-dimension vectors and
+// awkward float values.
+func frameA() Frame {
+	return Frame{
+		Site: "site-1",
+		Seq:  42,
+		Samples: []Sample{
+			{Time: 0, Vecs: [server.NumTiers][]float64{{1, 2, 3}, {4.5, -6.25}}},
+			{Time: 29.5, Vecs: [server.NumTiers][]float64{{math.Inf(1), math.SmallestNonzeroFloat64}, {0}}},
+		},
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	frames := []Frame{
+		frameA(),
+		{Site: "", Seq: 0},
+		{Site: strings.Repeat("s", MaxSiteLen), Seq: math.MaxUint64},
+		{Site: "empty-vecs", Seq: 7, Samples: []Sample{{Time: 1}}},
+	}
+	for _, in := range frames {
+		payload := AppendFrame(nil, &in)
+		out, err := DecodeFrame(payload)
+		if err != nil {
+			t.Fatalf("decode %q seq %d: %v", in.Site, in.Seq, err)
+		}
+		if !reflect.DeepEqual(in, out) {
+			t.Errorf("round trip mutated frame %q:\n in=%+v\nout=%+v", in.Site, in, out)
+		}
+	}
+}
+
+func TestDecodeFrameRejectsGarbage(t *testing.T) {
+	good := AppendFrame(nil, &Frame{Site: "s", Seq: 3, Samples: []Sample{
+		{Time: 1, Vecs: [server.NumTiers][]float64{{1}, {2}}},
+	}})
+	tests := []struct {
+		name    string
+		payload []byte
+	}{
+		{"empty", nil},
+		{"bad version", append([]byte{Version + 1}, good[1:]...)},
+		{"truncated mid-sample", good[:len(good)-3]},
+		{"trailing garbage", append(append([]byte{}, good...), 0)},
+		{"oversized site length", []byte{Version, 0xff, 0xff, 0x04}},
+		{"oversized sample count", append(append([]byte{Version, 0}, 9), []byte{0xff, 0xff, 0x7f}...)},
+	}
+	for _, tt := range tests {
+		f, err := DecodeFrame(tt.payload)
+		if err == nil {
+			t.Errorf("%s: decoded to %+v, want error", tt.name, f)
+			continue
+		}
+		if !errors.Is(err, ErrFrame) {
+			t.Errorf("%s: error %v does not wrap ErrFrame", tt.name, err)
+		}
+	}
+}
+
+// TestDecodeFramePreservesSeq pins the no-silent-seq-mutation guarantee
+// across the uvarint encoding's width boundaries.
+func TestDecodeFramePreservesSeq(t *testing.T) {
+	for _, seq := range []uint64{0, 1, 127, 128, 1 << 20, 1 << 42, math.MaxUint64} {
+		payload := AppendFrame(nil, &Frame{Site: "s", Seq: seq})
+		f, err := DecodeFrame(payload)
+		if err != nil {
+			t.Fatalf("seq %d: %v", seq, err)
+		}
+		if f.Seq != seq {
+			t.Errorf("seq %d decoded as %d", seq, f.Seq)
+		}
+	}
+}
+
+func TestStreamRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	want := [][]byte{
+		AppendFrame(nil, &Frame{Site: "a", Seq: 0}),
+		AppendFrame(nil, func() *Frame { f := frameA(); return &f }()),
+		{},
+	}
+	for _, p := range want {
+		if err := WriteFrame(&buf, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := bufio.NewReader(&buf)
+	var scratch []byte
+	for i, p := range want {
+		got, err := ReadFrame(r, MaxFrameBytes, scratch)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !bytes.Equal(got, p) {
+			t.Errorf("frame %d: payload mutated", i)
+		}
+		scratch = got
+	}
+	if _, err := ReadFrame(r, MaxFrameBytes, scratch); err != io.EOF {
+		t.Errorf("stream end: got %v, want io.EOF", err)
+	}
+}
+
+// TestReadFrameEOFSemantics pins the clean-boundary contract: io.EOF only
+// between frames, io.ErrUnexpectedEOF anywhere inside one.
+func TestReadFrameEOFSemantics(t *testing.T) {
+	var buf bytes.Buffer
+	payload := AppendFrame(nil, func() *Frame { f := frameA(); return &f }())
+	if err := WriteFrame(&buf, payload); err != nil {
+		t.Fatal(err)
+	}
+	whole := buf.Bytes()
+	for cut := 1; cut < len(whole); cut++ {
+		r := bufio.NewReader(bytes.NewReader(whole[:cut]))
+		_, err := ReadFrame(r, MaxFrameBytes, nil)
+		if !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("cut at %d/%d: got %v, want io.ErrUnexpectedEOF", cut, len(whole), err)
+		}
+	}
+	// A multi-byte length prefix cut after its first byte is mid-frame too.
+	big := make([]byte, 300)
+	var pref bytes.Buffer
+	if err := WriteFrame(&pref, big); err != nil {
+		t.Fatal(err)
+	}
+	r := bufio.NewReader(bytes.NewReader(pref.Bytes()[:1]))
+	if _, err := ReadFrame(r, MaxFrameBytes, nil); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Errorf("mid-prefix cut: got %v, want io.ErrUnexpectedEOF", err)
+	}
+}
+
+func TestReadFrameBoundsLength(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, make([]byte, 100)); err != nil {
+		t.Fatal(err)
+	}
+	r := bufio.NewReader(&buf)
+	if _, err := ReadFrame(r, 64, nil); !errors.Is(err, ErrFrame) {
+		t.Errorf("oversized frame: got %v, want ErrFrame", err)
+	}
+}
+
+func TestDefaultAgentConfigValid(t *testing.T) {
+	if errs := DefaultAgentConfig().Validate(); len(errs) > 0 {
+		t.Fatalf("DefaultAgentConfig invalid: %v", errs)
+	}
+	if errs := (AgentConfig{}).Validate(); len(errs) > 0 {
+		t.Fatalf("zero AgentConfig invalid after defaults: %v", errs)
+	}
+}
+
+func TestAgentConfigValidateErrors(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*AgentConfig)
+	}{
+		{"negative frame samples", func(c *AgentConfig) { c.FrameSamples = -1 }},
+		{"frame samples over cap", func(c *AgentConfig) { c.FrameSamples = MaxFrameSamples + 1 }},
+		{"negative queue", func(c *AgentConfig) { c.QueueFrames = -1 }},
+		{"tiny max frame bytes", func(c *AgentConfig) { c.MaxFrameBytes = 8 }},
+		{"negative backoff base", func(c *AgentConfig) { c.BackoffBase = -time.Second }},
+		{"backoff max below base", func(c *AgentConfig) {
+			c.BackoffBase = time.Second
+			c.BackoffMax = time.Millisecond
+		}},
+		{"negative dial timeout", func(c *AgentConfig) { c.DialTimeout = -1 }},
+		{"negative write timeout", func(c *AgentConfig) { c.WriteTimeout = -1 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := DefaultAgentConfig()
+			tt.mutate(&cfg)
+			errs := cfg.Validate()
+			if len(errs) == 0 {
+				t.Fatalf("%s not rejected", tt.name)
+			}
+			for _, err := range errs {
+				if !errors.Is(err, core.ErrBadConfig) {
+					t.Errorf("error %v does not wrap ErrBadConfig", err)
+				}
+			}
+		})
+	}
+	// MaxRetries is clamp-only: any value validates.
+	neg := DefaultAgentConfig()
+	neg.MaxRetries = -5
+	if errs := neg.Validate(); len(errs) > 0 {
+		t.Errorf("negative MaxRetries should clamp, got %v", errs)
+	}
+}
