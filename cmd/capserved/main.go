@@ -7,7 +7,9 @@
 // set — exposes the pipeline's counters over HTTP as expvar JSON
 // (/debug/vars), Prometheus text (/metrics), a liveness probe (/healthz),
 // a readiness probe with per-site model freshness (/readyz), and the
-// versioned model history (/models).
+// versioned model history (/models). Adding -pprof mounts the Go runtime
+// profiler at /debug/pprof/ on the same mux for live CPU and heap
+// profiling of the decision plane.
 //
 // With -adapt the daemon also runs the adaptive model lifecycle
 // (internal/registry): each decided window is paired with the ground
@@ -65,6 +67,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"sync"
 	"sync/atomic"
@@ -120,6 +123,7 @@ func run(args []string, out io.Writer) error {
 	adapt := fs.Bool("adapt", false, "run the adaptive model lifecycle: pair decisions with delayed truth, retrain on drift, hot-swap winners")
 	chaosSpec := fs.String("chaos", "", `fault schedule to inject into the telemetry stream, e.g. "drop tier=app at=60 for=30 p=0.25; outage at=300 for=30"`)
 	addr := fs.String("addr", "", "HTTP listen address for /metrics, /debug/vars, /healthz, /readyz, /models; empty disables HTTP")
+	pprofOn := fs.Bool("pprof", false, "expose Go runtime profiling at /debug/pprof/ on the -addr mux (requires -addr)")
 	hold := fs.Bool("hold", false, "keep the HTTP endpoint up after the simulated run completes")
 	shards := fs.Int("shards", 0, "ingest shards; 0 serves through the unsharded pipeline")
 	batch := fs.Int("batch", 0, "sharded mode: samples per batch (0 takes the default)")
@@ -138,6 +142,9 @@ func run(args []string, out io.Writer) error {
 	}
 	if *listen == "" && (*walPath != "" || *agents != 0) {
 		return fmt.Errorf("-wal and -agents only apply with -listen")
+	}
+	if *pprofOn && *addr == "" {
+		return fmt.Errorf("-pprof requires -addr")
 	}
 	if *listen != "" {
 		// Network ingest replaces the local fleet: the agents own the
@@ -189,7 +196,7 @@ func run(args []string, out io.Writer) error {
 	// must not route through.
 	state := &daemonState{}
 	if *addr != "" {
-		if err := startHTTP(*addr, state); err != nil {
+		if err := startHTTP(*addr, state, *pprofOn); err != nil {
 			return err
 		}
 		fmt.Fprintf(out, "serving metrics on %s\n", *addr)
@@ -809,9 +816,19 @@ var (
 )
 
 // newMux builds the daemon's HTTP surface over the (still-filling) state.
-func newMux(st *daemonState) *http.ServeMux {
+// withPprof additionally mounts the Go runtime profiler under
+// /debug/pprof/ — opt-in because CPU profiles and heap dumps are not
+// something a fleet daemon should hand out by default.
+func newMux(st *daemonState, withPprof bool) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.Handle("/debug/vars", expvar.Handler())
+	if withPprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		pipe, _, _ := st.snapshot()
 		if pipe == nil {
@@ -849,8 +866,9 @@ func newMux(st *daemonState) *http.ServeMux {
 
 // startHTTP exposes the daemon over HTTP: Prometheus text at /metrics,
 // expvar JSON at /debug/vars, liveness at /healthz, readiness with
-// per-site model freshness at /readyz, and the model history at /models.
-func startHTTP(addr string, st *daemonState) error {
+// per-site model freshness at /readyz, the model history at /models, and
+// (with -pprof) the runtime profiler at /debug/pprof/.
+func startHTTP(addr string, st *daemonState, withPprof bool) error {
 	currentState.Store(st)
 	expvarOnce.Do(func() {
 		expvar.Publish("capserved", expvar.Func(func() any {
@@ -868,6 +886,6 @@ func startHTTP(addr string, st *daemonState) error {
 	if err != nil {
 		return fmt.Errorf("http: %w", err)
 	}
-	go func() { _ = (&http.Server{Handler: newMux(st)}).Serve(ln) }()
+	go func() { _ = (&http.Server{Handler: newMux(st, withPprof)}).Serve(ln) }()
 	return nil
 }

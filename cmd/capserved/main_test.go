@@ -190,7 +190,7 @@ func newTestPipeline(t *testing.T) *serve.Pipeline {
 // produced a decision, distinct from the always-200 liveness probe.
 func TestReadyzLifecycle(t *testing.T) {
 	st := &daemonState{}
-	srv := httptest.NewServer(newMux(st))
+	srv := httptest.NewServer(newMux(st, false))
 	defer srv.Close()
 
 	get := func(path string) (int, string) {
@@ -288,11 +288,42 @@ func TestAdaptiveRun(t *testing.T) {
 }
 
 // TestBadFlags pins the error paths.
+// TestPprofMountOptIn pins that the runtime profiler is served only when
+// asked for: /debug/pprof/ answers on a -pprof mux and 404s otherwise.
+func TestPprofMountOptIn(t *testing.T) {
+	st := &daemonState{}
+	withProf := httptest.NewServer(newMux(st, true))
+	defer withProf.Close()
+	without := httptest.NewServer(newMux(st, false))
+	defer without.Close()
+
+	get := func(base string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(base + "/debug/pprof/")
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(body)
+	}
+	if code, body := get(withProf.URL); code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Errorf("-pprof mux /debug/pprof/: status %d body %q, want 200 with profile index", code, body)
+	}
+	if code, _ := get(without.URL); code != http.StatusNotFound {
+		t.Errorf("default mux /debug/pprof/: status %d, want 404", code)
+	}
+}
+
 func TestBadFlags(t *testing.T) {
 	for _, args := range [][]string{
 		{"-scale", "medium"},
 		{"-level", "gpu"},
 		{"-sites", "0"},
+		{"-pprof"}, // profiling needs the HTTP mux (-addr)
 	} {
 		if err := run(args, io.Discard); err == nil {
 			t.Errorf("run(%v) succeeded, want error", args)

@@ -33,8 +33,13 @@
 //
 // A trained Monitor is immutable shared state; every concurrent prediction
 // stream takes its own MonitorSession via Monitor.NewSession. The
-// Monitor's own Predict/Feedback/ResetHistory remain as single-stream
-// compatibility shims over an internal default session.
+// Monitor's own Predict/Feedback/ResetHistory are deprecated single-stream
+// compatibility shims over an internal default session; all callers have
+// migrated to sessions and the shims will be removed next cycle. For the
+// allocation-free hot path, lower the monitor once with Monitor.Compile
+// and predict through CompiledSession.PredictInto (or decide whole batches
+// with CompiledMonitor.DecideAll) — outputs are bit-identical to the
+// interpreted session path.
 //
 // Failures surface as wrapped sentinel errors — ErrUntrained,
 // ErrDimensionMismatch, ErrBadConfig — so callers branch with errors.Is
@@ -212,6 +217,16 @@ type (
 	// Labeler derives offline overload ground truth from
 	// application-level health.
 	Labeler = pi.Labeler
+	// CompiledMonitor is a trained Monitor lowered into branch-free
+	// scoring tables (Monitor.Compile): same decisions bit-for-bit, zero
+	// allocations per prediction.
+	CompiledMonitor = core.CompiledMonitor
+	// CompiledSession is one prediction stream over a CompiledMonitor;
+	// PredictInto reuses the caller's Prediction and scratch.
+	CompiledSession = core.CompiledSession
+	// DecideBatch is caller-owned scratch for CompiledMonitor.DecideAll,
+	// the batched whole-shard decision pass.
+	DecideBatch = core.DecideBatch
 )
 
 // Tie-break schemes.

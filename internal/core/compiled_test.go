@@ -1,0 +1,274 @@
+package core_test
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"hpcap/internal/core"
+	"hpcap/internal/metrics"
+	"hpcap/internal/ml"
+	"hpcap/internal/ml/bayes"
+	"hpcap/internal/ml/linreg"
+	"hpcap/internal/ml/svm"
+	"hpcap/internal/server"
+)
+
+// compiledLearners are the four synopsis builders the compiled plane must
+// reproduce bit-identically.
+var compiledLearners = []ml.Learner{
+	bayes.NaiveLearner(),
+	bayes.TANLearner(),
+	svm.Learner(),
+	linreg.Learner(),
+}
+
+// trainedMonitors lazily trains one monitor per learner (training is the
+// expensive part; every test and fuzz iteration shares them).
+var trainedMonitors = struct {
+	once sync.Once
+	m    map[string]*core.Monitor
+}{}
+
+func monitorFor(t testing.TB, learner ml.Learner) *core.Monitor {
+	t.Helper()
+	trainedMonitors.once.Do(func() {
+		trainedMonitors.m = make(map[string]*core.Monitor)
+		sets, names := syntheticSets(60, 11)
+		for _, l := range compiledLearners {
+			m, err := core.Train(metrics.LevelHPC, names, sets, core.Config{
+				Learner:  l,
+				Synopsis: core.DefaultSynopsisConfig(11),
+			})
+			if err != nil {
+				panic(err)
+			}
+			trainedMonitors.m[l.Name] = m
+		}
+	})
+	return trainedMonitors.m[learner.Name]
+}
+
+// randomObs draws one observation; values occasionally degenerate to the
+// pathological floats the interpreted path tolerates.
+func randomObs(rng *rand.Rand, dim int) core.Observation {
+	obs := core.Observation{Time: rng.Float64() * 1e4}
+	for tier := server.TierID(0); tier < server.NumTiers; tier++ {
+		v := make([]float64, dim)
+		for k := range v {
+			switch rng.Intn(12) {
+			case 0:
+				v[k] = math.NaN()
+			case 1:
+				v[k] = math.Inf(1 - 2*rng.Intn(2))
+			case 2:
+				v[k] = rng.NormFloat64() * 1e9
+			default:
+				v[k] = rng.NormFloat64()
+			}
+		}
+		obs.Vectors[tier] = v
+	}
+	return obs
+}
+
+func predEqual(a, b core.Prediction) bool {
+	if a.Overload != b.Overload || a.Bottleneck != b.Bottleneck || len(a.GPV) != len(b.GPV) {
+		return false
+	}
+	for i := range a.GPV {
+		if a.GPV[i] != b.GPV[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestCompiledMatchesInterpreted replays random streams — with interleaved
+// feedback and history resets — through an interpreted Session and a
+// CompiledSession over the same monitor, per learner. Every prediction,
+// error outcome, and the shared predictor-table evolution must agree.
+func TestCompiledMatchesInterpreted(t *testing.T) {
+	for _, learner := range compiledLearners {
+		t.Run(learner.Name, func(t *testing.T) {
+			m := monitorFor(t, learner)
+			cm, err := m.Compile()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cm.Source() != m {
+				t.Fatal("Source != source monitor")
+			}
+			rng := rand.New(rand.NewSource(99))
+			is, cs := m.NewSession(), cm.NewSession()
+			var got core.Prediction
+			for step := 0; step < 400; step++ {
+				dim := m.InputDim()
+				if rng.Intn(20) == 0 {
+					dim++ // dimension-mismatch parity
+				}
+				obs := randomObs(rng, dim)
+				want, werr := is.Predict(obs)
+				gerr := cs.PredictInto(obs, &got)
+				if (werr == nil) != (gerr == nil) {
+					t.Fatalf("step %d: interpreted err %v, compiled err %v", step, werr, gerr)
+				}
+				if werr != nil {
+					continue
+				}
+				if !predEqual(want, got) {
+					t.Fatalf("step %d: interpreted %+v, compiled %+v", step, want, got)
+				}
+				switch rng.Intn(6) {
+				case 0:
+					over := rng.Intn(2) == 1
+					bott := server.TierID(rng.Intn(int(server.NumTiers)))
+					// Both sessions share the monitor's tables, so the
+					// double update keeps their views identical while
+					// their history registers advance in lockstep.
+					is.Feedback(over, bott)
+					cs.Feedback(over, bott)
+				case 1:
+					is.ResetHistory()
+					cs.ResetHistory()
+				}
+			}
+		})
+	}
+}
+
+// TestCompileUntrained pins Compile's error on an untrained monitor.
+func TestCompileUntrained(t *testing.T) {
+	if _, err := (&core.Monitor{}).Compile(); !errors.Is(err, core.ErrUntrained) {
+		t.Fatalf("Compile on untrained = %v, want ErrUntrained", err)
+	}
+}
+
+// TestDecideAllMatchesSingle drives the batch path and a per-item
+// reference over identical session pairs, including dimension-mismatch
+// items, asserting predictions and error outcomes coincide.
+func TestDecideAllMatchesSingle(t *testing.T) {
+	m := monitorFor(t, bayes.TANLearner())
+	cm, err := m.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const sites = 37
+	rng := rand.New(rand.NewSource(5))
+	batchSess := make([]*core.CompiledSession, sites)
+	refSess := make([]*core.CompiledSession, sites)
+	for i := range batchSess {
+		batchSess[i] = cm.NewSession()
+		refSess[i] = cm.NewSession()
+	}
+	obs := make([]core.Observation, sites)
+	out := make([]core.Prediction, sites)
+	ref := make([]core.Prediction, sites)
+	var db core.DecideBatch
+	for round := 0; round < 25; round++ {
+		for i := range obs {
+			dim := m.InputDim()
+			if rng.Intn(10) == 0 {
+				dim-- // invalid item inside the batch
+			}
+			obs[i] = randomObs(rng, dim)
+		}
+		cm.DecideAll(&db, batchSess, obs, out)
+		for i := range obs {
+			rerr := refSess[i].PredictInto(obs[i], &ref[i])
+			if (db.Err(i) == nil) != (rerr == nil) {
+				t.Fatalf("round %d item %d: batch err %v, single err %v", round, i, db.Err(i), rerr)
+			}
+			if rerr != nil {
+				continue
+			}
+			if !predEqual(out[i], ref[i]) {
+				t.Fatalf("round %d item %d: batch %+v, single %+v", round, i, out[i], ref[i])
+			}
+		}
+	}
+}
+
+// TestDecideAllGuards pins the batch misuse panics: mismatched slice
+// lengths and sessions from a foreign monitor.
+func TestDecideAllGuards(t *testing.T) {
+	m := monitorFor(t, bayes.NaiveLearner())
+	cm, err := m.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, err := monitorFor(t, bayes.TANLearner()).Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := []core.Observation{{}}
+	out := make([]core.Prediction, 1)
+	var db core.DecideBatch
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("length mismatch", func() {
+		cm.DecideAll(&db, nil, obs, out)
+	})
+	mustPanic("foreign session", func() {
+		cm.DecideAll(&db, []*core.CompiledSession{other.NewSession()}, obs, out)
+	})
+}
+
+// FuzzDecideCompiled is the compiled-vs-reference differential fuzz:
+// random vectors, histories, feedback, and resets through every learner's
+// monitor, with the interpreted Session as the oracle.
+func FuzzDecideCompiled(f *testing.F) {
+	f.Add(int64(1), uint8(0), uint8(12))
+	f.Add(int64(42), uint8(1), uint8(40))
+	f.Add(int64(-7), uint8(2), uint8(25))
+	f.Add(int64(1e9), uint8(3), uint8(60))
+	f.Fuzz(func(t *testing.T, seed int64, which uint8, steps uint8) {
+		learner := compiledLearners[int(which)%len(compiledLearners)]
+		m := monitorFor(t, learner)
+		cm, err := m.Compile()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(seed))
+		is, cs := m.NewSession(), cm.NewSession()
+		var got core.Prediction
+		for step := 0; step < int(steps); step++ {
+			dim := m.InputDim()
+			switch rng.Intn(16) {
+			case 0:
+				dim += 1 + rng.Intn(3)
+			case 1:
+				if dim > 0 {
+					dim--
+				}
+			}
+			obs := randomObs(rng, dim)
+			want, werr := is.Predict(obs)
+			gerr := cs.PredictInto(obs, &got)
+			if (werr == nil) != (gerr == nil) {
+				t.Fatalf("step %d: interpreted err %v, compiled err %v", step, werr, gerr)
+			}
+			if werr == nil && !predEqual(want, got) {
+				t.Fatalf("step %d: interpreted %+v, compiled %+v", step, want, got)
+			}
+			switch rng.Intn(5) {
+			case 0:
+				over := rng.Intn(2) == 1
+				bott := server.TierID(rng.Intn(int(server.NumTiers)))
+				is.Feedback(over, bott)
+				cs.Feedback(over, bott)
+			case 1:
+				is.ResetHistory()
+				cs.ResetHistory()
+			}
+		}
+	})
+}

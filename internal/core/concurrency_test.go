@@ -31,16 +31,16 @@ func trainedMonitor(t *testing.T) (*core.Monitor, []core.LabeledWindow) {
 func TestSessionsMatchSequentialReplay(t *testing.T) {
 	m, windows := trainedMonitor(t)
 
-	m.ResetHistory()
+	seq := m.NewSession()
+	seq.ResetHistory()
 	want := make([]core.Prediction, len(windows))
 	for i, w := range windows {
-		p, err := m.Predict(w.Observation)
+		p, err := seq.Predict(w.Observation)
 		if err != nil {
 			t.Fatal(err)
 		}
 		want[i] = p
 	}
-	m.ResetHistory()
 
 	const goroutines = 16
 	var wg sync.WaitGroup
@@ -131,7 +131,10 @@ func TestCompatAPIUnderConcurrency(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			switch g % 3 {
-			case 0: // compat single-stream callers
+			case 0:
+				// Compat single-stream callers. This is the last remaining
+				// exerciser of the deprecated Monitor shims; delete this leg
+				// when the shims are dropped.
 				for _, w := range windows {
 					if _, err := m.Predict(w.Observation); err != nil {
 						t.Error(err)

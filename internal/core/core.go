@@ -182,11 +182,12 @@ func Train(level metrics.Level, names []string, sets []TrainingSet, cfg Config) 
 		return nil, fmt.Errorf("core: %w: %w", ErrBadConfig, err)
 	}
 	m.coordinator = coord
+	scratch := make([]float64, m.maxAttrs())
 	for pass := 0; pass < passes; pass++ {
 		for _, set := range sets {
 			coord.ResetHistory()
 			for _, w := range set.Windows {
-				gpv := m.gpv(w.Observation)
+				gpv := m.gpv(w.Observation, scratch)
 				if err := coord.Train(gpv, w.Overload, int(w.Bottleneck)); err != nil {
 					return nil, err
 				}
@@ -197,11 +198,24 @@ func Train(level metrics.Level, names []string, sets []TrainingSet, cfg Config) 
 	return m, nil
 }
 
-// gpv runs every synopsis over the observation.
-func (m *Monitor) gpv(obs Observation) []int {
+// maxAttrs is the widest synopsis projection, sizing scratch buffers.
+func (m *Monitor) maxAttrs() int {
+	max := 0
+	for _, syn := range m.Synopses {
+		if len(syn.Attrs) > max {
+			max = len(syn.Attrs)
+		}
+	}
+	return max
+}
+
+// gpv runs every synopsis over the observation, projecting through the
+// caller's scratch buffer (nil is allowed; each synopsis then allocates
+// its own projection).
+func (m *Monitor) gpv(obs Observation, scratch []float64) []int {
 	gpv := make([]int, len(m.Synopses))
 	for i, syn := range m.Synopses {
-		gpv[i] = syn.Predict(obs.Vectors[syn.Tier])
+		gpv[i] = syn.PredictInto(scratch, obs.Vectors[syn.Tier])
 	}
 	return gpv
 }
@@ -219,7 +233,9 @@ func (m *Monitor) Predict(obs Observation) (Prediction, error) {
 	if m.coordinator == nil {
 		return Prediction{}, fmt.Errorf("core: %w", ErrUntrained)
 	}
-	return m.predict(obs, m.coordinator.Predict)
+	// nil scratch: the shim may be called concurrently, so it cannot
+	// share a monitor-level projection buffer.
+	return m.predict(obs, m.coordinator.Predict, nil)
 }
 
 // checkDims validates the observation against the trained metric layout.
@@ -237,12 +253,13 @@ func (m *Monitor) checkDims(obs Observation) error {
 }
 
 // predict folds one observation through the synopses and the given
-// coordinated-predictor entry point.
-func (m *Monitor) predict(obs Observation, coord func([]int) (int, int, error)) (Prediction, error) {
+// coordinated-predictor entry point, projecting attribute vectors through
+// scratch (per-stream, may be nil).
+func (m *Monitor) predict(obs Observation, coord func([]int) (int, int, error), scratch []float64) (Prediction, error) {
 	if err := m.checkDims(obs); err != nil {
 		return Prediction{}, err
 	}
-	gpv := m.gpv(obs)
+	gpv := m.gpv(obs, scratch)
 	over, bott, err := coord(gpv)
 	if err != nil {
 		return Prediction{}, err
@@ -261,13 +278,16 @@ func (m *Monitor) predict(obs Observation, coord func([]int) (int, int, error)) 
 type Session struct {
 	m     *Monitor
 	coord *predictor.Session
+	// scratch is the session-owned projection buffer; synopsis evaluation
+	// reuses it every window so steady-state projection never allocates.
+	scratch []float64
 }
 
 // NewSession returns an independent prediction stream with a cleared
 // history register. Sessions over an untrained monitor are inert: their
 // Predict returns ErrUntrained.
 func (m *Monitor) NewSession() *Session {
-	s := &Session{m: m}
+	s := &Session{m: m, scratch: make([]float64, m.maxAttrs())}
 	if m.coordinator != nil {
 		s.coord = m.coordinator.NewSession()
 	}
@@ -280,7 +300,7 @@ func (s *Session) Predict(obs Observation) (Prediction, error) {
 	if s.coord == nil {
 		return Prediction{}, fmt.Errorf("core: %w", ErrUntrained)
 	}
-	return s.m.predict(obs, s.coord.Predict)
+	return s.m.predict(obs, s.coord.Predict, s.scratch)
 }
 
 // Feedback reinforces the session's last prediction with observed truth;

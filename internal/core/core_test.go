@@ -73,11 +73,12 @@ func TestTrainAndPredictEndToEnd(t *testing.T) {
 	}
 
 	// Replay each training trace; accuracy on seen patterns must be high.
+	sess := m.NewSession()
 	for _, set := range sets {
-		m.ResetHistory()
+		sess.ResetHistory()
 		correct := 0
 		for _, w := range set.Windows {
-			p, err := m.Predict(w.Observation)
+			p, err := sess.Predict(w.Observation)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -132,8 +133,9 @@ func TestMonitorFeedbackAdapts(t *testing.T) {
 	obs.Vectors[0] = []float64{0.9, 0.5}
 	obs.Vectors[1] = []float64{0.25, 0.5}
 
-	m.ResetHistory()
-	p, err := m.Predict(obs)
+	sess := m.NewSession()
+	sess.ResetHistory()
+	p, err := sess.Predict(obs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,12 +143,12 @@ func TestMonitorFeedbackAdapts(t *testing.T) {
 		t.Fatal("uncertain optimistic monitor should start at underload")
 	}
 	for i := 0; i < 70; i++ {
-		if _, err := m.Predict(obs); err != nil {
+		if _, err := sess.Predict(obs); err != nil {
 			t.Fatal(err)
 		}
-		m.Feedback(true, 0)
+		sess.Feedback(true, 0)
 	}
-	p, err = m.Predict(obs)
+	p, err = sess.Predict(obs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -181,18 +183,13 @@ func TestSentinelErrors(t *testing.T) {
 		t.Errorf("empty training sets: got %v, want ErrBadConfig", err)
 	}
 
-	// An untrained (zero-value) monitor and its sessions fail closed.
+	// An untrained (zero-value) monitor's sessions fail closed.
 	var zero core.Monitor
-	if _, err := zero.Predict(core.Observation{}); !errors.Is(err, core.ErrUntrained) {
-		t.Errorf("untrained Predict: got %v, want ErrUntrained", err)
-	}
 	sess := zero.NewSession()
 	if _, err := sess.Predict(core.Observation{}); !errors.Is(err, core.ErrUntrained) {
 		t.Errorf("untrained session Predict: got %v, want ErrUntrained", err)
 	}
-	// The shims and session mutators must be inert, not panic.
-	zero.Feedback(true, 0)
-	zero.ResetHistory()
+	// Session mutators must be inert, not panic.
 	sess.Feedback(true, 0)
 	sess.ResetHistory()
 
@@ -210,10 +207,7 @@ func TestSentinelErrors(t *testing.T) {
 	var obs core.Observation
 	obs.Vectors[0] = []float64{0.5} // trained on two metrics
 	obs.Vectors[1] = []float64{0.5, 0.5}
-	if _, err := m.Predict(obs); !errors.Is(err, core.ErrDimensionMismatch) {
-		t.Errorf("narrow vector: got %v, want ErrDimensionMismatch", err)
-	}
 	if _, err := m.NewSession().Predict(obs); !errors.Is(err, core.ErrDimensionMismatch) {
-		t.Errorf("narrow vector via session: got %v, want ErrDimensionMismatch", err)
+		t.Errorf("narrow vector: got %v, want ErrDimensionMismatch", err)
 	}
 }

@@ -1,0 +1,163 @@
+package bayes
+
+import (
+	"math"
+
+	"hpcap/internal/ml"
+	"hpcap/internal/stats"
+)
+
+// compiledNaive is a trained Gaussian Naive Bayes lowered into flat
+// per-class parameter arrays. The Gaussian likelihood depends on the
+// continuous input, so it cannot be tabled; the win is the contiguous
+// [attr*2+class] layout and the single fused pass updating both class
+// accumulators. Each accumulator still receives exactly the values the
+// interpreted Predict adds, in the same order, so the result is
+// bit-identical.
+type compiledNaive struct {
+	logPrior [2]float64
+	p        int
+	mean     []float64 // [j*2+c]
+	std      []float64 // [j*2+c]
+}
+
+// Compile lowers the trained model; it fails before Fit.
+func (n *Naive) Compile() (ml.Compiled, error) {
+	if n.mean == nil {
+		return nil, ml.ErrNoData
+	}
+	c := &compiledNaive{p: len(n.mean)}
+	c.logPrior[0] = math.Log(n.prior[0])
+	c.logPrior[1] = math.Log(n.prior[1])
+	c.mean = make([]float64, 2*c.p)
+	c.std = make([]float64, 2*c.p)
+	for j := 0; j < c.p; j++ {
+		for cl := 0; cl < 2; cl++ {
+			c.mean[j*2+cl] = n.mean[j][cl]
+			c.std[j*2+cl] = n.std[j][cl]
+		}
+	}
+	return c, nil
+}
+
+func (c *compiledNaive) PredictScratch(x []float64, _ *ml.Scratch) int {
+	lp0, lp1 := c.logPrior[0], c.logPrior[1]
+	for j, v := range x {
+		if j >= c.p {
+			break
+		}
+		pdf0 := stats.GaussianPDF(v, c.mean[j*2], c.std[j*2])
+		if pdf0 < 1e-300 {
+			pdf0 = 1e-300
+		}
+		lp0 += math.Log(pdf0)
+		pdf1 := stats.GaussianPDF(v, c.mean[j*2+1], c.std[j*2+1])
+		if pdf1 < 1e-300 {
+			pdf1 = 1e-300
+		}
+		lp1 += math.Log(pdf1)
+	}
+	if lp1 > lp0 {
+		return 1
+	}
+	return 0
+}
+
+// compiledTAN is a trained TAN lowered into contiguous precomputed
+// log-probability arrays indexed by binned attribute values: one cut-point
+// arena for discretization, one root scoring table folding the class prior
+// into the root CPT, and one flat CPT arena addressed by
+// (parent bin × child bins + child bin) × 2 + class. Precomputing the
+// element-wise logs is bit-identical because the interpreted Predict adds
+// math.Log of exactly these entries in exactly this order.
+type compiledTAN struct {
+	p    int
+	root int
+
+	parent []int32
+	cutOff []int32   // cuts[cutOff[j]:cutOff[j+1]] are attribute j's cuts
+	cuts   []float64 // ascending cut-point arena
+	jbins  []int32   // bins per attribute (len(cuts)+1)
+
+	rootScore []float64 // [bin*2+c] = log prior[c] + log rootCPT[c][bin]
+	cptOff    []int32   // arena offset per attribute (root unused)
+	cpt       []float64 // [(pbin*jb+bin)*2+c] = log cpt[j][c][pbin][bin]
+}
+
+// Compile lowers the trained model; it fails before Fit.
+func (t *TAN) Compile() (ml.Compiled, error) {
+	if t.disc == nil {
+		return nil, ml.ErrNoData
+	}
+	p := len(t.disc)
+	c := &compiledTAN{p: p, root: t.root}
+	c.parent = make([]int32, p)
+	c.cutOff = make([]int32, p+1)
+	c.jbins = make([]int32, p)
+	c.cptOff = make([]int32, p)
+	for j := 0; j < p; j++ {
+		c.parent[j] = int32(t.parent[j])
+		c.cuts = append(c.cuts, t.disc[j].Cuts...)
+		c.cutOff[j+1] = int32(len(c.cuts))
+		c.jbins[j] = int32(t.disc[j].Bins())
+	}
+	logPrior := [2]float64{math.Log(t.prior[0]), math.Log(t.prior[1])}
+	rb := t.disc[t.root].Bins()
+	c.rootScore = make([]float64, 2*rb)
+	for bin := 0; bin < rb; bin++ {
+		// Same first addition as the interpreted path's
+		// log prior + log rootCPT, hoisted to compile time.
+		c.rootScore[bin*2] = logPrior[0] + math.Log(t.rootCPT[0][bin])
+		c.rootScore[bin*2+1] = logPrior[1] + math.Log(t.rootCPT[1][bin])
+	}
+	for j := 0; j < p; j++ {
+		if j == t.root {
+			continue
+		}
+		pb := t.disc[t.parent[j]].Bins()
+		jb := t.disc[j].Bins()
+		c.cptOff[j] = int32(len(c.cpt))
+		for pbin := 0; pbin < pb; pbin++ {
+			for bin := 0; bin < jb; bin++ {
+				c.cpt = append(c.cpt,
+					math.Log(t.cpt[j][0][pbin][bin]),
+					math.Log(t.cpt[j][1][pbin][bin]))
+			}
+		}
+	}
+	return c, nil
+}
+
+func (c *compiledTAN) PredictScratch(x []float64, s *ml.Scratch) int {
+	bins := s.EnsureBins(c.p)
+	for j := 0; j < c.p; j++ {
+		b := 0
+		if j < len(x) {
+			// Counting the cuts ≤ v over the ascending cut arena yields
+			// the same bin as Discretizer.Bin's binary search (both are
+			// "first cut greater than v"), branch-predictably for the
+			// handful of cuts per attribute.
+			v := x[j]
+			for _, cut := range c.cuts[c.cutOff[j]:c.cutOff[j+1]] {
+				if cut <= v {
+					b++
+				}
+			}
+		}
+		bins[j] = b
+	}
+	rb := bins[c.root] * 2
+	lp0, lp1 := c.rootScore[rb], c.rootScore[rb+1]
+	for j := 0; j < c.p; j++ {
+		if j == c.root {
+			continue
+		}
+		e := int(c.cptOff[j]) + (bins[c.parent[j]]*int(c.jbins[j])+bins[j])*2
+		lp0 += c.cpt[e]
+		lp1 += c.cpt[e+1]
+	}
+	if lp1 > lp0 {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,80 @@
+package ml
+
+// Scratch is caller-owned working storage for allocation-free prediction
+// through a Compiled classifier. A trained classifier is shared read-only
+// across every concurrent prediction stream, so the per-call temporaries
+// (projected attribute vector, standardized vector, discretized bins) must
+// live with the caller: give each stream its own Scratch and the compiled
+// predict path never allocates after the first call.
+type Scratch struct {
+	// X is the projected attribute vector (synopsis attribute order).
+	X []float64
+	// Z is the standardized vector for scaler-based learners (SVM, LR).
+	Z []float64
+	// Bins is the discretized vector for the Bayesian learners (TAN).
+	Bins []int
+}
+
+// EnsureX returns s.X resized to n, reallocating only on growth.
+func (s *Scratch) EnsureX(n int) []float64 {
+	if cap(s.X) < n {
+		s.X = make([]float64, n)
+	}
+	s.X = s.X[:n]
+	return s.X
+}
+
+// EnsureZ returns s.Z resized to n, reallocating only on growth.
+func (s *Scratch) EnsureZ(n int) []float64 {
+	if cap(s.Z) < n {
+		s.Z = make([]float64, n)
+	}
+	s.Z = s.Z[:n]
+	return s.Z
+}
+
+// EnsureBins returns s.Bins resized to n, reallocating only on growth.
+func (s *Scratch) EnsureBins(n int) []int {
+	if cap(s.Bins) < n {
+		s.Bins = make([]int, n)
+	}
+	s.Bins = s.Bins[:n]
+	return s.Bins
+}
+
+// Compiled is a trained classifier lowered into a flat evaluation plan:
+// contiguous parameter arrays walked without per-call allocation. A
+// Compiled plan is immutable and safe for concurrent use; callers supply
+// per-stream temporaries through their own Scratch.
+//
+// The contract is bit-exact equivalence: for every input, PredictScratch
+// returns exactly the class the source Classifier's Predict returns. The
+// compilers only precompute values the interpreted path would compute
+// identically (element-wise logs of probability tables, alpha·y kernel
+// coefficients) and never reassociate floating-point accumulations, so
+// byte-identical determinism goldens hold across both paths.
+type Compiled interface {
+	PredictScratch(x []float64, s *Scratch) int
+}
+
+// Compilable is implemented by classifiers that can lower themselves into
+// a Compiled plan. Compile fails on an untrained classifier.
+type Compilable interface {
+	Compile() (Compiled, error)
+}
+
+// compiledFallback wraps a classifier with no compiled form; it predicts
+// through the interpreted path (and inherits its allocations).
+type compiledFallback struct{ clf Classifier }
+
+func (f compiledFallback) PredictScratch(x []float64, _ *Scratch) int {
+	return f.clf.Predict(x)
+}
+
+// CompileFallback adapts any classifier to the Compiled interface by
+// delegating to its interpreted Predict. It exists so synopsis compilation
+// can lower a monitor whose classifiers predate the compiler (or are test
+// doubles) without changing any output.
+func CompileFallback(clf Classifier) Compiled {
+	return compiledFallback{clf: clf}
+}

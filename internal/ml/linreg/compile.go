@@ -1,0 +1,45 @@
+package linreg
+
+import "hpcap/internal/ml"
+
+// compiled is a trained linear model lowered into flat weight and scaler
+// arrays walked in one pass, standardizing into caller scratch instead of
+// allocating per call. The arithmetic (and therefore the score) is exactly
+// the interpreted Score's.
+type compiled struct {
+	mean []float64
+	std  []float64
+	d    int
+	w    []float64 // intercept at index 0
+}
+
+// Compile lowers the trained model; it fails before Fit.
+func (c *Classifier) Compile() (ml.Compiled, error) {
+	if c.weights == nil {
+		return nil, ml.ErrNoData
+	}
+	return &compiled{mean: c.scaler.Mean, std: c.scaler.Std,
+		d: len(c.scaler.Mean), w: c.weights}, nil
+}
+
+func (p *compiled) PredictScratch(x []float64, s *ml.Scratch) int {
+	z := s.EnsureZ(len(x))
+	for j := range z {
+		if j < p.d {
+			z[j] = (x[j] - p.mean[j]) / p.std[j]
+		} else {
+			z[j] = 0
+		}
+	}
+	sum := p.w[0]
+	for j, v := range z {
+		if j+1 >= len(p.w) {
+			break
+		}
+		sum += p.w[j+1] * v
+	}
+	if sum >= 0.5 {
+		return 1
+	}
+	return 0
+}

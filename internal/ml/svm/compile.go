@@ -1,0 +1,70 @@
+package svm
+
+import (
+	"math"
+
+	"hpcap/internal/ml"
+)
+
+// compiled is a trained SVM lowered into a flat dot-product kernel plan: a
+// dense support-vector arena ([i*d+k], one cache-friendly row per SV) and
+// precomputed kernel coefficients alpha·y. Precomputing the coefficient is
+// bit-identical because the interpreted Decision evaluates
+// alpha[i]*y[i]*rbf left-to-right, so alpha[i]*y[i] is the exact multiply
+// being hoisted; the RBF keeps the subtract-square form for the same
+// last-ulp reason Fit's kernel matrix does.
+type compiled struct {
+	mean  []float64
+	std   []float64
+	d     int       // trained dimensionality (= len(mean))
+	sv    []float64 // standardized support vectors, [i*d+k]
+	coef  []float64 // alpha[i]*y[i]
+	b     float64
+	gamma float64
+}
+
+// Compile lowers the trained model; it fails before Fit.
+func (c *Classifier) Compile() (ml.Compiled, error) {
+	if c.scaler == nil {
+		return nil, ml.ErrNoData
+	}
+	p := &compiled{
+		mean:  c.scaler.Mean,
+		std:   c.scaler.Std,
+		d:     len(c.scaler.Mean),
+		b:     c.b,
+		gamma: c.gamma,
+	}
+	p.coef = make([]float64, len(c.alpha))
+	p.sv = make([]float64, len(c.alpha)*p.d)
+	for i := range c.alpha {
+		p.coef[i] = c.alpha[i] * c.y[i]
+		copy(p.sv[i*p.d:(i+1)*p.d], c.x[i])
+	}
+	return p, nil
+}
+
+func (p *compiled) PredictScratch(x []float64, s *ml.Scratch) int {
+	z := s.EnsureZ(len(x))
+	for j := range z {
+		if j < p.d {
+			z[j] = (x[j] - p.mean[j]) / p.std[j]
+		} else {
+			z[j] = 0
+		}
+	}
+	sum := p.b
+	for i, cf := range p.coef {
+		row := p.sv[i*p.d : (i+1)*p.d]
+		var ss float64
+		for k, a := range row {
+			d := a - z[k]
+			ss += d * d
+		}
+		sum += cf * math.Exp(-p.gamma*ss)
+	}
+	if sum >= 0 {
+		return 1
+	}
+	return 0
+}

@@ -21,15 +21,20 @@
 // shared; the h-bit history register is per-prediction-stream state. A
 // Session carries one stream's register, so any number of goroutines may
 // predict concurrently over one trained Predictor, each through its own
-// Session. The Predictor's own Predict/Feedback/ResetHistory methods
-// operate on a mutex-guarded default session, which keeps the historical
-// single-stream API safe (if serialized) under concurrent use.
+// Session. The prediction hot path is lock-free: the tables live in flat
+// fixed-point arrays behind an atomic snapshot pointer, readers load
+// individual counters atomically, and only the writers (Train, Feedback)
+// serialize on a mutex. The Predictor's own Predict/Feedback/ResetHistory
+// methods operate on a mutex-guarded default session, which keeps the
+// historical single-stream API safe (if serialized) under concurrent use.
 package predictor
 
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sync"
+	"sync/atomic"
 )
 
 // Scheme selects the tie-break φ(Hc) inside the [−δ, +δ] uncertainty band.
@@ -65,7 +70,9 @@ type Config struct {
 	Delta int
 	// Scheme is the tie-break; zero selects Optimistic.
 	Scheme Scheme
-	// CounterMax saturates |Hc|; zero selects 64.
+	// CounterMax saturates |Hc|; zero selects 64. The counters are 32-bit
+	// fixed point, so values above 2³¹−1 clamp to 2³¹−1 (saturation keeps
+	// every reachable counter within the clamp regardless).
 	CounterMax int
 }
 
@@ -111,24 +118,52 @@ func (c Config) Validate() []error {
 	return errs
 }
 
+// tables is one immutable-shape snapshot of the predictor's state: the
+// GPT×LHT saturating counters and the BPT bottleneck vectors flattened
+// into single contiguous fixed-point arrays. Readers obtain the snapshot
+// with one atomic pointer load and index it with shifts — no locks, no
+// second pointer chase — while individual cells are read and written with
+// 32-bit atomics so concurrent Feedback never races a prediction. The
+// pointer is swapped only when the table shape would change (it never does
+// today; the indirection is the hot-swap seam).
+type tables struct {
+	// hbits is h; lht[gpv<<hbits | history] = Hc.
+	hbits uint
+	lht   []int32
+	// bpt[gpv*tiers + tier] = bottleneck counter.
+	bpt   []int32
+	tiers int
+
+	// Decision constants, denormalized from Config so λ(Hc) touches one
+	// struct.
+	delta       int32
+	pessimistic bool
+	counterMax  int32
+}
+
 // Predictor is the trained two-level coordinated predictor. The tables are
-// shared by all Sessions; mu guards them (writes come from Train and
-// Feedback only, so prediction traffic runs under read locks).
+// shared by all Sessions through the atomic snapshot; mu serializes the
+// writers (Train and Feedback) only — prediction traffic is lock-free.
 type Predictor struct {
 	cfg   Config
 	m     int // number of synopses
 	tiers int
 
-	mu sync.RWMutex
-	// lht[gpv][history] = Hc.
-	lht [][]int
-	// bpt[gpv][tier] = bottleneck counter.
-	bpt [][]int
+	mu  sync.Mutex
+	tab atomic.Pointer[tables]
 
 	// def is the default session behind the Predictor's own
 	// Predict/Feedback/ResetHistory methods; defMu serializes it.
 	defMu sync.Mutex
 	def   Session
+}
+
+// clamp32 saturates a non-negative config value into the int32 counters.
+func clamp32(v int) int32 {
+	if v > math.MaxInt32 {
+		return math.MaxInt32
+	}
+	return int32(v)
 }
 
 // New builds a predictor for m synopses and the given number of tiers.
@@ -144,14 +179,17 @@ func New(m, tiers int, cfg Config) (*Predictor, error) {
 	}
 	cfg = cfg.withDefaults()
 	gptSize := 1 << m
-	lhtSize := 1 << cfg.HistoryBits
 	p := &Predictor{cfg: cfg, m: m, tiers: tiers}
-	p.lht = make([][]int, gptSize)
-	p.bpt = make([][]int, gptSize)
-	for i := range p.lht {
-		p.lht[i] = make([]int, lhtSize)
-		p.bpt[i] = make([]int, tiers)
+	t := &tables{
+		hbits:       uint(cfg.HistoryBits),
+		tiers:       tiers,
+		delta:       clamp32(cfg.Delta),
+		pessimistic: cfg.Scheme == Pessimistic,
+		counterMax:  clamp32(cfg.CounterMax),
 	}
+	t.lht = make([]int32, gptSize<<t.hbits)
+	t.bpt = make([]int32, gptSize*tiers)
+	p.tab.Store(t)
 	p.def.p = p
 	return p, nil
 }
@@ -196,13 +234,13 @@ func (p *Predictor) gpvIndex(gpv []int) (int, error) {
 }
 
 // lambda applies the decision function λ(Hc).
-func (p *Predictor) lambda(hc int) int {
+func (t *tables) lambda(hc int32) int {
 	switch {
-	case hc > p.cfg.Delta:
+	case hc > t.delta:
 		return 1
-	case hc < -p.cfg.Delta:
+	case hc < -t.delta:
 		return 0
-	case p.cfg.Scheme == Pessimistic:
+	case t.pessimistic:
 		return 1
 	default:
 		return 0
@@ -228,24 +266,33 @@ func (s *Session) ResetHistory() {
 // overload, per the paper); it is -1 otherwise. Predict advances the
 // session's history register with its own output.
 func (s *Session) Predict(gpv []int) (overload int, bottleneck int, err error) {
-	p := s.p
-	idx, err := p.gpvIndex(gpv)
+	idx, err := s.p.gpvIndex(gpv)
 	if err != nil {
 		return 0, -1, err
 	}
-	p.mu.RLock()
-	hc := p.lht[idx][s.history]
-	overload = p.lambda(hc)
+	overload, bottleneck = s.PredictPacked(idx)
+	return overload, bottleneck, nil
+}
+
+// PredictPacked is Predict over a pre-packed GPT index, with the GPV
+// validation hoisted out of the steady-state loop: the caller guarantees
+// idx was packed from m bits (bit i = synopsis i's vote), as Predict and
+// the compiled decision plane do. It is the lock-free fast path — one
+// atomic snapshot load, one shift-indexed counter load, λ(Hc), and only
+// on predicted overload the BPT arg-max scan.
+func (s *Session) PredictPacked(idx int) (overload int, bottleneck int) {
+	t := s.p.tab.Load()
+	hc := atomic.LoadInt32(&t.lht[idx<<t.hbits|s.history])
+	overload = t.lambda(hc)
 	bottleneck = -1
 	if overload == 1 {
-		bottleneck = p.argmaxBottleneck(idx)
+		bottleneck = t.argmaxBottleneck(idx)
 	}
-	p.mu.RUnlock()
 	s.lastGPV = idx
 	s.lastHistory = s.history
 	s.lastValid = true
 	s.shift(overload)
-	return overload, bottleneck, nil
+	return overload, bottleneck
 }
 
 // Feedback reinforces the cells used by the session's most recent Predict
@@ -260,26 +307,38 @@ func (s *Session) Feedback(overload int, bottleneck int) {
 	p := s.p
 	mask := (1 << p.cfg.HistoryBits) - 1
 	s.history = ((s.lastHistory << 1) | (overload & 1)) & mask
+	t := p.tab.Load()
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	hc := &p.lht[s.lastGPV][s.lastHistory]
+	cell := &t.lht[s.lastGPV<<t.hbits|s.lastHistory]
+	hc := atomic.LoadInt32(cell)
 	if overload == 1 {
-		if *hc < p.cfg.CounterMax {
-			*hc++
+		if hc < t.counterMax {
+			atomic.StoreInt32(cell, hc+1)
 		}
 		if bottleneck >= 0 && bottleneck < p.tiers {
-			for t := 0; t < p.tiers; t++ {
-				if t == bottleneck {
-					if p.bpt[s.lastGPV][t] < p.cfg.CounterMax {
-						p.bpt[s.lastGPV][t]++
-					}
-				} else if p.bpt[s.lastGPV][t] > -p.cfg.CounterMax {
-					p.bpt[s.lastGPV][t]--
-				}
-			}
+			t.updateBPT(s.lastGPV, bottleneck)
 		}
-	} else if *hc > -p.cfg.CounterMax {
-		*hc--
+	} else if hc > -t.counterMax {
+		atomic.StoreInt32(cell, hc-1)
+	}
+}
+
+// updateBPT reinforces the true bottleneck tier of one GPV row and decays
+// the others, saturating at ±counterMax. The caller holds the writer mutex;
+// the stores are atomic only so lock-free readers never race them.
+func (t *tables) updateBPT(idx, bottleneck int) {
+	base := idx * t.tiers
+	for tr := 0; tr < t.tiers; tr++ {
+		cell := &t.bpt[base+tr]
+		v := atomic.LoadInt32(cell)
+		if tr == bottleneck {
+			if v < t.counterMax {
+				atomic.StoreInt32(cell, v+1)
+			}
+		} else if v > -t.counterMax {
+			atomic.StoreInt32(cell, v-1)
+		}
 	}
 }
 
@@ -311,32 +370,24 @@ func (p *Predictor) Train(gpv []int, overload int, bottleneck int) error {
 	if overload == 1 && (bottleneck < 0 || bottleneck >= p.tiers) {
 		return fmt.Errorf("predictor: bottleneck tier %d out of range", bottleneck)
 	}
+	t := p.tab.Load()
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	hc := &p.lht[idx][p.def.history]
-	pred := p.lambda(*hc)
+	cell := &t.lht[idx<<t.hbits|p.def.history]
+	hc := atomic.LoadInt32(cell)
+	pred := t.lambda(hc)
 	// Saturating update toward the truth.
 	if overload == 1 {
-		if *hc < p.cfg.CounterMax {
-			*hc++
+		if hc < t.counterMax {
+			atomic.StoreInt32(cell, hc+1)
 		}
-	} else {
-		if *hc > -p.cfg.CounterMax {
-			*hc--
-		}
+	} else if hc > -t.counterMax {
+		atomic.StoreInt32(cell, hc-1)
 	}
 	// Bottleneck vector: reinforce the true bottleneck on overloaded
 	// instances, decay the others.
 	if overload == 1 {
-		for t := 0; t < p.tiers; t++ {
-			if t == bottleneck {
-				if p.bpt[idx][t] < p.cfg.CounterMax {
-					p.bpt[idx][t]++
-				}
-			} else if p.bpt[idx][t] > -p.cfg.CounterMax {
-				p.bpt[idx][t]--
-			}
-		}
+		t.updateBPT(idx, bottleneck)
 	}
 	p.def.shift(pred)
 	return nil
@@ -359,13 +410,14 @@ func (p *Predictor) Feedback(overload int, bottleneck int) {
 	p.def.Feedback(overload, bottleneck)
 }
 
-// argmaxBottleneck returns λb(bK...b1) = arg max over tier counters. The
-// caller must hold mu.
-func (p *Predictor) argmaxBottleneck(idx int) int {
+// argmaxBottleneck returns λb(bK...b1) = arg max over tier counters.
+func (t *tables) argmaxBottleneck(idx int) int {
+	base := idx * t.tiers
 	best := 0
-	for t := 1; t < p.tiers; t++ {
-		if p.bpt[idx][t] > p.bpt[idx][best] {
-			best = t
+	bestV := atomic.LoadInt32(&t.bpt[base])
+	for tr := 1; tr < t.tiers; tr++ {
+		if v := atomic.LoadInt32(&t.bpt[base+tr]); v > bestV {
+			best, bestV = tr, v
 		}
 	}
 	return best
@@ -377,10 +429,9 @@ func (p *Predictor) Counter(gpv []int, history int) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	p.mu.RLock()
-	defer p.mu.RUnlock()
-	if history < 0 || history >= len(p.lht[idx]) {
+	t := p.tab.Load()
+	if history < 0 || history >= 1<<t.hbits {
 		return 0, fmt.Errorf("predictor: history index %d out of range", history)
 	}
-	return p.lht[idx][history], nil
+	return int(atomic.LoadInt32(&t.lht[idx<<t.hbits|history])), nil
 }

@@ -1,6 +1,7 @@
 package predictor
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -182,6 +183,24 @@ func TestCounterSaturates(t *testing.T) {
 		if hc > 8 || hc < -8 {
 			t.Fatalf("Hc = %d exceeds saturation ±8", hc)
 		}
+	}
+}
+
+func TestCounterMaxClampsToInt32(t *testing.T) {
+	// A CounterMax beyond the 32-bit cell range must clamp, not wrap: the
+	// predictor constructs fine and counters keep their sign and magnitude.
+	p := mustNew(t, 1, 1, Config{CounterMax: math.MaxInt, Delta: 1, HistoryBits: 1})
+	for i := 0; i < 50; i++ {
+		if err := p.Train([]int{1}, 1, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hc, err := p.Counter([]int{1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hc <= 0 || hc > 50 {
+		t.Fatalf("Hc = %d after 50 overload updates, want in (0, 50]", hc)
 	}
 }
 

@@ -24,7 +24,13 @@ import (
 // byte-identical to the unsharded pipeline (pinned by the chaos-replay
 // determinism golden and the differential property tests).
 type engine struct {
-	monitor   *core.Monitor
+	// compiled is the base monitor's lowered decision plane; sessions
+	// decide through it (or through a hot-swapped monitor's plane from
+	// cache), byte-identical to the interpreted path the unsharded
+	// Pipeline keeps — which makes every sharded-vs-unsharded
+	// differential test a compiled-vs-interpreted gate.
+	compiled  *core.CompiledMonitor
+	cache     map[*core.Monitor]*core.CompiledMonitor // hot-swap compile cache
 	dim       int
 	window    int
 	staleness int
@@ -33,7 +39,7 @@ type engine struct {
 	idx   map[string]int32 // site name -> dense index
 	recs  []siteRec
 	stats []SiteStats
-	sess  []*core.Session
+	sess  []*core.CompiledSession
 	flags []*siteFlags // pointer-stable: admission valves hold them across slice growth
 	sums  []float64    // window accumulation arena, [site][tier][dim]
 
@@ -41,6 +47,17 @@ type engine struct {
 	// decisions and health events awaiting publication outside all locks.
 	due  []dueWin
 	pubs []pub
+
+	// Decision-path scratch, reused across batches: the single-decision
+	// prediction, and the batched DecideAll's parallel slices (positions
+	// into due, sessions, observations, predictions). All owned by the
+	// shard goroutine, so engine-level reuse is race-free.
+	pred  core.Prediction
+	batch core.DecideBatch
+	bpos  []int
+	bsess []*core.CompiledSession
+	bobs  []core.Observation
+	bout  []core.Prediction
 }
 
 // siteRec is the dense hot state of one site: everything the per-sample
@@ -88,15 +105,37 @@ func nonFinite(v float64) bool {
 	return math.Float64bits(v)&expMask == expMask
 }
 
-func newEngine(m *core.Monitor, cfg Config, dim int) *engine {
+func newEngine(cm *core.CompiledMonitor, cfg Config, dim int) *engine {
 	return &engine{
-		monitor:   m,
+		compiled:  cm,
 		dim:       dim,
 		window:    cfg.Window,
 		staleness: cfg.StalenessBudget,
 		recover:   cfg.RecoverWindows,
 		idx:       make(map[string]int32),
 	}
+}
+
+// swapSession rebinds site i to monitor m's compiled plane, compiling it
+// on first use and caching it so repeated swaps to the same model reuse
+// one plane. Callers hold shard.emu.
+func (e *engine) swapSession(i int32, m *core.Monitor) error {
+	cm := e.compiled
+	if m != e.compiled.Source() {
+		var ok bool
+		if cm, ok = e.cache[m]; !ok {
+			var err error
+			if cm, err = m.Compile(); err != nil {
+				return err
+			}
+			if e.cache == nil {
+				e.cache = make(map[*core.Monitor]*core.CompiledMonitor)
+			}
+			e.cache[m] = cm
+		}
+	}
+	e.sess[i] = cm.NewSession()
+	return nil
 }
 
 // site returns the dense index for a site name, creating the site on
@@ -108,7 +147,7 @@ func (e *engine) site(name string) int32 {
 	i := int32(len(e.recs))
 	e.idx[name] = i
 	e.recs = append(e.recs, siteRec{})
-	e.sess = append(e.sess, e.monitor.NewSession())
+	e.sess = append(e.sess, e.compiled.NewSession())
 	e.flags = append(e.flags, &siteFlags{})
 	e.sums = append(e.sums, make([]float64, int(server.NumTiers)*e.dim)...)
 	var ss SiteStats
@@ -297,16 +336,65 @@ func (e *engine) flushDueFor(i int32) {
 }
 
 // decideAll flushes the batch's remaining due windows in completion
-// order — the batched per-shard decision path. (This is also where a
-// future nanosecond decision path can amortize predictor work across a
-// whole shard's due sites instead of predicting site by site.)
+// order — the batched per-shard decision path. Two or more live entries
+// decide through core.DecideAll's single synopsis-major pass over the
+// compiled tables, amortizing table walks across the whole shard; results
+// are then published in due order, with any site hot-swapped onto a
+// different monitor decided inline at its position. Per-site outputs are
+// identical either way; only the predictor-latency attribution changes
+// (the batch's wall time divided evenly across its decisions).
 func (e *engine) decideAll() {
+	e.bpos = e.bpos[:0]
+	nb := 0
 	for k := range e.due {
-		d := e.due[k]
-		if d.idx < 0 {
-			continue
+		d := &e.due[k]
+		if d.idx >= 0 && e.sess[d.idx].Monitor() == e.compiled {
+			e.bpos = append(e.bpos, nb)
+			nb++
+		} else {
+			e.bpos = append(e.bpos, -1)
 		}
-		e.decide(d.idx, d.vecs, 0, d.seq)
+	}
+	if nb < 2 {
+		for k := range e.due {
+			d := e.due[k]
+			if d.idx >= 0 {
+				e.decide(d.idx, d.vecs, 0, d.seq)
+			}
+		}
+	} else {
+		if cap(e.bsess) < nb {
+			e.bsess = make([]*core.CompiledSession, nb)
+			e.bobs = make([]core.Observation, nb)
+			e.bout = make([]core.Prediction, nb)
+		}
+		bsess, bobs, bout := e.bsess[:nb], e.bobs[:nb], e.bout[:nb]
+		for k, pos := range e.bpos {
+			if pos < 0 {
+				continue
+			}
+			d := &e.due[k]
+			bsess[pos] = e.sess[d.idx]
+			bobs[pos] = assembleObs(&d.vecs)
+		}
+		start := time.Now()
+		e.compiled.DecideAll(&e.batch, bsess, bobs, bout)
+		share := uint64(time.Since(start)) / uint64(nb)
+		for k, pos := range e.bpos {
+			d := e.due[k]
+			if d.idx < 0 {
+				continue
+			}
+			if pos < 0 {
+				e.decide(d.idx, d.vecs, 0, d.seq)
+				continue
+			}
+			e.finishDecide(d.idx, bobs[pos], 0, d.seq, e.batch.Err(pos), &bout[pos], share)
+		}
+		for i := range bobs {
+			bsess[i] = nil
+			bobs[i] = core.Observation{}
+		}
 	}
 	for k := range e.due {
 		e.due[k] = dueWin{}
@@ -390,12 +478,9 @@ func (e *engine) setHealth(i int32, to Health, seq int64) {
 		ev: HealthEvent{Site: ss.Site, From: from, To: to, Seq: seq}})
 }
 
-// decide mirrors Pipeline.decide, queueing the decision for publication.
-// The decision pub is inserted ahead of the health events its own outcome
-// generated, matching the unsharded publication order (decision first,
-// then the transitions it caused).
-func (e *engine) decide(i int32, vecs [server.NumTiers]metrics.Sample, missing int, seq int64) {
-	st, ss := &e.recs[i], &e.stats[i]
+// assembleObs builds one observation from a due window's tier samples:
+// the tier vectors plus the latest tier timestamp.
+func assembleObs(vecs *[server.NumTiers]metrics.Sample) core.Observation {
 	obs := core.Observation{}
 	for tier := server.TierID(0); tier < server.NumTiers; tier++ {
 		obs.Vectors[tier] = vecs[tier].Values
@@ -403,9 +488,28 @@ func (e *engine) decide(i int32, vecs [server.NumTiers]metrics.Sample, missing i
 			obs.Time = vecs[tier].Time
 		}
 	}
+	return obs
+}
+
+// decide mirrors Pipeline.decide for a single site, predicting through
+// the session's compiled plane into the engine's reused prediction
+// scratch.
+func (e *engine) decide(i int32, vecs [server.NumTiers]metrics.Sample, missing int, seq int64) {
+	obs := assembleObs(&vecs)
 	start := time.Now()
-	pred, err := e.sess[i].Predict(obs)
+	err := e.sess[i].PredictInto(obs, &e.pred)
 	lat := uint64(time.Since(start))
+	e.finishDecide(i, obs, missing, seq, err, &e.pred, lat)
+}
+
+// finishDecide is the decision epilog shared by the single and batched
+// paths: latency and health accounting, then queueing the decision for
+// publication. pred is caller scratch — the published Decision gets its
+// own GPV copy. The decision pub is inserted ahead of the health events
+// its own outcome generated, matching the unsharded publication order
+// (decision first, then the transitions it caused).
+func (e *engine) finishDecide(i int32, obs core.Observation, missing int, seq int64, err error, pred *core.Prediction, lat uint64) {
+	st, ss := &e.recs[i], &e.stats[i]
 	ss.PredictNanos += lat
 	if lat > ss.PredictMaxNanos {
 		ss.PredictMaxNanos = lat
@@ -439,10 +543,14 @@ func (e *engine) decide(i int32, vecs [server.NumTiers]metrics.Sample, missing i
 	ss.LastDecisionSeq = seq
 	ss.LastDecisionTime = obs.Time
 	d := &Decision{
-		Site:         ss.Site,
-		Seq:          seq,
-		Time:         obs.Time,
-		Prediction:   pred,
+		Site: ss.Site,
+		Seq:  seq,
+		Time: obs.Time,
+		Prediction: core.Prediction{
+			Overload:   pred.Overload,
+			Bottleneck: pred.Bottleneck,
+			GPV:        append([]int(nil), pred.GPV...),
+		},
 		Degraded:     missing > 0,
 		Missing:      missing,
 		Vectors:      obs.Vectors,

@@ -1,0 +1,108 @@
+package serve
+
+import (
+	"testing"
+
+	"hpcap/internal/core"
+	"hpcap/internal/metrics"
+	"hpcap/internal/ml/bayes"
+	"hpcap/internal/server"
+)
+
+// trainTestMonitor builds a small trained monitor for engine-level tests.
+func trainTestMonitor(t *testing.T, seed int64) *core.Monitor {
+	t.Helper()
+	names := []string{"m_load", "m_noise"}
+	mk := func(workload string, hot server.TierID) core.TrainingSet {
+		set := core.TrainingSet{Workload: workload}
+		for i := 0; i < 48; i++ {
+			overload := 0
+			if (i/8)%2 == 1 {
+				overload = 1
+			}
+			var vecs [server.NumTiers][]float64
+			for tier := server.TierID(0); tier < server.NumTiers; tier++ {
+				load := 0.2 + 0.01*float64((i*7+int(tier)*3+int(seed))%10)
+				if overload == 1 && tier == hot {
+					load += 0.6
+				}
+				vecs[tier] = []float64{load, float64((i + int(tier)) % 5)}
+			}
+			set.Windows = append(set.Windows, core.LabeledWindow{
+				Observation: core.Observation{Time: float64(i * 30), Vectors: vecs},
+				Overload:    overload,
+				Bottleneck:  hot,
+			})
+		}
+		return set
+	}
+	m, err := core.Train(metrics.LevelHPC, names,
+		[]core.TrainingSet{mk("a", 0), mk("b", 1)}, core.Config{
+			Learner:  bayes.NaiveLearner(),
+			Synopsis: core.DefaultSynopsisConfig(seed),
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestSwapSessionCompiledCache pins the hot-swap compile semantics: a swap
+// to a new monitor lowers it exactly once per engine (later swaps to the
+// same model reuse the cached plane), a swap back to the base monitor
+// reuses the engine's own plane, and an uncompilable monitor is rejected
+// without touching the site's session.
+func TestSwapSessionCompiledCache(t *testing.T) {
+	base := trainTestMonitor(t, 1)
+	next := trainTestMonitor(t, 2)
+	cm, err := base.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := newEngine(cm, Config{Window: 3, StalenessBudget: 1, RecoverWindows: 2}, base.InputDim())
+	a, b := e.site("a"), e.site("b")
+
+	tests := []struct {
+		name string
+		site int32
+		to   *core.Monitor
+	}{
+		{"swap a to next", a, next},
+		{"swap b to next reuses cache", b, next},
+		{"swap a back to base", a, base},
+		{"swap a to next again", a, next},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := e.swapSession(tt.site, tt.to); err != nil {
+				t.Fatal(err)
+			}
+			got := e.sess[tt.site].Monitor()
+			if got.Source() != tt.to {
+				t.Fatalf("session source = %p, want %p", got.Source(), tt.to)
+			}
+			if tt.to == base && got != e.compiled {
+				t.Fatal("swap back to base did not reuse the engine's plane")
+			}
+			if tt.to != base {
+				if cached, ok := e.cache[tt.to]; !ok || got != cached {
+					t.Fatal("swapped plane not served from the compile cache")
+				}
+			}
+		})
+	}
+	if len(e.cache) != 1 {
+		t.Fatalf("cache holds %d planes, want 1 (one per swapped monitor)", len(e.cache))
+	}
+
+	// A monitor whose synopses cannot compile is rejected atomically: the
+	// error surfaces and the site keeps its current session.
+	before := e.sess[a]
+	bad := &core.Monitor{Synopses: trainTestMonitor(t, 3).Synopses}
+	if err := e.swapSession(a, bad); err == nil {
+		t.Fatal("uncompilable monitor accepted")
+	}
+	if e.sess[a] != before {
+		t.Fatal("failed swap replaced the session")
+	}
+}

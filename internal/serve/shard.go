@@ -214,6 +214,12 @@ func NewShardedPipeline(m *core.Monitor, cfg Config, scfg ShardConfig) (*Sharded
 	if err != nil {
 		return nil, err
 	}
+	// Lower the monitor once; every shard's engine decides through the
+	// same compiled plane (immutable, safe to share).
+	cm, err := m.Compile()
+	if err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
 	sp := &ShardedPipeline{
 		monitor: m,
 		cfg:     cfg,
@@ -231,7 +237,7 @@ func NewShardedPipeline(m *core.Monitor, cfg Config, scfg ShardConfig) (*Sharded
 			pending: make([]qsample, 0, scfg.BatchSize),
 			ch:      make(chan []qsample, chanCap),
 			free:    make(chan []qsample, chanCap+2),
-			eng:     newEngine(m, cfg, sp.dim),
+			eng:     newEngine(cm, cfg, sp.dim),
 		}
 		sh.syncCond = sync.NewCond(&sh.syncMu)
 		sp.shards[i] = sh
@@ -573,7 +579,10 @@ func (sp *ShardedPipeline) SwapMonitor(siteName string, m *core.Monitor, version
 	sh.emu.Lock()
 	eng := sh.eng
 	i := eng.site(siteName)
-	eng.sess[i] = m.NewSession()
+	if err := eng.swapSession(i, m); err != nil {
+		sh.emu.Unlock()
+		return SwapEvent{}, fmt.Errorf("serve: swap %s: %w", siteName, err)
+	}
 	ss := &eng.stats[i]
 	ev := SwapEvent{
 		Site:        siteName,

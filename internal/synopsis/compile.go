@@ -1,0 +1,59 @@
+package synopsis
+
+import (
+	"fmt"
+
+	"hpcap/internal/ml"
+	"hpcap/internal/server"
+)
+
+// Compiled is a synopsis lowered for the steady-state decision path: the
+// attribute projection plus the classifier's flat evaluation plan, with
+// every per-call temporary supplied by the caller's ml.Scratch. A Compiled
+// synopsis is immutable and shared across prediction streams; its Predict
+// returns bit-identically what Synopsis.Predict returns.
+type Compiled struct {
+	// Tier mirrors Synopsis.Tier so decision loops can route the right
+	// metric vector without touching the source synopsis.
+	Tier server.TierID
+	// Attrs indexes the selected attributes in the collector layout.
+	Attrs []int
+
+	clf ml.Compiled
+}
+
+// Compile lowers the trained synopsis. Classifiers without a compiled form
+// (ml.Compilable) fall back to their interpreted Predict behind the same
+// interface, so compilation never changes an output — it only removes
+// per-call allocation where the learner supports it.
+func (s *Synopsis) Compile() (*Compiled, error) {
+	if s.classifier == nil {
+		return nil, fmt.Errorf("synopsis: compile %s: no trained classifier", s.Key())
+	}
+	c := &Compiled{Tier: s.Tier, Attrs: s.Attrs}
+	if cc, ok := s.classifier.(ml.Compilable); ok {
+		lowered, err := cc.Compile()
+		if err != nil {
+			return nil, fmt.Errorf("synopsis: compile %s: %w", s.Key(), err)
+		}
+		c.clf = lowered
+	} else {
+		c.clf = ml.CompileFallback(s.classifier)
+	}
+	return c, nil
+}
+
+// Predict maps a full metric vector to the predicted system state through
+// the compiled plan, using scr for every temporary. Concurrent callers
+// must hold distinct scratches.
+func (c *Compiled) Predict(values []float64, scr *ml.Scratch) int {
+	x := scr.EnsureX(len(c.Attrs))
+	for i, a := range c.Attrs {
+		if a < len(values) {
+			x[i] = values[a]
+		} else {
+			x[i] = 0
+		}
+	}
+	return c.clf.PredictScratch(x, scr)
+}

@@ -120,13 +120,26 @@ func selFolds(cfg featsel.Config) int {
 // to the predicted system state, projecting to the synopsis's selected
 // attributes internally.
 func (s *Synopsis) Predict(values []float64) int {
-	x := make([]float64, len(s.Attrs))
+	return s.PredictInto(nil, values)
+}
+
+// PredictInto is Predict projecting through dst, a caller-owned scratch
+// buffer reused across calls (grown — or allocated, when nil — only when
+// its capacity is short of len(Attrs)). Hot decision loops hold one buffer
+// per prediction stream so steady-state projection never allocates.
+func (s *Synopsis) PredictInto(dst []float64, values []float64) int {
+	if cap(dst) < len(s.Attrs) {
+		dst = make([]float64, len(s.Attrs))
+	}
+	dst = dst[:len(s.Attrs)]
 	for i, a := range s.Attrs {
 		if a < len(values) {
-			x[i] = values[a]
+			dst[i] = values[a]
+		} else {
+			dst[i] = 0
 		}
 	}
-	return s.classifier.Predict(x)
+	return s.classifier.Predict(dst)
 }
 
 // Key identifies the synopsis in reports, e.g. "browsing/db/HPC/TAN".

@@ -1,6 +1,7 @@
 #!/usr/bin/env sh
-# bench_train.sh — run the training-hot-path microbenchmarks and emit a
-# machine-readable BENCH_train.json (ns/op, B/op, allocs/op per benchmark).
+# bench_train.sh — run the training-hot-path and decision-plane
+# microbenchmarks and emit a machine-readable BENCH_train.json
+# (ns/op, B/op, allocs/op per benchmark).
 #
 # Usage:
 #   scripts/bench_train.sh [out.json]       # default out: BENCH_train.json
@@ -12,9 +13,9 @@ tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
 go test -run '^$' \
-    -bench '^(BenchmarkSVMFit|BenchmarkTANFit|BenchmarkNaiveFit|BenchmarkFeatselSelect|BenchmarkFeatselRank|BenchmarkPipelineIngest)$' \
+    -bench '^(BenchmarkSVMFit|BenchmarkTANFit|BenchmarkNaiveFit|BenchmarkFeatselSelect|BenchmarkFeatselRank|BenchmarkPipelineIngest|BenchmarkDecide|BenchmarkDecideInterpreted|BenchmarkDecideBatch)$' \
     -benchmem -benchtime "${BENCHTIME:-2s}" -count 1 \
-    ./internal/ml/svm ./internal/ml/bayes ./internal/featsel ./internal/serve \
+    ./internal/ml/svm ./internal/ml/bayes ./internal/featsel ./internal/serve ./internal/core \
     | tee "$tmp"
 
 awk '
