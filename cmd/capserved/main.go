@@ -26,6 +26,7 @@
 //	capserved -level os                             # monitor on OS metrics instead of counters
 //	capserved -adapt                                # retrain and hot-swap on drift
 //	capserved -chaos "outage tier=db at=120 for=30" # inject telemetry faults
+//	capserved -fuse -chaos "nan tier=app at=60 for=30 p=0.3" # de-noise the faulted stream
 //	capserved -shards 8 -sites 1000                 # sharded fleet-scale ingest
 //	capserved -listen :9106 -wal frames.wal         # network ingest from capagent, durable replay
 //
@@ -36,6 +37,14 @@
 // and -queue size each shard's batches and queue (0 takes the defaults).
 // The decision stream per site is byte-identical to the unsharded
 // pipeline's; only the interleaving across sites may differ.
+//
+// With -fuse every ingested sample passes through the Bayesian
+// counter-fusion stage (internal/fuse) before aggregation: NaN and stuck
+// readings are imputed from the factor graph over physically coupled
+// counters instead of dropping the sample, implausible jumps are gated,
+// and each decision carries a confidence that /readyz and /metrics
+// surface per site. Low-confidence windows feed the degradation ladder
+// and are guarded out of the -adapt lifecycle like degraded ones.
 //
 // With -chaos the sample stream passes through a deterministic fault
 // injector (internal/chaos) before ingestion: the flag takes a fault
@@ -76,6 +85,7 @@ import (
 	"hpcap/internal/chaos"
 	"hpcap/internal/core"
 	"hpcap/internal/experiment"
+	"hpcap/internal/fuse"
 	"hpcap/internal/metrics"
 	"hpcap/internal/ml/bayes"
 	"hpcap/internal/pi"
@@ -122,6 +132,7 @@ func run(args []string, out io.Writer) error {
 	admission := fs.Int("admission", 0, "admission valve worker bound under overload; 0 leaves sites uncontrolled")
 	adapt := fs.Bool("adapt", false, "run the adaptive model lifecycle: pair decisions with delayed truth, retrain on drift, hot-swap winners")
 	chaosSpec := fs.String("chaos", "", `fault schedule to inject into the telemetry stream, e.g. "drop tier=app at=60 for=30 p=0.25; outage at=300 for=30"`)
+	fuseOn := fs.Bool("fuse", false, "de-noise ingested samples through the Bayesian counter-fusion stage before aggregation")
 	addr := fs.String("addr", "", "HTTP listen address for /metrics, /debug/vars, /healthz, /readyz, /models; empty disables HTTP")
 	pprofOn := fs.Bool("pprof", false, "expose Go runtime profiling at /debug/pprof/ on the -addr mux (requires -addr)")
 	hold := fs.Bool("hold", false, "keep the HTTP endpoint up after the simulated run completes")
@@ -239,6 +250,9 @@ func run(args []string, out io.Writer) error {
 			if d.Degraded {
 				flag = fmt.Sprintf(" degraded(missing %d)", d.Missing)
 			}
+			if d.LowConfidence {
+				flag += fmt.Sprintf(" low-confidence(%.2f)", d.Confidence)
+			}
 			outMu.Lock()
 			fmt.Fprintf(out, "t=%6.0f %-8s overload=%-5t bottleneck=%-3s gpv=%v%s\n",
 				d.Time, d.Site, d.Prediction.Overload, bott, d.Prediction.GPV, flag)
@@ -268,6 +282,10 @@ func run(args []string, out io.Writer) error {
 			outMu.Unlock()
 		},
 	}
+	if *fuseOn {
+		fc := fuse.DefaultConfig()
+		serveCfg.Fuse = &fc
+	}
 	// Sharded mode adds a per-second barrier (Sync) so the lockstep
 	// simulation observes the same decision cadence as the synchronous
 	// pipeline, and a shutdown that stops the shard goroutines.
@@ -294,7 +312,7 @@ func run(args []string, out io.Writer) error {
 		}
 		pipe = p
 	}
-	state.setPipeline(pipe)
+	state.setPipeline(pipe, *fuseOn)
 
 	if *listen != "" {
 		return serveNetwork(out, state, sharded, *listen, *walPath, *agents)
@@ -396,6 +414,11 @@ func run(args []string, out io.Writer) error {
 			st.Site, st.WindowsDecided, st.WindowsDegraded, st.WindowsDropped,
 			st.Overloads, st.DisagreementRate()*100, st.MeanPredictLatency(),
 			st.Health, st.HealthChanges())
+		if *fuseOn {
+			fmt.Fprintf(out, "%-8s fusion fused=%d imputed=%d gated=%d lowconf=%d confidence=%.3f\n",
+				st.Site, st.SamplesFused, st.FuseImputed, st.FuseGated,
+				st.WindowsLowConfidence, st.FuseConfidence)
+		}
 	}
 	if sharded != nil {
 		tot := sharded.Totals()
@@ -614,12 +637,20 @@ type daemonState struct {
 	mgr    *registry.Manager
 	sites  []string
 	ingest *serve.Ingest
+	fusing bool
 }
 
-func (s *daemonState) setPipeline(p servingPipeline) {
+func (s *daemonState) setPipeline(p servingPipeline, fusing bool) {
 	s.mu.Lock()
 	s.pipe = p
+	s.fusing = fusing
 	s.mu.Unlock()
+}
+
+func (s *daemonState) isFusing() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.fusing
 }
 
 func (s *daemonState) setManager(m *registry.Manager) {
@@ -676,6 +707,20 @@ type siteReadiness struct {
 	// wedged) or transport-stale yet deciding (link down, windows
 	// coasting) — the two page different people.
 	Transport *transportReadiness `json:"transport,omitempty"`
+	// Fusion is present only under -fuse: the counter-fusion view of the
+	// site's telemetry quality. Confidence is the mean fusion confidence
+	// of the most recent decided window; LowConfidenceWindows counts the
+	// windows decided mostly from imputed values.
+	Fusion *fusionReadiness `json:"fusion,omitempty"`
+}
+
+// fusionReadiness is the counter-fusion half of a site's /readyz entry.
+type fusionReadiness struct {
+	Confidence           float64 `json:"confidence"`
+	SamplesFused         uint64  `json:"samples_fused"`
+	Imputed              uint64  `json:"imputed"`
+	Gated                uint64  `json:"gated"`
+	LowConfidenceWindows uint64  `json:"low_confidence_windows"`
 }
 
 // transportReadiness is the frame-level half of a site's /readyz entry.
@@ -758,6 +803,15 @@ func (s *daemonState) readiness() readinessReport {
 		} else {
 			rep.Ready = false
 			rep.Reason = "site awaiting first decision"
+		}
+		if s.isFusing() {
+			sr.Fusion = &fusionReadiness{
+				Confidence:           st.FuseConfidence,
+				SamplesFused:         st.SamplesFused,
+				Imputed:              st.FuseImputed,
+				Gated:                st.FuseGated,
+				LowConfidenceWindows: st.WindowsLowConfidence,
+			}
 		}
 		if tr, ok := transports[name]; ok {
 			sr.Transport = &transportReadiness{

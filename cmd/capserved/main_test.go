@@ -220,7 +220,7 @@ func TestReadyzLifecycle(t *testing.T) {
 
 	// Pipeline up, fleet named, but no site has decided a window yet.
 	pipe := newTestPipeline(t)
-	st.setPipeline(pipe)
+	st.setPipeline(pipe, false)
 	st.setSites([]string{"site-1"})
 	code, body = get("/readyz")
 	if code != http.StatusServiceUnavailable || !strings.Contains(body, "awaiting first decision") {
@@ -283,6 +283,66 @@ func TestAdaptiveRun(t *testing.T) {
 		}
 		if !strings.Contains(string(body), want) {
 			t.Errorf("GET %s: missing %q in:\n%s", path, want, body)
+		}
+	}
+}
+
+// TestFuseRun drives -fuse end to end under a NaN fault storm: the fusion
+// stage must actually process samples (visible in the per-site fusion
+// summary line), the fuse metric families must appear on /metrics, and
+// /readyz must carry each site's fusion confidence.
+func TestFuseRun(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("free port: %v", err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	var out strings.Builder
+	if err := run([]string{
+		"-scale", "quick", "-sites", "2", "-duration", "180", "-fuse", "-addr", addr,
+		"-chaos", "nan tier=app at=60 for=30 p=0.5",
+	}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "fusion fused=") {
+		t.Errorf("output missing the fusion summary line in:\n%s", got)
+	}
+	for _, line := range strings.Split(got, "\n") {
+		if !strings.Contains(line, "fusion fused=") {
+			continue
+		}
+		var fused, imputed, gated, lowconf uint64
+		var conf float64
+		var site string
+		if _, err := fmt.Sscanf(line, "%s fusion fused=%d imputed=%d gated=%d lowconf=%d confidence=%f",
+			&site, &fused, &imputed, &gated, &lowconf, &conf); err != nil {
+			t.Fatalf("unparsable fusion summary %q: %v", line, err)
+		}
+		if fused == 0 || imputed == 0 {
+			t.Errorf("fusion saw no faulted samples: %s", line)
+		}
+	}
+
+	for path, wants := range map[string][]string{
+		"/metrics": {"capserved_fuse_samples_total", "capserved_fuse_imputed_total", "capserved_fuse_confidence"},
+		"/readyz":  {`"fusion"`, `"confidence"`},
+	} {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatalf("read %s: %v", path, err)
+		}
+		for _, want := range wants {
+			if !strings.Contains(string(body), want) {
+				t.Errorf("GET %s: missing %q in:\n%s", path, want, body)
+			}
 		}
 	}
 }

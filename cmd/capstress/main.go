@@ -10,6 +10,7 @@
 //	capstress -ebs 300 -chaos "nan tier=app at=120 for=60 p=0.2"
 //	capstress -sites 100000 -seconds 40              # fleet-scale ingest, unsharded
 //	capstress -sites 100000 -seconds 40 -shards 8    # sharded fleet-scale ingest
+//	capstress -sites 100000 -seconds 40 -shards 8 -fuse  # with counter fusion on
 //
 // With -sites N (N > 0) capstress switches to the fleet-scale ingest leg:
 // it trains a quick HPC monitor, records one minute of per-tier counter
@@ -47,6 +48,7 @@ import (
 	"hpcap/internal/chaos"
 	"hpcap/internal/cpu"
 	"hpcap/internal/experiment"
+	"hpcap/internal/fuse"
 	"hpcap/internal/metrics"
 	"hpcap/internal/pi"
 	"hpcap/internal/predictor"
@@ -78,6 +80,7 @@ func run(args []string) error {
 	batch := fs.Int("batch", 0, "fleet-scale leg: samples per shard batch (0 takes the default)")
 	queue := fs.Int("queue", 0, "fleet-scale leg: per-shard queue capacity (0 takes the default)")
 	leg := fs.String("leg", "", "fleet-scale leg: row-name override; defaults to unsharded/sharded by -shards")
+	fuseOn := fs.Bool("fuse", false, "fleet-scale leg: run every sample through the counter-fusion stage")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -91,10 +94,11 @@ func run(args []string) error {
 			window:  *window,
 			seed:    *seed,
 			leg:     *leg,
+			fuse:    *fuseOn,
 		}, os.Stdout, os.Stderr)
 	}
-	if *shards != 0 || *batch != 0 || *queue != 0 || *leg != "" {
-		return fmt.Errorf("-shards, -batch, -queue, and -leg only apply to the fleet-scale leg (-sites > 0)")
+	if *shards != 0 || *batch != 0 || *queue != 0 || *leg != "" || *fuseOn {
+		return fmt.Errorf("-shards, -batch, -queue, -leg, and -fuse only apply to the fleet-scale leg (-sites > 0)")
 	}
 
 	mix, err := mixByName(*mixName)
@@ -234,6 +238,7 @@ type scaleOpts struct {
 	window               int
 	seed                 int64
 	leg                  string
+	fuse                 bool
 }
 
 // scaleRow is the leg's result: one JSON object per line on stdout, the
@@ -241,6 +246,7 @@ type scaleOpts struct {
 type scaleRow struct {
 	Name          string  `json:"name"`
 	Sites         int     `json:"sites"`
+	Fused         bool    `json:"fused"`
 	Shards        int     `json:"shards"`
 	BatchSize     int     `json:"batch_size"`
 	QueueCapacity int     `json:"queue_capacity"`
@@ -310,9 +316,13 @@ func runScale(o scaleOpts, out, progress io.Writer) error {
 		Window:     o.window,
 		OnDecision: func(serve.Decision) { decisions.Add(1) },
 	}
+	if o.fuse {
+		fc := fuse.DefaultConfig()
+		scfg.Fuse = &fc
+	}
 
 	leg := o.leg
-	row := scaleRow{Sites: o.sites, Seconds: o.seconds}
+	row := scaleRow{Sites: o.sites, Seconds: o.seconds, Fused: o.fuse}
 	var (
 		ingestSite func(i int, ts float64, vs *[server.NumTiers][]float64)
 		barrier    func()
@@ -376,6 +386,9 @@ func runScale(o scaleOpts, out, progress io.Writer) error {
 		if leg == "" {
 			leg = "unsharded"
 		}
+	}
+	if o.leg == "" && o.fuse {
+		leg += "-fuse"
 	}
 	row.Name = fmt.Sprintf("ScaleIngest/%s/sites=%d", leg, o.sites)
 

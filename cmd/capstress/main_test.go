@@ -92,6 +92,30 @@ func TestRunScaleLegs(t *testing.T) {
 	}
 }
 
+// TestRunScaleFuseLeg runs the sharded fleet leg with counter fusion on:
+// the row must name the fuse leg, echo the flag, and still decide every
+// window — the fusion stage sits on the ingest path, not in its way.
+func TestRunScaleFuseLeg(t *testing.T) {
+	var out, progress strings.Builder
+	err := runScale(scaleOpts{
+		sites: 40, seconds: 8, shards: 2, batch: 4, queue: 16,
+		window: 4, seed: 1, fuse: true,
+	}, &out, &progress)
+	if err != nil {
+		t.Fatalf("runScale(fuse): %v", err)
+	}
+	var row scaleRow
+	if err := json.Unmarshal([]byte(out.String()), &row); err != nil {
+		t.Fatalf("row not JSON: %v\n%s", err, out.String())
+	}
+	if row.Name != "ScaleIngest/sharded-fuse/sites=40" || !row.Fused {
+		t.Errorf("fuse leg not echoed: %+v", row)
+	}
+	if row.Decisions == 0 {
+		t.Errorf("no decisions in %s", row.Name)
+	}
+}
+
 // TestRunScaleFlagErrors pins the scale-leg flag validation.
 func TestRunScaleFlagErrors(t *testing.T) {
 	for _, args := range [][]string{

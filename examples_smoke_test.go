@@ -19,7 +19,7 @@ func TestExamplesSmoke(t *testing.T) {
 		t.Skip("go tool not on PATH")
 	}
 	for _, name := range []string{
-		"quickstart", "admission", "bottleneckshift", "capacityplan", "serving", "adaptive",
+		"quickstart", "admission", "bottleneckshift", "capacityplan", "serving", "adaptive", "fusion",
 	} {
 		name := name
 		t.Run(name, func(t *testing.T) {

@@ -21,6 +21,10 @@
 //     for any number of sites, windows them, fans prediction across
 //     per-site sessions, publishes Decisions, and can gate a testbed's
 //     admission control — resilient to late, missing, and NaN samples.
+//     An optional Bayesian counter-fusion stage (ServingConfig.Fuse)
+//     de-noises faulted streams in place: NaN and stuck counters are
+//     imputed from physically coupled neighbors, and each decision
+//     carries a confidence the lifecycle guard honors.
 //     For distributed deployments, FrameSender (cmd/capagent) ships
 //     sequenced sample frames over TCP to a FrameServer (cmd/capserved)
 //     that write-ahead logs every accepted frame before ingest, so a
@@ -55,6 +59,7 @@ import (
 	"hpcap/internal/cpu"
 	"hpcap/internal/drift"
 	"hpcap/internal/experiment"
+	"hpcap/internal/fuse"
 	"hpcap/internal/metrics"
 	"hpcap/internal/ml"
 	"hpcap/internal/ml/bayes"
@@ -261,6 +266,33 @@ type (
 // monitor; see the serve package for streaming semantics.
 var NewServingPipeline = serve.NewPipeline
 
+// Bayesian counter fusion: an optional de-noising stage between the
+// collectors and the window aggregator. A per-(site, tier) Fuser runs a
+// small linear-Gaussian factor graph over physically coupled counters
+// with Kalman-style per-counter filters: NaN and stuck readings are
+// imputed from their coupled neighbors instead of dropping the sample,
+// implausible jumps are gated, and every fused sample carries a
+// confidence in [0,1]. Enable it on a pipeline with ServingConfig.Fuse;
+// clean samples pass through bit-identical to a fusion-less pipeline.
+type (
+	// FuseConfig tunes the fusion stage (filter noise, gate width, stuck
+	// run length, confidence floor).
+	FuseConfig = fuse.Config
+	// Fuser is the per-stream fusion state for one counter vector layout.
+	Fuser = fuse.Fuser
+	// FuseResult is one fused sample: values, confidence, and the imputed
+	// and gated counts.
+	FuseResult = fuse.Result
+)
+
+// Fusion constructors: DefaultFuseConfig is the tuned default stage;
+// NewFuser builds a standalone fuser for one stream (the pipeline builds
+// its own per site and tier when ServingConfig.Fuse is set).
+var (
+	DefaultFuseConfig = fuse.DefaultConfig
+	NewFuser          = fuse.New
+)
+
 // Sharded fleet-scale ingest: the same serving semantics partitioned
 // across single-writer shards with batched queues, for 100k-site fleets
 // on one daemon. Decision streams are byte-identical to the unsharded
@@ -447,6 +479,10 @@ type (
 	// DriftReplay is the end-to-end adaptive-lifecycle replay result
 	// (Lab.RunDriftReplay).
 	DriftReplay = experiment.DriftReplay
+	// FusionReplay is the counter-fusion storm replay result
+	// (Lab.RunFusionReplay): the same stream served clean, corrupted raw,
+	// and corrupted fused, with windowed error and drift fires per run.
+	FusionReplay = experiment.FusionReplay
 )
 
 // Conventional overload detectors (the comparators of §I/§II.A).

@@ -1,0 +1,450 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"hpcap/internal/core"
+	"hpcap/internal/drift"
+	"hpcap/internal/fuse"
+	"hpcap/internal/metrics"
+	"hpcap/internal/ml/bayes"
+	"hpcap/internal/registry"
+	"hpcap/internal/serve"
+	"hpcap/internal/server"
+	"hpcap/internal/tpcw"
+	"hpcap/internal/wire"
+)
+
+// FusionReplay is the result of the counter-fusion ablation: the same
+// recorded browsing trace, corrupted by a scrape-level noise storm (NaN
+// counter components, frozen collectors, clock skew), replayed through
+// the serving pipeline twice — fusion off and fusion on — against a
+// fault-free baseline of the identical trace. Fusion must win on both
+// axes: the windowed vector error against the baseline (imputation
+// recovers what the NaN-drop path loses) and the drift detectors' false
+// fires (low-confidence flagging keeps frozen-but-finite windows out of
+// the lifecycle, where the raw path feeds them in as clean evidence).
+// The transcript is a pure function of the lab seed, byte-identical for
+// any training worker count, shard count, and for network (capagent
+// wire) versus direct ingest.
+type FusionReplay struct {
+	// Log is the golden-pinned transcript.
+	Log string
+	// BaselineWindows is the fault-free run's decision count; RawWindows
+	// and FusedWindows the corrupted runs' (the raw path drops the
+	// all-NaN windows, fusion decides them).
+	BaselineWindows, RawWindows, FusedWindows int
+	// RawErr and FusedErr are the mean windowed vector errors against
+	// the fault-free baseline (missing windows count as total loss).
+	RawErr, FusedErr float64
+	// RawDrift and FusedDrift count drift detections recorded against
+	// the site; every one is a false fire (the workload never changes).
+	RawDrift, FusedDrift uint64
+	// BaselineDrift must stay 0: the detector thresholds are tuned so a
+	// clean run never fires, making every Raw fire attributable to the
+	// storm alone.
+	BaselineDrift uint64
+	// LowConfidence counts the fused run's windows flagged below the
+	// confidence floor; RawGuarded/FusedGuarded the decisions the
+	// lifecycle guard refused to learn from.
+	LowConfidence            uint64
+	RawGuarded, FusedGuarded uint64
+}
+
+// fusionReplaySeed offsets the fusion trace away from every other seed
+// the lab derives (training 0/1, test 100s, interleave 104, drift replay
+// 300, chaos replay 400).
+const fusionReplaySeed = 500
+
+// fusionStream is one corrupted copy of the recorded trace: per-second
+// timestamps (shared by both tiers, as one fused scrape) and per-tier
+// 1-second vectors.
+type fusionStream struct {
+	times []float64
+	vecs  [server.NumTiers][][]float64
+}
+
+// fusionStorm corrupts a copy of the recorded trace at scrape level —
+// the faults a fusion stage can see through, as opposed to the transport
+// faults chaosStorm scripts. Window seq covers sample indices
+// [W·(seq-1), W·seq):
+//
+//	w8      four seconds lose the app tier's first counter to NaN
+//	w9–w14  both collectors freeze, replaying w8's last clean scrape
+//	        with live timestamps (finite, plausible, and wrong)
+//	w15     the scrape clock skews +0.3s, displacing each window's
+//	        boundary sample (equal damage with fusion on or off)
+//	w16     the app tier's instr_rate and l2_miss_rate are NaN all window
+//	w17     the db tier's ipc and l2_ref_rate are NaN all window
+func fusionStorm(times []float64, vecs [server.NumTiers][][]float64, w int) fusionStream {
+	s := fusionStream{times: append([]float64(nil), times...)}
+	for tier := server.TierID(0); tier < server.NumTiers; tier++ {
+		s.vecs[tier] = append([][]float64(nil), vecs[tier]...)
+	}
+	// idx(seq) is the first sample index of window seq.
+	idx := func(seq int) int { return w * (seq - 1) }
+	corrupt := func(tier server.TierID, i int, comps ...int) {
+		v := append([]float64(nil), s.vecs[tier][i]...)
+		for _, c := range comps {
+			v[c] = math.NaN()
+		}
+		s.vecs[tier][i] = v
+	}
+	// w8: a sparse NaN burst, under the staleness budget.
+	for _, off := range []int{3, 10, 17, 24} {
+		corrupt(server.TierApp, idx(8)+off, 0)
+	}
+	// w9–w14: frozen collectors. The replayed scrape is w8's last second,
+	// which the burst above left clean.
+	frozen := idx(9) - 1
+	for i := idx(9); i < idx(15) && i < len(s.times); i++ {
+		for tier := server.TierID(0); tier < server.NumTiers; tier++ {
+			s.vecs[tier][i] = s.vecs[tier][frozen]
+		}
+	}
+	// w15: clock skew on the whole scrape stream.
+	for i := idx(15); i < idx(16) && i < len(s.times); i++ {
+		s.times[i] += 0.3
+	}
+	// w16/w17: a counter pair lost for a full window on each tier.
+	for i := idx(16); i < idx(17) && i < len(s.times); i++ {
+		corrupt(server.TierApp, i, 0, 7)
+	}
+	for i := idx(17); i < idx(18) && i < len(s.times); i++ {
+		corrupt(server.TierDB, i, 2, 6)
+	}
+	return s
+}
+
+// fusionRun captures one sub-run's publication-order transcript lines,
+// decisions, and final site counters.
+type fusionRun struct {
+	lines     []string
+	decisions []serve.Decision
+	stats     serve.SiteStats
+}
+
+// fusionRunner replays one prepared stream through one pipeline variant
+// (unsharded, sharded, or wire loopback). fcfg nil means fusion off.
+type fusionRunner func(stream fusionStream, fcfg *fuse.Config) (*fusionRun, error)
+
+// RunFusionReplay replays the fusion ablation through the unsharded
+// pipeline. workers bounds the training fan-out only; the transcript is
+// bit-identical for any value.
+func (l *Lab) RunFusionReplay(workers int) (*FusionReplay, error) {
+	return l.runFusionReplay(workers, 0, false)
+}
+
+// RunFusionReplaySharded replays the same ablation through the sharded
+// pipeline; the transcript must be byte-identical to RunFusionReplay's.
+func (l *Lab) RunFusionReplaySharded(workers, shards int) (*FusionReplay, error) {
+	if shards < 1 {
+		shards = 1
+	}
+	return l.runFusionReplay(workers, shards, false)
+}
+
+// RunFusionReplayLoopback ships every stream as capagent wire frames
+// through a real Sender → TCP → FrameServer chain into a sharded
+// pipeline; the transcript must be byte-identical to the direct runs —
+// the transport may not change a single fused value.
+func (l *Lab) RunFusionReplayLoopback(workers int) (*FusionReplay, error) {
+	return l.runFusionReplay(workers, 2, true)
+}
+
+// fusionVecErr is the windowed vector error of one decision against its
+// fault-free counterpart: mean over tiers and counters of
+// |v−b| / (1+|b|).
+func fusionVecErr(d, base *serve.Decision) float64 {
+	var sum float64
+	n := 0
+	for tier := range d.Vectors {
+		for k, v := range d.Vectors[tier] {
+			b := base.Vectors[tier][k]
+			sum += math.Abs(v-b) / (1 + math.Abs(b))
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// fusionWindowedErr scores a corrupted run against the baseline: the
+// mean per-window vector error over every baseline-decided window, with
+// a window the run failed to decide counting as total loss (error 1).
+func fusionWindowedErr(run *fusionRun, baseline []serve.Decision) float64 {
+	bySeq := make(map[int64]*serve.Decision, len(run.decisions))
+	for i := range run.decisions {
+		bySeq[run.decisions[i].Seq] = &run.decisions[i]
+	}
+	var sum float64
+	for i := range baseline {
+		b := &baseline[i]
+		if d, ok := bySeq[b.Seq]; ok {
+			sum += fusionVecErr(d, b)
+		} else {
+			sum += 1
+		}
+	}
+	if len(baseline) == 0 {
+		return 0
+	}
+	return sum / float64(len(baseline))
+}
+
+// runFusionReplay is the shared body; shards == 0 selects the unsharded
+// pipeline, loopback additionally routes every sample over the wire.
+func (l *Lab) runFusionReplay(workers, shards int, loopback bool) (*FusionReplay, error) {
+	const level = metrics.LevelHPC
+	wb, err := l.Workload(tpcw.Browsing())
+	if err != nil {
+		return nil, err
+	}
+	btr, err := l.TrainingTrace(tpcw.Browsing())
+	if err != nil {
+		return nil, err
+	}
+	names := btr.Names(level)
+	mon, err := core.Train(level, names, []core.TrainingSet{trainingSetOf("browsing", btr, level)}, core.Config{
+		Learner:  bayes.TANLearner(),
+		Synopsis: core.DefaultSynopsisConfig(l.Seed),
+		Workers:  workers,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiment: train fusion monitor: %w", err)
+	}
+
+	tr, err := Generate(TraceConfig{
+		Server:        l.Server,
+		Schedule:      chaosSchedule(wb, l.Scale),
+		Window:        l.Scale.Window,
+		Warmup:        l.Scale.WarmupWindows,
+		Seed:          l.Seed + fusionReplaySeed,
+		Labeler:       l.Labeler,
+		RecordSeconds: true,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiment: generate fusion trace: %w", err)
+	}
+	clean := fusionStream{times: tr.SecTimes}
+	for tier := server.TierID(0); tier < server.NumTiers; tier++ {
+		clean.vecs[tier] = tr.SecondVectors(level, tier)
+	}
+	storm := fusionStorm(clean.times, clean.vecs, l.Scale.Window)
+
+	winLine := func(d serve.Decision) string {
+		w := tr.Windows[d.Seq-1]
+		return fmt.Sprintf("window seq=%d predicted=%t truth=%t degraded=%t missing=%d conf=%.3f lowconf=%t\n",
+			d.Seq, d.Prediction.Overload, w.Overload == 1, d.Degraded, d.Missing, d.Confidence, d.LowConfidence)
+	}
+	runner := l.fusionRunner(mon, shards, loopback, winLine)
+
+	// The lifecycle stage is identical for every sub-run: replay-tight
+	// detector thresholds (a clean run must never fire, so every raw-run
+	// fire is a storm artifact), guard on, retraining structurally
+	// impossible (more history demanded than the trace has windows).
+	lifecycle := func(run *fusionRun, log *strings.Builder) (uint64, error) {
+		p, err := serve.NewPipeline(mon, serve.Config{Window: l.Scale.Window})
+		if err != nil {
+			return 0, err
+		}
+		mgr, err := registry.NewManager(registry.Config{
+			Pipeline: p,
+			Initial:  mon,
+			Names:    names,
+			Train: core.Config{
+				Learner:  bayes.TANLearner(),
+				Synopsis: core.DefaultSynopsisConfig(l.Seed + 1),
+				Workers:  workers,
+			},
+			Drift: drift.Config{
+				PHDelta:       0.01,
+				PHLambda:      1.5,
+				MinWindows:    6,
+				MixRefWindows: 6,
+				MixWindow:     8,
+				MixThreshold:  0.08,
+				MixPatience:   3,
+			},
+			HistoryWindows:  64,
+			MinTrainWindows: 48,
+			ShadowWindows:   8,
+			CooldownWindows: 10 * len(tr.Windows),
+			OnEvent: func(e registry.Event) {
+				fmt.Fprintf(log, "  %s\n", e)
+			},
+		})
+		if err != nil {
+			return 0, err
+		}
+		for _, d := range run.decisions {
+			mgr.HandleDecision(d)
+			w := tr.Windows[d.Seq-1]
+			mgr.ObserveTruth(d.Site, d.Seq, registry.Truth{
+				Overload:    w.Overload == 1,
+				Bottleneck:  w.Bottleneck,
+				Throughput:  w.Throughput,
+				ClassCounts: w.Classes,
+			})
+		}
+		st, _ := p.SiteStats("site")
+		run.stats.DriftSignals = st.DriftSignals
+		return mgr.Guarded(), nil
+	}
+
+	var log strings.Builder
+	fmt.Fprintln(&log, "storm nan w8 app[0]x4; stuck w9-w14; skew w15 +0.3s; nan w16 app[0,7]; nan w17 db[2,6]")
+	section := func(name string, stream fusionStream, fcfg *fuse.Config) (*fusionRun, uint64, error) {
+		run, err := runner(stream, fcfg)
+		if err != nil {
+			return nil, 0, err
+		}
+		fmt.Fprintf(&log, "--- %s ---\n", name)
+		for _, ln := range run.lines {
+			fmt.Fprint(&log, ln)
+		}
+		guarded, err := lifecycle(run, &log)
+		if err != nil {
+			return nil, 0, err
+		}
+		s := run.stats
+		fmt.Fprintf(&log, "%s decided=%d degraded=%d dropped=%d lowconf=%d fused=%d imputed=%d gated=%d skipped_nan=%d skipped_late=%d resets=%d drift=%d guarded=%d\n",
+			name, s.WindowsDecided, s.WindowsDegraded, s.WindowsDropped, s.WindowsLowConfidence,
+			s.SamplesFused, s.FuseImputed, s.FuseGated, s.SamplesBadValue, s.SamplesLate,
+			s.SessionResets, s.DriftSignals, guarded)
+		return run, guarded, nil
+	}
+
+	base, _, err := section("baseline", clean, nil)
+	if err != nil {
+		return nil, err
+	}
+	raw, rawGuarded, err := section("raw", storm, nil)
+	if err != nil {
+		return nil, err
+	}
+	fcfg := fuse.DefaultConfig()
+	fused, fusedGuarded, err := section("fused", storm, &fcfg)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &FusionReplay{
+		BaselineWindows: len(base.decisions),
+		RawWindows:      len(raw.decisions),
+		FusedWindows:    len(fused.decisions),
+		RawErr:          fusionWindowedErr(raw, base.decisions),
+		FusedErr:        fusionWindowedErr(fused, base.decisions),
+		RawDrift:        raw.stats.DriftSignals,
+		FusedDrift:      fused.stats.DriftSignals,
+		BaselineDrift:   base.stats.DriftSignals,
+		LowConfidence:   fused.stats.WindowsLowConfidence,
+		RawGuarded:      rawGuarded,
+		FusedGuarded:    fusedGuarded,
+	}
+	fmt.Fprintf(&log, "error raw=%.6f fused=%.6f\n", res.RawErr, res.FusedErr)
+	fmt.Fprintf(&log, "drift baseline=%d raw=%d fused=%d lowconf=%d\n",
+		res.BaselineDrift, res.RawDrift, res.FusedDrift, res.LowConfidence)
+	fmt.Fprintf(&log, "replay baseline=%d raw=%d fused=%d guarded raw=%d fused=%d\n",
+		res.BaselineWindows, res.RawWindows, res.FusedWindows, res.RawGuarded, res.FusedGuarded)
+	res.Log = log.String()
+	return res, nil
+}
+
+// fusionRunner builds the variant-specific stream replayer. Every
+// variant feeds the same per-scrape stream in the same per-site order,
+// so the captured decision and health sequences are identical; only the
+// plumbing differs. winLine formats a decision's transcript line, so
+// run.lines freezes the exact publication order (decision first, then
+// the ladder transitions it caused).
+func (l *Lab) fusionRunner(mon *core.Monitor, shards int, loopback bool, winLine func(serve.Decision) string) fusionRunner {
+	return func(stream fusionStream, fcfg *fuse.Config) (*fusionRun, error) {
+		run := &fusionRun{}
+		cfg := serve.Config{
+			Window: l.Scale.Window,
+			Fuse:   fcfg,
+			OnDecision: func(d serve.Decision) {
+				run.decisions = append(run.decisions, d)
+				run.lines = append(run.lines, winLine(d))
+			},
+			OnHealth: func(ev serve.HealthEvent) {
+				run.lines = append(run.lines, fmt.Sprintf("  health %s->%s seq=%d\n", ev.From, ev.To, ev.Seq))
+			},
+		}
+		if shards == 0 {
+			p, err := serve.NewPipeline(mon, cfg)
+			if err != nil {
+				return nil, err
+			}
+			for i, ts := range stream.times {
+				for tier := server.TierID(0); tier < server.NumTiers; tier++ {
+					p.Ingest(serve.Sample{Site: "site", Tier: tier, Time: ts, Values: stream.vecs[tier][i]})
+				}
+			}
+			p.Flush()
+			run.stats, _ = p.SiteStats("site")
+			return run, nil
+		}
+		sp, err := serve.NewShardedPipeline(mon, cfg, serve.ShardConfig{Shards: shards})
+		if err != nil {
+			return nil, err
+		}
+		defer sp.Close()
+		if !loopback {
+			for i, ts := range stream.times {
+				for tier := server.TierID(0); tier < server.NumTiers; tier++ {
+					sp.Ingest(serve.Sample{Site: "site", Tier: tier, Time: ts, Values: stream.vecs[tier][i]})
+				}
+			}
+			sp.Flush()
+			run.stats, _ = sp.SiteStats("site")
+			return run, nil
+		}
+		// Loopback: the same stream as capagent wire frames over TCP.
+		ing := serve.NewIngest(sp)
+		fsrv, err := serve.NewFrameServer(serve.ListenConfig{}, ing, nil)
+		if err != nil {
+			return nil, err
+		}
+		snd, err := wire.NewSender(fsrv.Addr().String(), wire.AgentConfig{FrameSamples: 5, QueueFrames: 4096})
+		if err != nil {
+			fsrv.Close()
+			return nil, err
+		}
+		frame := wire.Frame{Site: "site"}
+		sent := 0
+		for i, ts := range stream.times {
+			var s wire.Sample
+			s.Time = ts
+			for tier := server.TierID(0); tier < server.NumTiers; tier++ {
+				s.Vecs[tier] = stream.vecs[tier][i]
+			}
+			frame.Samples = append(frame.Samples, s)
+			if len(frame.Samples) == 5 {
+				snd.Send(&frame)
+				sent++
+				frame = wire.Frame{Site: "site", Seq: frame.Seq + 1}
+			}
+		}
+		if len(frame.Samples) > 0 {
+			snd.Send(&frame)
+			sent++
+		}
+		snd.Close()
+		if st := snd.Stats(); st.Dropped() != 0 || st.Sent != uint64(sent) {
+			fsrv.Close()
+			return nil, fmt.Errorf("experiment: fusion loopback sender lost frames: %+v", st)
+		}
+		fsrv.WaitConns(1)
+		if err := fsrv.Close(); err != nil {
+			return nil, err
+		}
+		sp.Flush()
+		run.stats, _ = sp.SiteStats("site")
+		return run, nil
+	}
+}

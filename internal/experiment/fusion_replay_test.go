@@ -1,0 +1,129 @@
+package experiment
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestDeterminismFusionReplay pins the counter-fusion storm replay end to
+// end: the same browsing stream is served clean (baseline), corrupted raw
+// (fusion off), and corrupted fused (fusion on). Fusion must strictly beat
+// the raw run on both headline metrics — windowed decision error against
+// the clean baseline, and drift false fires out of the lifecycle — while
+// the low-confidence flag routes the stuck stretch into the retrain guard
+// instead of the detectors. The whole transcript must be byte-identical
+// between a sequential and a Workers=8 run and match the committed golden.
+// Regenerate the fixture with
+//
+//	go test ./internal/experiment -run TestDeterminismFusionReplay -update
+func TestDeterminismFusionReplay(t *testing.T) {
+	if testing.Short() {
+		t.Skip("six full serving replays; skipped in -short")
+	}
+	seq, err := NewLab(QuickScale()).RunFusionReplay(1)
+	if err != nil {
+		t.Fatalf("RunFusionReplay(1): %v", err)
+	}
+	par, err := NewLab(QuickScale()).RunFusionReplay(8)
+	if err != nil {
+		t.Fatalf("RunFusionReplay(8): %v", err)
+	}
+	if seq.Log != par.Log {
+		t.Fatalf("parallel transcript diverged from sequential\n--- sequential ---\n%s\n--- parallel ---\n%s", seq.Log, par.Log)
+	}
+
+	if seq.BaselineDrift != 0 {
+		t.Errorf("clean baseline fired %d drift signals, want 0", seq.BaselineDrift)
+	}
+	if seq.RawDrift == 0 {
+		t.Error("the raw (fusion-off) storm run fired no drift signal — the storm is not severe enough to measure fusion against")
+	}
+	if seq.FusedDrift >= seq.RawDrift {
+		t.Errorf("fusion did not reduce drift false fires: raw %d, fused %d", seq.RawDrift, seq.FusedDrift)
+	}
+	if seq.FusedErr >= seq.RawErr {
+		t.Errorf("fusion did not reduce windowed decision error: raw %.6f, fused %.6f", seq.RawErr, seq.FusedErr)
+	}
+	if seq.LowConfidence == 0 {
+		t.Error("no window was flagged low-confidence — the stuck stretch should have been")
+	}
+	if seq.FusedWindows < seq.RawWindows {
+		t.Errorf("fusion decided fewer windows (%d) than the raw run (%d)", seq.FusedWindows, seq.RawWindows)
+	}
+	if seq.FusedGuarded == 0 {
+		t.Error("the lifecycle guard admitted every fused window — low confidence never propagated")
+	}
+	if strings.Contains(seq.Log, "retrain site=") {
+		t.Error("a storm run retrained — the lifecycle guard failed")
+	}
+
+	golden := filepath.Join("testdata", "fusion_replay.golden")
+	if *update {
+		if err := os.WriteFile(golden, []byte(seq.Log), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s", golden)
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden fixture (run with -update to regenerate): %v", err)
+	}
+	if seq.Log != string(want) {
+		t.Fatalf("transcript diverged from the golden fixture (run with -update if the change is intended)\n--- got ---\n%s\n--- want ---\n%s", seq.Log, want)
+	}
+}
+
+// TestFusionReplayShardedDeterminism replays the fusion storm through the
+// sharded pipeline — per-tier fuser state now lives inside the shard
+// engines — and requires the transcript byte-identical to the unsharded
+// golden at several shard counts.
+func TestFusionReplayShardedDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full fusion replays per shard count; skipped in -short")
+	}
+	golden := filepath.Join("testdata", "fusion_replay.golden")
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden fixture (run TestDeterminismFusionReplay -update to regenerate): %v", err)
+	}
+	for _, shards := range []int{1, 4} {
+		res, err := NewLab(QuickScale()).RunFusionReplaySharded(8, shards)
+		if err != nil {
+			t.Fatalf("RunFusionReplaySharded(8, %d): %v", shards, err)
+		}
+		if res.Log != string(want) {
+			t.Errorf("shards=%d transcript diverged from the unsharded golden\n--- got ---\n%s\n--- want ---\n%s",
+				shards, res.Log, want)
+		}
+		if res.FusedErr >= res.RawErr || res.FusedDrift >= res.RawDrift {
+			t.Errorf("shards=%d summary diverged: %+v", shards, res)
+		}
+	}
+}
+
+// TestFusionReplayLoopbackDeterminism replays the fusion storm through the
+// network ingest path — capagent wire frames over a loopback TCP conn into
+// a FrameServer feeding the sharded pipeline — and requires the transcript
+// byte-identical to the direct-ingest golden. Counter values (NaNs
+// included) survive the wire bit-exactly, so fusion sees the same stream.
+func TestFusionReplayLoopbackDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full fusion replays over loopback; skipped in -short")
+	}
+	golden := filepath.Join("testdata", "fusion_replay.golden")
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden fixture (run TestDeterminismFusionReplay -update to regenerate): %v", err)
+	}
+	res, err := NewLab(QuickScale()).RunFusionReplayLoopback(8)
+	if err != nil {
+		t.Fatalf("RunFusionReplayLoopback(8): %v", err)
+	}
+	if res.Log != string(want) {
+		t.Errorf("loopback transcript diverged from the direct-ingest golden\n--- got ---\n%s\n--- want ---\n%s",
+			res.Log, want)
+	}
+}

@@ -16,7 +16,11 @@ type Level int
 
 // Metric levels. LevelCombined concatenates the OS and hardware counter
 // vectors — the extension the paper's conclusion proposes for capturing
-// I/O-related problems alongside CPU-level ones.
+// I/O-related problems alongside CPU-level ones. The concatenation order
+// is fixed: the 64 OS metrics first, then the 19 hardware counters —
+// every consumer of a combined vector (training layouts, the serving
+// pipeline, the fusion stage's factor graph) indexes against this order,
+// and internal/fuse pins it with a layout test.
 const (
 	LevelOS Level = iota + 1
 	LevelHPC

@@ -118,9 +118,10 @@ type Config struct {
 	// CooldownWindows is the least labeled windows between retrain
 	// attempts on one site. Zero selects 24.
 	CooldownWindows int
-	// AllowDegraded admits decisions made from partial (degraded) windows
-	// into the lifecycle. Off by default: a fault-corrupted window is
-	// evidence about the stream, not the workload, so feeding it to the
+	// AllowDegraded admits decisions made from partial (degraded) or
+	// low-confidence (mostly imputed) windows into the lifecycle. Off by
+	// default: a fault-corrupted window is evidence about the stream, not
+	// the workload, so feeding it to the
 	// drift detectors or a retraining set would let injected noise trigger
 	// model churn. Guarded decisions are counted (Manager.Guarded) and
 	// otherwise ignored.
@@ -318,13 +319,13 @@ func (m *Manager) ensure(site string) (*managed, error) {
 func (m *Manager) Guarded() uint64 { return m.guarded.Load() }
 
 // HandleDecision buffers a decision until its ground truth arrives. Safe
-// to call from the pipeline's OnDecision callback. Degraded decisions are
-// guarded out unless Config.AllowDegraded is set: their truth, when it
-// arrives, finds no pending decision and is likewise dropped, so a
-// fault-corrupted window can neither advance the drift detectors nor
-// enter a retraining history.
+// to call from the pipeline's OnDecision callback. Degraded and
+// low-confidence decisions are guarded out unless Config.AllowDegraded is
+// set: their truth, when it arrives, finds no pending decision and is
+// likewise dropped, so a fault-corrupted (or mostly imputed) window can
+// neither advance the drift detectors nor enter a retraining history.
 func (m *Manager) HandleDecision(d serve.Decision) {
-	if d.Degraded && !m.cfg.AllowDegraded {
+	if (d.Degraded || d.LowConfidence) && !m.cfg.AllowDegraded {
 		m.guarded.Add(1)
 		return
 	}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"hpcap/internal/core"
+	"hpcap/internal/fuse"
 	"hpcap/internal/metrics"
 	"hpcap/internal/server"
 )
@@ -42,6 +43,16 @@ type engine struct {
 	sess  []*core.CompiledSession
 	flags []*siteFlags // pointer-stable: admission valves hold them across slice growth
 	sums  []float64    // window accumulation arena, [site][tier][dim]
+
+	// Counter fusion (nil/empty unless Config.Fuse was set): per-tier
+	// fusers laid out [site][tier], the resolved confidence floor, and
+	// the open window's confidence accumulators, consumed at decision
+	// time exactly as Pipeline.decide does.
+	fuseCfg   *fuse.Config
+	fuseFloor float64
+	fusers    []*fuse.Fuser
+	confSum   []float64
+	confN     []int32
 
 	// due holds the batch's deferred clean-window decisions; pubs the
 	// decisions and health events awaiting publication outside all locks.
@@ -106,14 +117,25 @@ func nonFinite(v float64) bool {
 }
 
 func newEngine(cm *core.CompiledMonitor, cfg Config, dim int) *engine {
-	return &engine{
+	e := &engine{
 		compiled:  cm,
 		dim:       dim,
 		window:    cfg.Window,
 		staleness: cfg.StalenessBudget,
 		recover:   cfg.RecoverWindows,
 		idx:       make(map[string]int32),
+		fuseCfg:   cfg.Fuse,
 	}
+	if cfg.Fuse != nil {
+		// Resolve the config's zero fields through one prototype fuser;
+		// NewShardedPipeline validated the config before building engines.
+		proto, err := fuse.New(*cfg.Fuse, dim)
+		if err != nil {
+			panic(err)
+		}
+		e.fuseFloor = proto.Config().ConfidenceFloor
+	}
+	return e
 }
 
 // swapSession rebinds site i to monitor m's compiled plane, compiling it
@@ -150,6 +172,18 @@ func (e *engine) site(name string) int32 {
 	e.sess = append(e.sess, e.compiled.NewSession())
 	e.flags = append(e.flags, &siteFlags{})
 	e.sums = append(e.sums, make([]float64, int(server.NumTiers)*e.dim)...)
+	if e.fuseCfg != nil {
+		for tier := server.TierID(0); tier < server.NumTiers; tier++ {
+			f, err := fuse.New(*e.fuseCfg, e.dim)
+			if err != nil {
+				// Validated when the pipeline was built; this cannot happen.
+				panic(err)
+			}
+			e.fusers = append(e.fusers, f)
+		}
+		e.confSum = append(e.confSum, 0)
+		e.confN = append(e.confN, 0)
+	}
 	var ss SiteStats
 	ss.Site = name
 	ss.LastSwapSeq = -1
@@ -250,10 +284,15 @@ func (e *engine) ingestVec(i int32, tier server.TierID, t float64, wi int64, tim
 		ss.SamplesBadValue++
 		return
 	}
-	for _, v := range values {
-		if nonFinite(v) {
-			ss.SamplesBadValue++
-			return
+	if e.fuseCfg == nil {
+		// Without fusion a NaN/Inf component voids the sample; the fusion
+		// stage instead accepts it and imputes the bad components (see
+		// Pipeline.ingestLocked).
+		for _, v := range values {
+			if nonFinite(v) {
+				ss.SamplesBadValue++
+				return
+			}
 		}
 	}
 
@@ -280,6 +319,18 @@ func (e *engine) ingestVec(i int32, tier server.TierID, t float64, wi int64, tim
 		return
 	}
 	st.lastTime[tier] = t
+	if e.fuseCfg != nil {
+		// Fuse after the late/dup checks so rejected samples never mutate
+		// filter state — same hook point as Pipeline.ingestLocked, so the
+		// fused streams (and every downstream decision) stay identical.
+		r := e.fusers[int(i)*int(server.NumTiers)+int(tier)].Fuse(values)
+		ss.SamplesFused++
+		ss.FuseImputed += uint64(r.Imputed)
+		ss.FuseGated += uint64(r.Gated)
+		e.confSum[i] += r.Confidence
+		e.confN[i]++
+		values = r.Values
+	}
 	base := (int(i)*int(server.NumTiers) + int(tier)) * e.dim
 	sum := e.sums[base : base+e.dim : base+e.dim]
 	for k, v := range values {
@@ -460,6 +511,12 @@ func (e *engine) resetSession(i int32) {
 	ss.SessionResets++
 	e.flags[i].overloaded.Store(false)
 	st.cleanStreak = 0
+	if e.fuseCfg != nil {
+		for tier := server.TierID(0); tier < server.NumTiers; tier++ {
+			e.fusers[int(i)*int(server.NumTiers)+int(tier)].Reset()
+		}
+		e.confSum[i], e.confN[i] = 0, 0
+	}
 	e.setHealth(i, HealthStale, st.cur)
 }
 
@@ -510,6 +567,17 @@ func (e *engine) decide(i int32, vecs [server.NumTiers]metrics.Sample, missing i
 // (decision first, then the transitions it caused).
 func (e *engine) finishDecide(i int32, obs core.Observation, missing int, seq int64, err error, pred *core.Prediction, lat uint64) {
 	st, ss := &e.recs[i], &e.stats[i]
+	// Consume the window's fusion-confidence accumulator up front, as
+	// Pipeline.decide does: the due-window barrier (flushDueFor before
+	// every ingest) guarantees no later sample has touched it.
+	conf, lowConf := 1.0, false
+	if e.fuseCfg != nil {
+		if e.confN[i] > 0 {
+			conf = e.confSum[i] / float64(e.confN[i])
+		}
+		e.confSum[i], e.confN[i] = 0, 0
+		lowConf = conf < e.fuseFloor
+	}
 	ss.PredictNanos += lat
 	if lat > ss.PredictMaxNanos {
 		ss.PredictMaxNanos = lat
@@ -519,9 +587,17 @@ func (e *engine) finishDecide(i int32, obs core.Observation, missing int, seq in
 		return
 	}
 	ss.WindowsDecided++
+	if e.fuseCfg != nil {
+		ss.FuseConfidence = conf
+	}
+	if lowConf {
+		ss.WindowsLowConfidence++
+	}
 	mark := len(e.pubs)
-	if missing > 0 {
-		ss.WindowsDegraded++
+	if missing > 0 || lowConf {
+		if missing > 0 {
+			ss.WindowsDegraded++
+		}
 		st.cleanStreak = 0
 		e.setHealth(i, HealthDegraded, seq)
 	} else {
@@ -551,10 +627,12 @@ func (e *engine) finishDecide(i int32, obs core.Observation, missing int, seq in
 			Bottleneck: pred.Bottleneck,
 			GPV:        append([]int(nil), pred.GPV...),
 		},
-		Degraded:     missing > 0,
-		Missing:      missing,
-		Vectors:      obs.Vectors,
-		ModelVersion: ss.ModelVersion,
+		Degraded:      missing > 0,
+		Missing:       missing,
+		Vectors:       obs.Vectors,
+		ModelVersion:  ss.ModelVersion,
+		Confidence:    conf,
+		LowConfidence: lowConf,
 	}
 	e.pubs = append(e.pubs, pub{})
 	copy(e.pubs[mark+1:], e.pubs[mark:])

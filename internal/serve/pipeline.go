@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"hpcap/internal/core"
+	"hpcap/internal/fuse"
 	"hpcap/internal/metrics"
 	"hpcap/internal/server"
 )
@@ -21,6 +22,9 @@ type Pipeline struct {
 	monitor *core.Monitor
 	cfg     Config
 	dim     int
+	// fuseFloor is the resolved confidence floor when cfg.Fuse is set
+	// (the raw config may carry zero meaning "default").
+	fuseFloor float64
 
 	mu    sync.RWMutex
 	sites map[string]*site
@@ -47,6 +51,12 @@ type site struct {
 	// publication outside the lock.
 	cleanStreak int
 	events      []HealthEvent
+	// fusers de-noise each tier's stream when Config.Fuse is set (nil
+	// entries otherwise); confSum/confN accumulate the open window's
+	// per-sample confidence, consumed by decide.
+	fusers  [server.NumTiers]*fuse.Fuser
+	confSum float64
+	confN   int
 
 	overloaded atomic.Bool
 	// health mirrors stats.Health for lock-free reads (admission valve).
@@ -68,12 +78,22 @@ func NewPipeline(m *core.Monitor, cfg Config) (*Pipeline, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Pipeline{
+	p := &Pipeline{
 		monitor: m,
 		cfg:     cfg,
 		dim:     m.InputDim(),
 		sites:   make(map[string]*site),
-	}, nil
+	}
+	if cfg.Fuse != nil {
+		// Build one prototype to resolve the config's zero fields (the
+		// floor in particular); Validate already accepted it above.
+		proto, err := fuse.New(*cfg.Fuse, p.dim)
+		if err != nil {
+			return nil, err
+		}
+		p.fuseFloor = proto.Config().ConfidenceFloor
+	}
+	return p, nil
 }
 
 // Window returns the effective aggregation window in seconds.
@@ -102,6 +122,14 @@ func (p *Pipeline) getSite(name string) *site {
 			panic(err)
 		}
 		st.agg[tier] = agg
+		if p.cfg.Fuse != nil {
+			f, err := fuse.New(*p.cfg.Fuse, p.dim)
+			if err != nil {
+				// The fuse config was validated in NewPipeline; this cannot happen.
+				panic(err)
+			}
+			st.fusers[tier] = f
+		}
 	}
 	st.stats.Site = name
 	p.sites[name] = st
@@ -194,10 +222,16 @@ func (p *Pipeline) ingestLocked(st *site, s Sample) *Decision {
 		st.stats.SamplesBadValue++
 		return nil
 	}
-	for _, v := range s.Values {
-		if math.IsNaN(v) || math.IsInf(v, 0) {
-			st.stats.SamplesBadValue++
-			return nil
+	if st.fusers[0] == nil {
+		// Without fusion a NaN/Inf component voids the sample. The fusion
+		// stage instead accepts it and imputes the bad components, so the
+		// scan is skipped: losing a whole vector to one wrapped counter is
+		// exactly the noise the fuser exists to absorb.
+		for _, v := range s.Values {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				st.stats.SamplesBadValue++
+				return nil
+			}
 		}
 	}
 
@@ -226,7 +260,20 @@ func (p *Pipeline) ingestLocked(st *site, s Sample) *Decision {
 		return out
 	}
 	st.lastTime[s.Tier] = s.Time
-	sample, done := st.agg[s.Tier].PushValues(s.Time, s.Values)
+	values := s.Values
+	if f := st.fusers[s.Tier]; f != nil {
+		// Fuse after the late/dup checks so rejected samples never mutate
+		// filter state; the aggregator reads the fuser-owned buffer before
+		// the next Fuse call overwrites it.
+		r := f.Fuse(s.Values)
+		st.stats.SamplesFused++
+		st.stats.FuseImputed += uint64(r.Imputed)
+		st.stats.FuseGated += uint64(r.Gated)
+		st.confSum += r.Confidence
+		st.confN++
+		values = r.Values
+	}
+	sample, done := st.agg[s.Tier].PushValues(s.Time, values)
 	if !done {
 		return out
 	}
@@ -300,12 +347,28 @@ func (p *Pipeline) resetSession(st *site) {
 	st.stats.SessionResets++
 	st.overloaded.Store(false)
 	st.cleanStreak = 0
+	for tier := server.TierID(0); tier < server.NumTiers; tier++ {
+		if st.fusers[tier] != nil {
+			st.fusers[tier].Reset()
+		}
+	}
+	st.confSum, st.confN = 0, 0
 	st.setHealth(HealthStale, st.cur)
 }
 
 // decide predicts on one assembled window (absolute index seq) and builds
 // the Decision.
 func (p *Pipeline) decide(st *site, vecs [server.NumTiers]metrics.Sample, missing int, seq int64) *Decision {
+	// Consume the window's fusion-confidence accumulator up front so even
+	// a prediction error leaves the next window a clean slate.
+	conf, lowConf := 1.0, false
+	if st.fusers[0] != nil {
+		if st.confN > 0 {
+			conf = st.confSum / float64(st.confN)
+		}
+		st.confSum, st.confN = 0, 0
+		lowConf = conf < p.fuseFloor
+	}
 	obs := core.Observation{}
 	for tier := server.TierID(0); tier < server.NumTiers; tier++ {
 		obs.Vectors[tier] = vecs[tier].Values
@@ -325,8 +388,16 @@ func (p *Pipeline) decide(st *site, vecs [server.NumTiers]metrics.Sample, missin
 		return nil
 	}
 	st.stats.WindowsDecided++
-	if missing > 0 {
-		st.stats.WindowsDegraded++
+	if st.fusers[0] != nil {
+		st.stats.FuseConfidence = conf
+	}
+	if lowConf {
+		st.stats.WindowsLowConfidence++
+	}
+	if missing > 0 || lowConf {
+		if missing > 0 {
+			st.stats.WindowsDegraded++
+		}
 		st.cleanStreak = 0
 		st.setHealth(HealthDegraded, seq)
 	} else {
@@ -348,14 +419,16 @@ func (p *Pipeline) decide(st *site, vecs [server.NumTiers]metrics.Sample, missin
 	st.stats.LastDecisionSeq = seq
 	st.stats.LastDecisionTime = obs.Time
 	return &Decision{
-		Site:         st.name,
-		Seq:          seq,
-		Time:         obs.Time,
-		Prediction:   pred,
-		Degraded:     missing > 0,
-		Missing:      missing,
-		Vectors:      obs.Vectors,
-		ModelVersion: st.stats.ModelVersion,
+		Site:          st.name,
+		Seq:           seq,
+		Time:          obs.Time,
+		Prediction:    pred,
+		Degraded:      missing > 0,
+		Missing:       missing,
+		Vectors:       obs.Vectors,
+		ModelVersion:  st.stats.ModelVersion,
+		Confidence:    conf,
+		LowConfidence: lowConf,
 	}
 }
 

@@ -50,6 +50,23 @@ var promMetrics = []promMetric{
 		func(s SiteStats) float64 { return float64(s.Health) }},
 }
 
+// fuseMetrics are the counter-fusion families, rendered only when the
+// pipeline was built with Config.Fuse (their values are structurally
+// zero otherwise, and a scrape should not suggest a fusion stage that
+// is not there).
+var fuseMetrics = []promMetric{
+	{"capserved_fuse_samples_total", "counter", "Samples run through the counter-fusion stage.",
+		func(s SiteStats) float64 { return float64(s.SamplesFused) }},
+	{"capserved_fuse_imputed_total", "counter", "Counter readings replaced by the factor graph or filter prior.",
+		func(s SiteStats) float64 { return float64(s.FuseImputed) }},
+	{"capserved_fuse_gated_total", "counter", "Readings rejected by the innovation gate.",
+		func(s SiteStats) float64 { return float64(s.FuseGated) }},
+	{"capserved_fuse_low_confidence_windows_total", "counter", "Decided windows flagged low-confidence.",
+		func(s SiteStats) float64 { return float64(s.WindowsLowConfidence) }},
+	{"capserved_fuse_confidence", "gauge", "Mean fusion confidence of the most recent decided window.",
+		func(s SiteStats) float64 { return s.FuseConfidence }},
+}
+
 // skipReasons breaks the skipped-sample count out by cause under one
 // metric family with a reason label.
 var skipReasons = []struct {
@@ -66,13 +83,18 @@ var skipReasons = []struct {
 // exposition format. Sites appear as a label, ordered by name; scraping
 // is allowed at any time and sees a consistent per-site snapshot.
 func (p *Pipeline) WriteMetrics(w io.Writer) error {
-	return writeSiteMetrics(w, p.Stats())
+	return writeSiteMetrics(w, p.Stats(), p.cfg.Fuse != nil)
 }
 
 // writeSiteMetrics renders a per-site stats snapshot — shared by the
-// single-lock and sharded pipelines.
-func writeSiteMetrics(w io.Writer, stats []SiteStats) error {
-	for _, m := range promMetrics {
+// single-lock and sharded pipelines. fusing adds the counter-fusion
+// families.
+func writeSiteMetrics(w io.Writer, stats []SiteStats, fusing bool) error {
+	families := promMetrics
+	if fusing {
+		families = append(append([]promMetric(nil), promMetrics...), fuseMetrics...)
+	}
+	for _, m := range families {
 		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", m.name, m.help, m.name, m.kind); err != nil {
 			return err
 		}

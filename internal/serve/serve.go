@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"hpcap/internal/core"
+	"hpcap/internal/fuse"
 	"hpcap/internal/metrics"
 	"hpcap/internal/server"
 )
@@ -65,6 +66,18 @@ type Config struct {
 	// windows move a degraded or stale site back to healthy. Zero selects
 	// 3; negative selects 1 (the first clean window recovers).
 	RecoverWindows int
+	// Fuse, when non-nil, inserts a per-site, per-tier counter-fusion
+	// stage (internal/fuse) between ingest and window aggregation: each
+	// 1-second vector is de-noised through the counter factor graph
+	// before it reaches the aggregator, NaN/Inf and gated readings are
+	// imputed from coupled counters instead of dropping the sample, and
+	// every decision carries the window's mean per-counter confidence.
+	// Windows whose confidence falls below the fuse config's
+	// ConfidenceFloor are flagged LowConfidence and walk the degradation
+	// ladder like partial windows. Nil (the default) disables fusion;
+	// the nil path is bit-identical to a pipeline built before fusion
+	// existed. The zero fuse.Config selects fuse.DefaultConfig.
+	Fuse *fuse.Config
 }
 
 // Health is a site's position on the degradation ladder. The serving
@@ -148,6 +161,17 @@ type Decision struct {
 	// ModelVersion is the site's active model version at decision time
 	// (0 until the first hot-swap).
 	ModelVersion int64
+	// Confidence is the window's mean per-counter fusion confidence in
+	// [0, 1]: 1 when every reading was accepted raw, lower as readings
+	// were imputed from coupled counters or filter priors. Always 1 when
+	// fusion is disabled.
+	Confidence float64
+	// LowConfidence marks a window whose Confidence fell below the fuse
+	// config's ConfidenceFloor: the decision stands but came mostly from
+	// imputed readings, so downstream consumers (the registry's retrain
+	// guard, the degradation ladder) treat it like a degraded window.
+	// Always false when fusion is disabled.
+	LowConfidence bool
 }
 
 // SwapEvent announces a model hot-swap on one site.
@@ -198,6 +222,13 @@ type SiteStats struct {
 	// Freshness (for readiness probes).
 	LastDecisionSeq  int64   // most recent decided window; -1 before the first
 	LastDecisionTime float64 // its stream timestamp in seconds
+
+	// Counter fusion (all zero unless Config.Fuse is set).
+	SamplesFused         uint64  // samples run through the fusion stage
+	FuseImputed          uint64  // counter readings replaced by the factor graph or filter prior
+	FuseGated            uint64  // readings rejected by the innovation gate (subset of FuseImputed)
+	WindowsLowConfidence uint64  // decided windows flagged LowConfidence
+	FuseConfidence       float64 // mean confidence of the most recent decided window
 
 	// Degradation ladder.
 	Health Health // current state (healthy until a fault says otherwise)
@@ -280,6 +311,9 @@ func (c Config) Validate() []error {
 	var errs []error
 	if c.Window < 0 {
 		errs = append(errs, fmt.Errorf("serve: %w: window %d must be positive", core.ErrBadConfig, c.Window))
+	}
+	if c.Fuse != nil {
+		errs = append(errs, c.Fuse.Validate()...)
 	}
 	return errs
 }

@@ -754,7 +754,7 @@ func (sp *ShardedPipeline) Totals() ShardStats {
 // WriteMetrics renders the per-site serving counters (as Pipeline) plus
 // the per-shard queue families in Prometheus text exposition format.
 func (sp *ShardedPipeline) WriteMetrics(w io.Writer) error {
-	if err := writeSiteMetrics(w, sp.Stats()); err != nil {
+	if err := writeSiteMetrics(w, sp.Stats(), sp.cfg.Fuse != nil); err != nil {
 		return err
 	}
 	return writeShardMetrics(w, sp.ShardStats())

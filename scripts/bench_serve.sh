@@ -50,9 +50,11 @@ awk '
 ' "$tmp" >> "$rows"
 
 # Steady-state fleet ingest: the whole run fits inside one 30-second
-# window, so the rows measure the per-sample path alone.
+# window, so the rows measure the per-sample path alone. The -fuse leg
+# prices the counter-fusion stage on the same stream.
 go run ./cmd/capstress -sites "$sites" -seconds "$seconds" >> "$rows"
 go run ./cmd/capstress -sites "$sites" -seconds "$seconds" -shards 8 >> "$rows"
+go run ./cmd/capstress -sites "$sites" -seconds "$seconds" -shards 8 -fuse >> "$rows"
 
 # Decision-inclusive legs: long enough to close a window per site, so the
 # shared per-window Predict cost is amortized into both rows.
