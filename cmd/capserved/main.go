@@ -23,12 +23,27 @@
 //	capserved -scale quick -sites 3 -duration 900   # simulate and exit
 //	capserved -addr :8080 -hold                     # keep /metrics up after the run
 //	capserved -admission 8                          # close the loop: shed load when overloaded
+//	capserved -topology                             # sites run on the tier-DAG testbed (lb → app pool → cache → store)
+//	capserved -topology -autoscale                  # grow/shrink the bottleneck pool on overload verdicts
 //	capserved -level os                             # monitor on OS metrics instead of counters
 //	capserved -adapt                                # retrain and hot-swap on drift
 //	capserved -chaos "outage tier=db at=120 for=30" # inject telemetry faults
 //	capserved -fuse -chaos "nan tier=app at=60 for=30 p=0.3" # de-noise the faulted stream
 //	capserved -shards 8 -sites 1000                 # sharded fleet-scale ingest
 //	capserved -listen :9106 -wal frames.wal         # network ingest from capagent, durable replay
+//
+// With -topology the simulated sites run on the tier-DAG testbed
+// (internal/server.DAGTestbed) over the reference four-pool topology —
+// load balancer, replicated app pool, look-aside cache, sharded store —
+// instead of the legacy two-tier testbed; the same monitor serves either,
+// since the DAG folds to the legacy per-slot snapshot. Adding -autoscale
+// starts every pool at its minimum replica count and closes the replica
+// loop: each overload verdict feeds the registry autoscaler
+// (internal/registry.Autoscaler), which grows the pool with the highest
+// offered-to-capacity ratio, backs off during cooldown, and drains idle
+// replicas when the burst passes. Scale events are printed as they
+// happen, surfaced per pool on /metrics (capserved_pool_replicas), and
+// summarized per site at exit.
 //
 // With -shards N (N > 0) the daemon serves through the sharded pipeline
 // (serve.ShardedPipeline): sites hash onto N single-threaded shards, each
@@ -120,6 +135,7 @@ type servingPipeline interface {
 	AdmissionValve(site string, limit int) server.AdmissionFunc
 	SwapMonitor(site string, m *core.Monitor, version int64) (serve.SwapEvent, error)
 	NoteDrift(site string, n int)
+	NoteScale(site string, slot server.TierID, replicas int, up bool)
 }
 
 func run(args []string, out io.Writer) error {
@@ -130,6 +146,8 @@ func run(args []string, out io.Writer) error {
 	duration := fs.Float64("duration", 600, "simulated seconds to stream per site")
 	seed := fs.Int64("seed", 1, "master random seed")
 	admission := fs.Int("admission", 0, "admission valve worker bound under overload; 0 leaves sites uncontrolled")
+	topoOn := fs.Bool("topology", false, "simulate each site on the tier-DAG testbed (load balancer, replicated app pool, cache, sharded store) instead of the legacy two-tier testbed")
+	autoscale := fs.Bool("autoscale", false, "close the replica loop: start every pool at its minimum and let the registry autoscaler grow the bottleneck pool on overload verdicts (requires -topology)")
 	adapt := fs.Bool("adapt", false, "run the adaptive model lifecycle: pair decisions with delayed truth, retrain on drift, hot-swap winners")
 	chaosSpec := fs.String("chaos", "", `fault schedule to inject into the telemetry stream, e.g. "drop tier=app at=60 for=30 p=0.25; outage at=300 for=30"`)
 	fuseOn := fs.Bool("fuse", false, "de-noise ingested samples through the Bayesian counter-fusion stage before aggregation")
@@ -157,12 +175,15 @@ func run(args []string, out io.Writer) error {
 	if *pprofOn && *addr == "" {
 		return fmt.Errorf("-pprof requires -addr")
 	}
+	if *autoscale && !*topoOn {
+		return fmt.Errorf("-autoscale requires -topology")
+	}
 	if *listen != "" {
 		// Network ingest replaces the local fleet: the agents own the
 		// testbeds, their collectors, and any chaos, so the local-only
 		// modes have nothing to act on.
-		if *adapt || *admission > 0 || *chaosSpec != "" {
-			return fmt.Errorf("-adapt, -admission, and -chaos need local simulation; run chaos at the agent (capagent -chaos)")
+		if *adapt || *admission > 0 || *chaosSpec != "" || *topoOn {
+			return fmt.Errorf("-adapt, -admission, -chaos, and -topology need local simulation; run chaos at the agent (capagent -chaos)")
 		}
 		if *shards == 0 {
 			// The network ingest path (Register/Batcher) is sharded-only.
@@ -238,6 +259,8 @@ func run(args []string, out io.Writer) error {
 		outMu    sync.Mutex
 		mgr      *registry.Manager
 		trackers map[string]*truthTracker
+		scaler   *registry.Autoscaler
+		dagSites map[string]*simsite.Site
 	)
 	serveCfg := serve.Config{
 		Window: scale.Window,
@@ -257,6 +280,15 @@ func run(args []string, out io.Writer) error {
 			fmt.Fprintf(out, "t=%6.0f %-8s overload=%-5t bottleneck=%-3s gpv=%v%s\n",
 				d.Time, d.Site, d.Prediction.Overload, bott, d.Prediction.GPV, flag)
 			outMu.Unlock()
+			// The autoscaler reads the site's live pool loads; decisions
+			// fire while the lockstep simulation is parked (unsharded:
+			// inside Ingest; sharded: inside the per-second Sync), so the
+			// testbed is quiescent here.
+			if scaler != nil {
+				if ds := dagSites[d.Site]; ds != nil {
+					scaler.Observe(d, ds.DAG.PoolLoads())
+				}
+			}
 			if mgr == nil {
 				return
 			}
@@ -344,13 +376,65 @@ func run(args []string, out io.Writer) error {
 		trackers = make(map[string]*truthTracker)
 	}
 
+	// Topology mode swaps the fleet onto the reference tier DAG; with
+	// -autoscale every pool starts at its minimum so the burst schedule
+	// forces the autoscaler to find the right size.
+	var topo server.TopologyConfig
+	var slotOf map[string]server.TierID
+	if *topoOn {
+		topo = server.DefaultTopologyConfig()
+		if *autoscale {
+			for i := range topo.Pools {
+				if topo.Pools[i].MinReplicas > 0 {
+					topo.Pools[i].Replicas = topo.Pools[i].MinReplicas
+				}
+			}
+		}
+		slotOf = make(map[string]server.TierID, len(topo.Pools))
+		for _, pc := range topo.Pools {
+			slotOf[pc.Name] = pc.Slot
+		}
+	}
+	if *autoscale {
+		dagSites = make(map[string]*simsite.Site)
+		acfg := registry.DefaultAutoscalerConfig()
+		acfg.Scaler = fleetScaler{dagSites}
+		// One overload verdict arms the scaler (the valve would otherwise
+		// shed the streak away), and the ratio gates fit window CPU ratios
+		// of queue-bound overload, which sit well below 1.
+		acfg.UpWindows = 1
+		acfg.DownWindows = 4
+		acfg.CooldownWindows = 2
+		acfg.UpRatio = 0.3
+		acfg.DownRatio = 0.15
+		acfg.OnScale = func(e registry.ScaleEvent) {
+			pipe.NoteScale(e.Site, slotOf[e.Pool], e.Replicas, e.Up)
+			outMu.Lock()
+			fmt.Fprintf(out, "autoscale: %s\n", e)
+			outMu.Unlock()
+		}
+		scaler, err = registry.NewAutoscaler(acfg)
+		if err != nil {
+			return fmt.Errorf("build autoscaler: %w", err)
+		}
+	}
+
 	fleet := make([]*simsite.Site, *sites)
 	names := make([]string, *sites)
 	for i := range fleet {
 		name := fmt.Sprintf("site-%d", i+1)
-		s, err := simsite.New(name, lab.Server, level, i, wb, wo, *seed, *duration)
+		var s *simsite.Site
+		var err error
+		if *topoOn {
+			s, err = simsite.NewDAG(name, topo, level, i, wb, wo, *seed, *duration)
+		} else {
+			s, err = simsite.New(name, lab.Server, level, i, wb, wo, *seed, *duration)
+		}
 		if err != nil {
 			return fmt.Errorf("build %s: %w", name, err)
+		}
+		if dagSites != nil {
+			dagSites[name] = s
 		}
 		if *admission > 0 {
 			s.TB.SetAdmission(pipe.AdmissionValve(name, *admission))
@@ -439,6 +523,17 @@ func run(args []string, out io.Writer) error {
 				s.Name, arrivals, completions, rejections, inFlight)
 		}
 	}
+	if scaler != nil {
+		for _, s := range fleet {
+			ups, downs := s.DAG.ScaleEvents()
+			var pools string
+			for _, pc := range topo.Pools {
+				pools += fmt.Sprintf(" %s=%d", pc.Name, s.DAG.Replicas(pc.Name))
+			}
+			fmt.Fprintf(out, "%-8s autoscale ups=%d downs=%d replicas:%s bottleneck=%s\n",
+				s.Name, ups, downs, pools, s.DAG.Bottleneck())
+		}
+	}
 	if mgr != nil {
 		fmt.Fprintln(out)
 		for _, s := range fleet {
@@ -454,6 +549,25 @@ func run(args []string, out io.Writer) error {
 		select {}
 	}
 	return nil
+}
+
+// fleetScaler routes the registry autoscaler's replica actions to the
+// addressed site's DAG testbed. Lookups miss (and the action no-ops) for
+// names the fleet does not carry.
+type fleetScaler struct{ sites map[string]*simsite.Site }
+
+func (f fleetScaler) AddReplica(site, pool string) (int, bool) {
+	if s := f.sites[site]; s != nil && s.DAG != nil {
+		return s.DAG.AddReplica(pool)
+	}
+	return 0, false
+}
+
+func (f fleetScaler) RemoveReplica(site, pool string) (int, bool) {
+	if s := f.sites[site]; s != nil && s.DAG != nil {
+		return s.DAG.RemoveReplica(pool)
+	}
+	return 0, false
 }
 
 // serveNetwork is the -listen half of the daemon: frames arrive from

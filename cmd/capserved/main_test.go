@@ -347,6 +347,52 @@ func TestFuseRun(t *testing.T) {
 	}
 }
 
+// TestTopologyAutoscaleRun drives -topology -autoscale end to end: the
+// fleet runs on the reference tier DAG with every pool at its minimum,
+// the bursting site overloads, the autoscaler grows its bottleneck pool
+// (printed as scale events and counted in the per-site summary), and the
+// pool-replica gauge appears on /metrics.
+func TestTopologyAutoscaleRun(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("free port: %v", err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	var out strings.Builder
+	if err := run([]string{
+		"-scale", "quick", "-sites", "2", "-duration", "420",
+		"-topology", "-autoscale", "-addr", addr,
+	}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"autoscale: scale site=", "dir=up",
+		"autoscale ups=", "replicas: app=",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q in:\n%s", want, got)
+		}
+	}
+
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("read /metrics: %v", err)
+	}
+	for _, want := range []string{"capserved_pool_replicas{", "capserved_autoscale_total{"} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("/metrics missing %q in:\n%s", want, body)
+		}
+	}
+}
+
 // TestBadFlags pins the error paths.
 // TestPprofMountOptIn pins that the runtime profiler is served only when
 // asked for: /debug/pprof/ answers on a -pprof mux and 404s otherwise.
@@ -383,7 +429,9 @@ func TestBadFlags(t *testing.T) {
 		{"-scale", "medium"},
 		{"-level", "gpu"},
 		{"-sites", "0"},
-		{"-pprof"}, // profiling needs the HTTP mux (-addr)
+		{"-pprof"},                          // profiling needs the HTTP mux (-addr)
+		{"-autoscale"},                      // the replica loop needs the DAG testbed (-topology)
+		{"-topology", "-listen", "0:bogus"}, // topology sites are local-simulation only
 	} {
 		if err := run(args, io.Discard); err == nil {
 			t.Errorf("run(%v) succeeded, want error", args)

@@ -7,6 +7,7 @@
 //
 //	capstress -mix browsing -ebs 400 -duration 1800
 //	capstress -mix ordering -ramp 50:700:10 -step 120
+//	capstress -traffic "steady mix=browsing base=300 for=240; flash base=300 peak=2000 for=240 hold=120 decay=60"
 //	capstress -ebs 300 -chaos "nan tier=app at=120 for=60 p=0.2"
 //	capstress -sites 100000 -seconds 40              # fleet-scale ingest, unsharded
 //	capstress -sites 100000 -seconds 40 -shards 8    # sharded fleet-scale ingest
@@ -69,6 +70,7 @@ func run(args []string) error {
 	mixName := fs.String("mix", "shopping", "traffic mix: browsing|shopping|ordering|unknown")
 	ebs := fs.Int("ebs", 200, "steady emulated-browser population")
 	ramp := fs.String("ramp", "", "ramp start:end:steps (overrides -ebs)")
+	traffic := fs.String("traffic", "", `traffic program (overrides -mix/-ebs/-ramp), e.g. "steady mix=browsing base=300 for=240; flash base=300 peak=2000 for=300 hold=120 decay=60"`)
 	step := fs.Float64("step", 120, "ramp step duration, seconds")
 	duration := fs.Float64("duration", 1800, "steady run duration, seconds")
 	window := fs.Int("window", 30, "reporting window, seconds")
@@ -106,7 +108,16 @@ func run(args []string) error {
 		return err
 	}
 	var sched tpcw.Schedule
-	if *ramp != "" {
+	if *traffic != "" {
+		if *ramp != "" {
+			return fmt.Errorf("-traffic and -ramp are mutually exclusive")
+		}
+		prog, err := tpcw.ParseTraffic(*traffic)
+		if err != nil {
+			return fmt.Errorf("-traffic: %w", err)
+		}
+		sched = prog.Schedule()
+	} else if *ramp != "" {
 		parts := strings.Split(*ramp, ":")
 		if len(parts) != 3 {
 			return fmt.Errorf("bad -ramp %q, want start:end:steps", *ramp)

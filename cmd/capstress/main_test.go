@@ -31,6 +31,12 @@ func TestRunRejectsBadInput(t *testing.T) {
 	if err := run([]string{"-ramp", "a:b:c"}); err == nil {
 		t.Error("non-numeric ramp not rejected")
 	}
+	if err := run([]string{"-traffic", "bogus for=10"}); err == nil {
+		t.Error("unknown traffic shape not rejected")
+	}
+	if err := run([]string{"-traffic", "steady for=60", "-ramp", "10:30:2"}); err == nil {
+		t.Error("-traffic with -ramp not rejected")
+	}
 }
 
 func TestRunSteadyShort(t *testing.T) {
@@ -41,6 +47,15 @@ func TestRunSteadyShort(t *testing.T) {
 
 func TestRunRampShort(t *testing.T) {
 	if err := run([]string{"-mix", "ordering", "-ramp", "10:30:2", "-step", "30"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunTrafficShort drives a multi-clause traffic program through the
+// classic stress table.
+func TestRunTrafficShort(t *testing.T) {
+	prog := "steady mix=browsing base=20 for=30; leak base=20 rate=0.5 for=30"
+	if err := run([]string{"-traffic", prog, "-window", "30"}); err != nil {
 		t.Fatal(err)
 	}
 }

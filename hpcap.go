@@ -11,8 +11,11 @@
 // layers a user touches are:
 //
 //   - Workload and testbed: build a tpcw schedule (Browsing/Shopping/
-//     Ordering mixes, ramps, spikes, interleavings) and run it on the
-//     simulated two-tier site with NewTestbed.
+//     Ordering mixes, ramps, spikes, interleavings, diurnal cycles, flash
+//     crowds, slow leaks — or a scripted TrafficProgram) and run it on
+//     the simulated two-tier site with NewTestbed, or on an arbitrary
+//     tier DAG of replica pools with NewDAGTestbed, whose bottleneck pool
+//     the registry Autoscaler can grow and shrink online.
 //   - Capacity monitor: train a Monitor (per-workload, per-tier performance
 //     synopses plus the two-level coordinated predictor) on labeled window
 //     traces, then predict through per-stream MonitorSessions for online
@@ -116,6 +119,31 @@ var (
 	Concat       = tpcw.Concat
 )
 
+// Deterministic traffic shapes and the traffic-program grammar: compose
+// diurnal cycles, flash crowds, and slow leaks directly, or script them
+// as text ("steady mix=browsing base=400 for=300; flash base=400
+// peak=2000000 for=120 hold=30 decay=30") and expand with
+// TrafficProgram.Schedule. ParseTraffic never panics on garbage (the
+// traffic fuzz test pins this) and round-trips TrafficProgram.String.
+type (
+	// TrafficProgram is a scripted load program of consecutive shapes.
+	TrafficProgram = tpcw.Traffic
+	// TrafficShape is one clause of a traffic program.
+	TrafficShape = tpcw.Shape
+	// TrafficShapeKind names a clause type (steady, ramp, diurnal,
+	// flash, leak).
+	TrafficShapeKind = tpcw.ShapeKind
+)
+
+// Traffic-shape constructors and the program parser.
+var (
+	Diurnal      = tpcw.Diurnal
+	FlashCrowd   = tpcw.FlashCrowd
+	SlowLeak     = tpcw.SlowLeak
+	ParseTraffic = tpcw.ParseTraffic
+	MixByName    = tpcw.MixByName
+)
+
 // Testbed simulation.
 type (
 	// ServerConfig configures the simulated two-tier site.
@@ -147,6 +175,51 @@ var DefaultServerConfig = server.DefaultConfig
 
 // NewTestbed builds a simulated website under the given schedule.
 var NewTestbed = server.NewTestbed
+
+// Tier-DAG topologies: arbitrary pool graphs (load balancer → replicated
+// app pool → caches → sharded stores) behind the same monitor and
+// serving surface as the legacy two-tier testbed. Each pool folds its
+// replica-mean counters into one of the fixed monitor tier slots, so a
+// monitor trained on the paper's testbed serves any DAG.
+type (
+	// TopologyConfig defines a tier DAG: named replica pools wired by
+	// Downstream edges, requests entering at Entry.
+	TopologyConfig = server.TopologyConfig
+	// PoolConfig describes one replica pool (role, replicas and scaling
+	// bounds, per-replica tier configuration, demand routing).
+	PoolConfig = server.PoolConfig
+	// PoolKind classifies a pool's role (front, cache, store).
+	PoolKind = server.PoolKind
+	// DAGTestbed is the simulated website over a TopologyConfig.
+	DAGTestbed = server.DAGTestbed
+	// DAGSnapshot is one interval of per-pool testbed telemetry; Legacy
+	// folds it to the two-slot Snapshot shape.
+	DAGSnapshot = server.DAGSnapshot
+	// PoolSnapshot is one pool's slice of a DAGSnapshot.
+	PoolSnapshot = server.PoolSnapshot
+	// PoolLoad is one pool's offered-demand-to-capacity reading, the
+	// autoscaler's bottleneck signal.
+	PoolLoad = server.PoolLoad
+)
+
+// The pool roles of a tier DAG.
+const (
+	PoolFront = server.PoolFront
+	PoolCache = server.PoolCache
+	PoolStore = server.PoolStore
+)
+
+// Topology constructors: TwoTierTopology expresses a legacy Config as
+// the degenerate DAG (byte-identical replay, pinned by the equivalence
+// test); DefaultTopologyConfig is the calibrated four-pool reference
+// DAG; BottleneckPool picks the highest-loaded pool from a PoolLoad
+// slice.
+var (
+	NewDAGTestbed         = server.NewDAGTestbed
+	TwoTierTopology       = server.TwoTierTopology
+	DefaultTopologyConfig = server.DefaultTopologyConfig
+	BottleneckPool        = server.BottleneckPool
+)
 
 // Metric levels.
 type Level = metrics.Level
@@ -437,6 +510,31 @@ var (
 	NewLifecycleManager = registry.NewManager
 )
 
+// Closed-loop autoscaling: the registry's second actuator besides the
+// admission valve. An Autoscaler consumes the pipeline's overload
+// verdicts together with live per-pool loads, arms on a streak of
+// confirming windows, and grows or shrinks the bottleneck pool through
+// the Scaler the caller provides (a DAGTestbed in the simulated fleet, a
+// cluster API in a real one), with a cooldown between actions. See
+// DESIGN.md §15 for the scaler-versus-valve arbitration.
+type (
+	// Autoscaler turns overload verdicts plus pool loads into replica
+	// actions.
+	Autoscaler = registry.Autoscaler
+	// AutoscalerConfig tunes the streak, ratio, and cooldown gates.
+	AutoscalerConfig = registry.AutoscalerConfig
+	// Scaler is the actuator surface an Autoscaler drives.
+	Scaler = registry.Scaler
+	// ScaleEvent announces one applied replica action.
+	ScaleEvent = registry.ScaleEvent
+)
+
+// Autoscaler constructors.
+var (
+	NewAutoscaler           = registry.NewAutoscaler
+	DefaultAutoscalerConfig = registry.DefaultAutoscalerConfig
+)
+
 // Learners.
 type Learner = ml.Learner
 
@@ -483,6 +581,11 @@ type (
 	// (Lab.RunFusionReplay): the same stream served clean, corrupted raw,
 	// and corrupted fused, with windowed error and drift fires per run.
 	FusionReplay = experiment.FusionReplay
+	// AutoscaleReplay is the closed-loop capacity experiment result
+	// (Lab.RunAutoscaleReplay): the same flash crowd served under
+	// admission-only shedding and under autoscaling, with the scaling arm
+	// serving strictly more.
+	AutoscaleReplay = experiment.AutoscaleReplay
 )
 
 // Conventional overload detectors (the comparators of §I/§II.A).

@@ -271,3 +271,67 @@ func TestFacadeDistributedCollection(t *testing.T) {
 		t.Fatalf("replayed frame %+v differs from original %+v", got, frame)
 	}
 }
+
+// TestFacadeTopologyAutoscale drives the tier-DAG and autoscaling surface
+// through the facade: parse a traffic program, run it on the reference
+// DAG, and let an Autoscaler grow the bottleneck pool through the
+// testbed.
+func TestFacadeTopologyAutoscale(t *testing.T) {
+	prog, err := hpcap.ParseTraffic(
+		"steady mix=browsing base=100 for=60; flash base=100 peak=900 for=120 hold=60 decay=30")
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo := hpcap.DefaultTopologyConfig()
+	for i := range topo.Pools {
+		if topo.Pools[i].MinReplicas > 0 {
+			topo.Pools[i].Replicas = topo.Pools[i].MinReplicas
+		}
+	}
+	tb, err := hpcap.NewDAGTestbed(topo, prog.Schedule())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	acfg := hpcap.DefaultAutoscalerConfig()
+	acfg.Scaler = dagScaler{tb}
+	acfg.UpWindows = 1
+	acfg.UpRatio = 0.3
+	var events []hpcap.ScaleEvent
+	acfg.OnScale = func(e hpcap.ScaleEvent) { events = append(events, e) }
+	as, err := hpcap.NewAutoscaler(acfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var seq int64
+	for elapsed := 0.0; elapsed < prog.Schedule().Duration(); elapsed += 30 {
+		dsnap := tb.RunInterval(30)
+		snap := dsnap.Legacy()
+		loads := tb.PoolLoads()
+		overload := snap.MeanRT > 2
+		as.Observe(hpcap.Decision{
+			Site: "site", Seq: seq, Time: snap.Time,
+			Prediction: hpcap.Prediction{Overload: overload},
+		}, loads)
+		seq++
+	}
+	if len(events) == 0 {
+		t.Fatal("flash crowd at minimum replicas triggered no scale event")
+	}
+	if got := tb.Replicas(events[0].Pool); got < 2 {
+		t.Errorf("pool %s has %d replicas after scale-up, want >= 2", events[0].Pool, got)
+	}
+	if hpcap.BottleneckPool(tb.PoolLoads()) < 0 {
+		t.Error("BottleneckPool found no pool")
+	}
+}
+
+// dagScaler adapts a DAGTestbed to the facade Scaler surface.
+type dagScaler struct{ tb *hpcap.DAGTestbed }
+
+func (s dagScaler) AddReplica(_, pool string) (int, bool)    { return s.tb.AddReplica(pool) }
+func (s dagScaler) RemoveReplica(_, pool string) (int, bool) { return s.tb.RemoveReplica(pool) }

@@ -96,6 +96,7 @@ func (l *Lab) RunDriftReplay(workers int) (*DriftReplay, error) {
 		Seed:          l.Seed + driftReplaySeed,
 		Labeler:       l.Labeler,
 		RecordSeconds: true,
+		Topology:      l.Topology,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("experiment: generate mix-shift trace: %w", err)

@@ -1,0 +1,93 @@
+package experiment
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestDeterminismAutoscaleReplay pins the closed-loop capacity experiment
+// end to end: the same seeded flash crowd slams the DAG testbed twice,
+// once shed by the admission valve alone and once with the registry's
+// Autoscaler additionally growing the bottleneck pool, and the scaling
+// arm must serve strictly more requests. The whole transcript — window
+// verdicts, averaged pool ratios, scale events, served totals — must be
+// byte-identical between a sequential and a Workers=8 run and match the
+// committed golden. Regenerate the fixture with
+//
+//	go test ./internal/experiment -run TestDeterminismAutoscaleReplay -update
+func TestDeterminismAutoscaleReplay(t *testing.T) {
+	if testing.Short() {
+		t.Skip("four full flash-crowd replays; skipped in -short")
+	}
+	seq, err := NewLab(QuickScale()).RunAutoscaleReplay(1)
+	if err != nil {
+		t.Fatalf("RunAutoscaleReplay(1): %v", err)
+	}
+	par, err := NewLab(QuickScale()).RunAutoscaleReplay(8)
+	if err != nil {
+		t.Fatalf("RunAutoscaleReplay(8): %v", err)
+	}
+	if seq.Log != par.Log {
+		t.Fatalf("parallel transcript diverged from sequential\n--- sequential ---\n%s\n--- parallel ---\n%s", seq.Log, par.Log)
+	}
+
+	if seq.Ups == 0 {
+		t.Error("the flash crowd triggered no scale-up")
+	}
+	if seq.Downs == 0 {
+		t.Error("the recovery tail triggered no scale-down")
+	}
+	if seq.AutoscaleServed <= seq.AdmissionServed {
+		t.Errorf("autoscaling served %d requests, admission-only %d — scaling must win strictly",
+			seq.AutoscaleServed, seq.AdmissionServed)
+	}
+	if !strings.Contains(seq.Log, "dir=up") || !strings.Contains(seq.Log, "dir=down") {
+		t.Error("transcript records no scale events in both directions")
+	}
+
+	golden := filepath.Join("testdata", "autoscale_replay.golden")
+	if *update {
+		if err := os.WriteFile(golden, []byte(seq.Log), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s", golden)
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden fixture (run with -update to regenerate): %v", err)
+	}
+	if seq.Log != string(want) {
+		t.Fatalf("transcript diverged from the golden fixture (run with -update if the change is intended)\n--- got ---\n%s\n--- want ---\n%s", seq.Log, want)
+	}
+}
+
+// TestShardedAutoscaleDeterminism replays the same flash crowd through
+// the sharded serving pipeline — hash routing, batch queues, per-second
+// Sync, NoteScale through the shard lock — and requires the transcript
+// byte-identical to the unsharded golden at several shard counts.
+func TestShardedAutoscaleDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full flash-crowd replays per shard count; skipped in -short")
+	}
+	golden := filepath.Join("testdata", "autoscale_replay.golden")
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden fixture (run TestDeterminismAutoscaleReplay -update to regenerate): %v", err)
+	}
+	for _, shards := range []int{1, 4} {
+		res, err := NewLab(QuickScale()).RunAutoscaleReplaySharded(8, shards)
+		if err != nil {
+			t.Fatalf("RunAutoscaleReplaySharded(8, %d): %v", shards, err)
+		}
+		if res.Log != string(want) {
+			t.Errorf("shards=%d transcript diverged from the unsharded golden\n--- got ---\n%s\n--- want ---\n%s",
+				shards, res.Log, want)
+		}
+		if res.Ups == 0 || res.AutoscaleServed <= res.AdmissionServed {
+			t.Errorf("shards=%d summary diverged: %+v", shards, res)
+		}
+	}
+}

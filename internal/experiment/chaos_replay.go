@@ -143,6 +143,7 @@ func (l *Lab) runChaosReplay(workers, shards int) (*ChaosReplay, error) {
 		Seed:          l.Seed + chaosReplaySeed,
 		Labeler:       l.Labeler,
 		RecordSeconds: true,
+		Topology:      l.Topology,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("experiment: generate chaos trace: %w", err)

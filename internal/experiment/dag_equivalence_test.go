@@ -1,0 +1,55 @@
+package experiment
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"hpcap/internal/server"
+)
+
+// TestTwoTierDAGEquivalence pins the degenerate DAG against the legacy
+// testbed at full system scope: a lab whose traces run on the tier-DAG
+// testbed over server.TwoTierTopology must reproduce the committed chaos
+// and fusion storm goldens byte for byte. Any hidden divergence between
+// the two dispatch paths — an extra random draw, a reordered event, a
+// float folded differently — lands in the collector vectors and breaks
+// the transcript, so this one test transitively covers the whole
+// trace → train → serve → lifecycle stack.
+func TestTwoTierDAGEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full storm replays on the DAG testbed; skipped in -short")
+	}
+	dagLab := func() *Lab {
+		l := NewLab(QuickScale())
+		topo := server.TwoTierTopology(l.Server)
+		l.Topology = &topo
+		return l
+	}
+
+	chaosGolden, err := os.ReadFile(filepath.Join("testdata", "chaos_replay.golden"))
+	if err != nil {
+		t.Fatalf("read chaos golden (run TestDeterminismChaosReplay -update to regenerate): %v", err)
+	}
+	chaos, err := dagLab().RunChaosReplay(1)
+	if err != nil {
+		t.Fatalf("RunChaosReplay on the degenerate DAG: %v", err)
+	}
+	if chaos.Log != string(chaosGolden) {
+		t.Errorf("degenerate-DAG chaos transcript diverged from the legacy golden\n--- got ---\n%s\n--- want ---\n%s",
+			chaos.Log, chaosGolden)
+	}
+
+	fusionGolden, err := os.ReadFile(filepath.Join("testdata", "fusion_replay.golden"))
+	if err != nil {
+		t.Fatalf("read fusion golden (run TestDeterminismFusionReplay -update to regenerate): %v", err)
+	}
+	fusion, err := dagLab().RunFusionReplay(1)
+	if err != nil {
+		t.Fatalf("RunFusionReplay on the degenerate DAG: %v", err)
+	}
+	if fusion.Log != string(fusionGolden) {
+		t.Errorf("degenerate-DAG fusion transcript diverged from the legacy golden\n--- got ---\n%s\n--- want ---\n%s",
+			fusion.Log, fusionGolden)
+	}
+}

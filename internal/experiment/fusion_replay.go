@@ -226,6 +226,7 @@ func (l *Lab) runFusionReplay(workers, shards int, loopback bool) (*FusionReplay
 		Seed:          l.Seed + fusionReplaySeed,
 		Labeler:       l.Labeler,
 		RecordSeconds: true,
+		Topology:      l.Topology,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("experiment: generate fusion trace: %w", err)

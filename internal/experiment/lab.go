@@ -39,6 +39,13 @@ type Lab struct {
 	// negative selects GOMAXPROCS. Workers = 1 reproduces the strictly
 	// sequential run.
 	Workers int
+	// Topology, when non-nil, runs every generated trace on the tier-DAG
+	// testbed over this topology instead of the fixed two-tier one (see
+	// TraceConfig.Topology). The degenerate server.TwoTierTopology(Server)
+	// reproduces every nil-topology transcript byte for byte — the
+	// two-tier DAG equivalence test pins this against the chaos and
+	// fusion goldens.
+	Topology *server.TopologyConfig
 
 	mu        sync.Mutex
 	workloads map[string]*cell[Workload]
@@ -115,6 +122,7 @@ func (l *Lab) generate(key string, sched tpcw.Schedule, seed int64, overheadOn b
 			Seed:            seed,
 			Labeler:         l.Labeler,
 			CollectOverhead: overheadOn,
+			Topology:        l.Topology,
 		})
 		if err != nil {
 			c.err = fmt.Errorf("experiment: generate %s: %w", key, err)

@@ -136,6 +136,15 @@ type TraceConfig struct {
 	// trace (SecTimes/SecOS/SecHPC) so the run can be replayed
 	// sample-by-sample through the online serving layer.
 	RecordSeconds bool
+	// Topology, when non-nil, runs the schedule on a tier-DAG testbed
+	// (server.NewDAGTestbed) instead of the fixed two-tier one; Server is
+	// then ignored except as the source of the collector machine models
+	// for slots no pool occupies. The DAG's per-pool snapshots are folded
+	// to the legacy tier slots, so the rest of the pipeline (collectors,
+	// windows, labeling) is topology-blind. Seed still comes from Seed.
+	// server.TwoTierTopology(cfg.Server) reproduces the nil path
+	// byte-for-byte.
+	Topology *server.TopologyConfig
 }
 
 // DefaultTraceConfig returns trace generation at the paper's settings:
@@ -169,6 +178,11 @@ func (c TraceConfig) Validate() []error {
 	for _, err := range c.Server.Validate() {
 		errs = append(errs, fmt.Errorf("experiment: %w: %v", core.ErrBadConfig, err))
 	}
+	if c.Topology != nil {
+		for _, err := range c.Topology.Validate() {
+			errs = append(errs, fmt.Errorf("experiment: %w: %v", core.ErrBadConfig, err))
+		}
+	}
 	return errs
 }
 
@@ -195,24 +209,58 @@ func Generate(cfg TraceConfig) (*Trace, error) {
 	}
 	srvCfg := cfg.Server
 	srvCfg.Seed = cfg.Seed
-	tb, err := server.NewTestbed(srvCfg, cfg.Schedule)
-	if err != nil {
-		return nil, err
-	}
-	if cfg.CollectOverhead {
-		for tier := server.TierID(0); tier < server.NumTiers; tier++ {
-			tb.AddPeriodicLoad(tier, 1.0, metrics.HPCSampleCost+metrics.OSSampleCost)
+	machines := [server.NumTiers]server.MachineConfig{srvCfg.App.Machine, srvCfg.DB.Machine}
+	// step advances whichever testbed is behind the trace by one interval
+	// and reports it in the legacy per-slot snapshot shape.
+	var step func(dt float64) server.Snapshot
+	if cfg.Topology != nil {
+		topo := *cfg.Topology
+		topo.Seed = cfg.Seed
+		dtb, err := server.NewDAGTestbed(topo, cfg.Schedule)
+		if err != nil {
+			return nil, err
 		}
-	}
-	if err := tb.Start(); err != nil {
-		return nil, err
+		if cfg.CollectOverhead {
+			// Every replica machine runs the collectors, so every pool is
+			// charged (in declaration order, keeping the event sequence
+			// deterministic).
+			for _, pc := range topo.Pools {
+				dtb.AddPeriodicLoad(pc.Name, 1.0, metrics.HPCSampleCost+metrics.OSSampleCost)
+			}
+		}
+		if err := dtb.Start(); err != nil {
+			return nil, err
+		}
+		step = dtb.RunIntervalLegacy
+		// The collectors model the machine of the first pool occupying
+		// each slot; slots no pool occupies keep the legacy machines.
+		seen := [server.NumTiers]bool{}
+		for _, pc := range topo.Pools {
+			if pc.Slot >= 0 && pc.Slot < server.NumTiers && !seen[pc.Slot] {
+				machines[pc.Slot] = pc.Tier.Machine
+				seen[pc.Slot] = true
+			}
+		}
+	} else {
+		tb, err := server.NewTestbed(srvCfg, cfg.Schedule)
+		if err != nil {
+			return nil, err
+		}
+		if cfg.CollectOverhead {
+			for tier := server.TierID(0); tier < server.NumTiers; tier++ {
+				tb.AddPeriodicLoad(tier, 1.0, metrics.HPCSampleCost+metrics.OSSampleCost)
+			}
+		}
+		if err := tb.Start(); err != nil {
+			return nil, err
+		}
+		step = func(dt float64) server.Snapshot { return tb.RunInterval(dt) }
 	}
 
 	type tierCollectors struct {
 		os  *metrics.Aggregator
 		hpc *metrics.Aggregator
 	}
-	machines := [server.NumTiers]server.MachineConfig{srvCfg.App.Machine, srvCfg.DB.Machine}
 	memMB := [server.NumTiers]float64{512, 1024}
 	var coll [server.NumTiers]tierCollectors
 	var recOS, recHPC [server.NumTiers]*recordingCollector
@@ -247,7 +295,7 @@ func Generate(cfg TraceConfig) (*Trace, error) {
 	secInWindow := 0
 	var elapsed float64
 	for elapsed < total {
-		snap := tb.RunInterval(1)
+		snap := step(1)
 		elapsed++
 		secInWindow++
 		if cfg.RecordSeconds {

@@ -80,7 +80,11 @@ const DefaultWindow = 30
 // application-level health observed over the same window (used for offline
 // labeling, never shown to the classifiers).
 type Sample struct {
-	Time        float64 // window end, virtual seconds
+	Time float64 // window end, virtual seconds
+	// Pool names the replica pool the vector was measured on (empty for a
+	// legacy two-tier testbed, where the tier slot already identifies it).
+	// Set via Aggregator.SetPool; carried through untouched otherwise.
+	Pool        string
 	Values      []float64
 	Throughput  float64 // completed requests per second
 	ArrivalRate float64
@@ -95,6 +99,7 @@ type Aggregator struct {
 	appender  AppendCollector // non-nil when collector supports scratch reuse
 	scratch   []float64
 	window    int
+	pool      string // stamped onto every emitted Sample
 
 	count       int
 	sum         []float64
@@ -189,6 +194,12 @@ func (a *Aggregator) push(vec []float64, s server.Snapshot, dt float64) (Sample,
 	return a.emit(dt), true
 }
 
+// SetPool sets the replica-pool label stamped onto every Sample the
+// aggregator emits from now on (including the currently open window).
+// The empty default leaves samples unlabeled, exactly as before pools
+// existed.
+func (a *Aggregator) SetPool(name string) { a.pool = name }
+
 // Count returns how many samples the current (partial) window holds.
 func (a *Aggregator) Count() int { return a.count }
 
@@ -211,6 +222,7 @@ func (a *Aggregator) Flush() (Sample, int) {
 func (a *Aggregator) emit(dt float64) Sample {
 	out := Sample{
 		Time:        a.lastTime,
+		Pool:        a.pool,
 		Values:      make([]float64, len(a.sum)),
 		Throughput:  float64(a.completions) / (float64(a.window) * dt),
 		ArrivalRate: float64(a.arrivals) / (float64(a.window) * dt),

@@ -479,6 +479,26 @@ func (p *Pipeline) NoteDrift(siteName string, n int) {
 	st.mu.Unlock()
 }
 
+// NoteScale records one autoscaling action against a site's counters: the
+// pool at tier slot now runs replicas replicas, after a scale-up (up) or
+// scale-down. The registry's Autoscaler reports its actions here so
+// capacity changes surface alongside the serving metrics. Out-of-range
+// slots are ignored.
+func (p *Pipeline) NoteScale(siteName string, slot server.TierID, replicas int, up bool) {
+	if slot < 0 || slot >= server.NumTiers {
+		return
+	}
+	st := p.getSite(siteName)
+	st.mu.Lock()
+	if up {
+		st.stats.ScaleUps++
+	} else {
+		st.stats.ScaleDowns++
+	}
+	st.stats.PoolReplicas[slot] = replicas
+	st.mu.Unlock()
+}
+
 // Flush force-closes every site's in-progress window (end of stream),
 // emitting whatever decisions the staleness budget allows.
 func (p *Pipeline) Flush() {

@@ -3,6 +3,8 @@ package serve
 import (
 	"fmt"
 	"io"
+
+	"hpcap/internal/server"
 )
 
 // promMetric describes one exported counter/gauge over all sites.
@@ -83,13 +85,15 @@ var skipReasons = []struct {
 // exposition format. Sites appear as a label, ordered by name; scraping
 // is allowed at any time and sees a consistent per-site snapshot.
 func (p *Pipeline) WriteMetrics(w io.Writer) error {
-	return writeSiteMetrics(w, p.Stats(), p.cfg.Fuse != nil)
+	return writeSiteMetrics(w, p.Stats(), p.cfg.Fuse != nil, p.cfg)
 }
 
 // writeSiteMetrics renders a per-site stats snapshot — shared by the
 // single-lock and sharded pipelines. fusing adds the counter-fusion
-// families.
-func writeSiteMetrics(w io.Writer, stats []SiteStats, fusing bool) error {
+// families; cfg resolves the pool labels for the autoscaling families,
+// which render only when some site has reported a replica count via
+// NoteScale (a scrape should not suggest an autoscaler that is not there).
+func writeSiteMetrics(w io.Writer, stats []SiteStats, fusing bool, cfg Config) error {
 	families := promMetrics
 	if fusing {
 		families = append(append([]promMetric(nil), promMetrics...), fuseMetrics...)
@@ -115,6 +119,44 @@ func writeSiteMetrics(w io.Writer, stats []SiteStats, fusing bool) error {
 		for _, r := range skipReasons {
 			if _, err := fmt.Fprintf(w, "%s{site=%q,reason=%q} %g\n",
 				skipped, s.Site, r.reason, float64(r.value(s))); err != nil {
+				return err
+			}
+		}
+	}
+	scaling := false
+	for _, s := range stats {
+		for _, n := range s.PoolReplicas {
+			if n != 0 {
+				scaling = true
+			}
+		}
+	}
+	if scaling {
+		const replicas = "capserved_pool_replicas"
+		if _, err := fmt.Fprintf(w, "# HELP %s Active replicas per pool, as last reported by NoteScale.\n# TYPE %s gauge\n",
+			replicas, replicas); err != nil {
+			return err
+		}
+		for _, s := range stats {
+			for slot := server.TierID(0); slot < server.NumTiers; slot++ {
+				if s.PoolReplicas[slot] == 0 {
+					continue
+				}
+				if _, err := fmt.Fprintf(w, "%s{site=%q,pool=%q} %g\n",
+					replicas, s.Site, cfg.PoolLabel(slot), float64(s.PoolReplicas[slot])); err != nil {
+					return err
+				}
+			}
+		}
+		const autoscale = "capserved_autoscale_total"
+		if _, err := fmt.Fprintf(w, "# HELP %s Autoscaling actions applied, by direction.\n# TYPE %s counter\n",
+			autoscale, autoscale); err != nil {
+			return err
+		}
+		for _, s := range stats {
+			if _, err := fmt.Fprintf(w, "%s{site=%q,direction=\"up\"} %g\n%s{site=%q,direction=\"down\"} %g\n",
+				autoscale, s.Site, float64(s.ScaleUps),
+				autoscale, s.Site, float64(s.ScaleDowns)); err != nil {
 				return err
 			}
 		}

@@ -78,6 +78,12 @@ type Config struct {
 	// the nil path is bit-identical to a pipeline built before fusion
 	// existed. The zero fuse.Config selects fuse.DefaultConfig.
 	Fuse *fuse.Config
+	// PoolLabels names the replica pool occupying each tier slot, for the
+	// autoscaling Prometheus families (capserved_pool_replicas and
+	// capserved_autoscale_total). An empty entry falls back to the slot's
+	// TierID name ("app", "db"), so a legacy two-tier deployment needs no
+	// configuration. Purely cosmetic: the labels never affect decisions.
+	PoolLabels [server.NumTiers]string
 }
 
 // Health is a site's position on the degradation ladder. The serving
@@ -219,6 +225,12 @@ type SiteStats struct {
 	ModelVersion  int64  // active model version (0 = initial)
 	LastSwapSeq   int64  // first window decided by the active model; -1 before any swap
 
+	// Autoscaling (all zero until a NoteScale call; the pool families are
+	// rendered only when some site has a nonzero PoolReplicas entry).
+	ScaleUps     uint64               // replica additions reported via NoteScale
+	ScaleDowns   uint64               // replica removals reported via NoteScale
+	PoolReplicas [server.NumTiers]int // active replicas per tier slot (0 = unreported)
+
 	// Freshness (for readiness probes).
 	LastDecisionSeq  int64   // most recent decided window; -1 before the first
 	LastDecisionTime float64 // its stream timestamp in seconds
@@ -316,6 +328,15 @@ func (c Config) Validate() []error {
 		errs = append(errs, c.Fuse.Validate()...)
 	}
 	return errs
+}
+
+// PoolLabel resolves the label for a tier slot's replica pool, falling
+// back to the slot's TierID name when PoolLabels leaves it empty.
+func (c Config) PoolLabel(slot server.TierID) string {
+	if slot >= 0 && slot < server.NumTiers && c.PoolLabels[slot] != "" {
+		return c.PoolLabels[slot]
+	}
+	return slot.String()
 }
 
 // withDefaults resolves the config against a pipeline window.

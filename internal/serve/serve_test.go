@@ -506,6 +506,31 @@ func TestWriteMetrics(t *testing.T) {
 			t.Errorf("metrics output missing %q in:\n%s", want, out)
 		}
 	}
+	// The autoscaling families are gated: absent until NoteScale reports a
+	// replica count, then rendered with the configured pool labels.
+	if strings.Contains(out, "capserved_pool_replicas") || strings.Contains(out, "capserved_autoscale_total") {
+		t.Errorf("pool families rendered before any NoteScale:\n%s", out)
+	}
+	p.NoteScale("shop", server.TierApp, 3, true)
+	p.NoteScale("shop", server.TierDB, 2, false)
+	p.NoteScale("shop", server.TierID(99), 9, true) // out of range: ignored
+	buf.Reset()
+	if err := p.WriteMetrics(&buf); err != nil {
+		t.Fatalf("WriteMetrics: %v", err)
+	}
+	out = buf.String()
+	for _, want := range []string{
+		"# TYPE capserved_pool_replicas gauge",
+		`capserved_pool_replicas{site="shop",pool="app"} 3`,
+		`capserved_pool_replicas{site="shop",pool="db"} 2`,
+		"# TYPE capserved_autoscale_total counter",
+		`capserved_autoscale_total{site="shop",direction="up"} 1`,
+		`capserved_autoscale_total{site="shop",direction="down"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics output missing %q in:\n%s", want, out)
+		}
+	}
 }
 
 // TestSwapMonitorLossFree hot-swaps the model mid-window and asserts the

@@ -611,6 +611,24 @@ func (sp *ShardedPipeline) NoteDrift(siteName string, n int) {
 	sh.emu.Unlock()
 }
 
+// NoteScale records one autoscaling action against a site's counters, as
+// Pipeline.NoteScale.
+func (sp *ShardedPipeline) NoteScale(siteName string, slot server.TierID, replicas int, up bool) {
+	if slot < 0 || slot >= server.NumTiers {
+		return
+	}
+	sh := sp.shards[SiteShard(siteName, len(sp.shards))]
+	sh.emu.Lock()
+	st := &sh.eng.stats[sh.eng.site(siteName)]
+	if up {
+		st.ScaleUps++
+	} else {
+		st.ScaleDowns++
+	}
+	st.PoolReplicas[slot] = replicas
+	sh.emu.Unlock()
+}
+
 // flagsOf returns a site's lock-free flag block, creating the site on
 // first use (mirroring Pipeline.getSite's create-on-read).
 func (sp *ShardedPipeline) flagsOf(siteName string) *siteFlags {
@@ -754,7 +772,7 @@ func (sp *ShardedPipeline) Totals() ShardStats {
 // WriteMetrics renders the per-site serving counters (as Pipeline) plus
 // the per-shard queue families in Prometheus text exposition format.
 func (sp *ShardedPipeline) WriteMetrics(w io.Writer) error {
-	if err := writeSiteMetrics(w, sp.Stats(), sp.cfg.Fuse != nil); err != nil {
+	if err := writeSiteMetrics(w, sp.Stats(), sp.cfg.Fuse != nil, sp.cfg); err != nil {
 		return err
 	}
 	return writeShardMetrics(w, sp.ShardStats())

@@ -193,29 +193,34 @@ func DefaultConfig() Config {
 // sentinel — join them with errors.Join and match on the message.
 func (c Config) Validate() []error {
 	var errs []error
-	for _, tc := range []struct {
-		name string
-		t    TierConfig
-	}{{"app", c.App}, {"db", c.DB}} {
-		if tc.t.MaxWorkers <= 0 {
-			errs = append(errs, fmt.Errorf("server: %s tier MaxWorkers must be positive", tc.name))
-		}
-		if tc.t.Machine.Speed <= 0 || tc.t.Machine.ClockHz <= 0 {
-			errs = append(errs, fmt.Errorf("server: %s tier machine speed/clock must be positive", tc.name))
-		}
-		if tc.t.Machine.BaseIPC <= 0 || tc.t.Machine.InstrPerDemandSec <= 0 {
-			errs = append(errs, fmt.Errorf("server: %s tier machine IPC/instruction rate must be positive", tc.name))
-		}
-		if tc.t.BaseMissRatio < 0 || tc.t.MaxMissRatio < tc.t.BaseMissRatio || tc.t.MaxMissRatio >= 1 {
-			errs = append(errs, fmt.Errorf("server: %s tier miss ratios invalid (base %v, max %v)",
-				tc.name, tc.t.BaseMissRatio, tc.t.MaxMissRatio))
-		}
-		if tc.t.ThrashMB <= 0 {
-			errs = append(errs, fmt.Errorf("server: %s tier ThrashMB must be positive", tc.name))
-		}
-	}
+	errs = append(errs, tierErrs("app tier", c.App)...)
+	errs = append(errs, tierErrs("db tier", c.DB)...)
 	if c.NetworkHop < 0 {
 		errs = append(errs, errors.New("server: NetworkHop must be non-negative"))
+	}
+	return errs
+}
+
+// tierErrs checks one tier's machine and software constraints, returning
+// one error per violation — shared between the legacy two-tier Config and
+// the per-pool checks of TopologyConfig.
+func tierErrs(name string, t TierConfig) []error {
+	var errs []error
+	if t.MaxWorkers <= 0 {
+		errs = append(errs, fmt.Errorf("server: %s MaxWorkers must be positive", name))
+	}
+	if t.Machine.Speed <= 0 || t.Machine.ClockHz <= 0 {
+		errs = append(errs, fmt.Errorf("server: %s machine speed/clock must be positive", name))
+	}
+	if t.Machine.BaseIPC <= 0 || t.Machine.InstrPerDemandSec <= 0 {
+		errs = append(errs, fmt.Errorf("server: %s machine IPC/instruction rate must be positive", name))
+	}
+	if t.BaseMissRatio < 0 || t.MaxMissRatio < t.BaseMissRatio || t.MaxMissRatio >= 1 {
+		errs = append(errs, fmt.Errorf("server: %s miss ratios invalid (base %v, max %v)",
+			name, t.BaseMissRatio, t.MaxMissRatio))
+	}
+	if t.ThrashMB <= 0 {
+		errs = append(errs, fmt.Errorf("server: %s ThrashMB must be positive", name))
 	}
 	return errs
 }

@@ -1,0 +1,698 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+
+	"hpcap/internal/sim"
+	"hpcap/internal/tpcw"
+)
+
+// DAGTestbed simulates a website whose serving path is an arbitrary tier
+// DAG of replica pools (TopologyConfig): a load balancer round-robins
+// requests across the entry pool's replicas, each of which holds its
+// worker across a chain of downstream calls — caches answering some
+// visits locally, store shards executing the rest.
+//
+// The degenerate two-tier topology (TwoTierTopology) replays the legacy
+// Testbed event for event and draw for draw: pools are created in
+// declaration order with one rng fork per replica, dispatch draws the
+// app and DB demands up front exactly as Testbed.dispatch does, and the
+// cache hit coin exists only when a cache pool does. The differential
+// equivalence test pins byte-identical transcripts.
+type DAGTestbed struct {
+	topo     TopologyConfig
+	engine   *sim.Engine
+	rng      *sim.Source
+	profiles map[tpcw.Interaction]tpcw.Profile
+	pools    []*pool
+	byName   map[string]*pool
+	entry    *pool
+
+	schedule  tpcw.Schedule
+	admission AdmissionFunc
+	browsers  []*ebRunner
+	nextEBID  int
+	started   bool
+
+	// Per-interval request accounting (mirrors Testbed).
+	arrivals      int
+	completions   int
+	rejections    int
+	classArrivals [tpcw.NumInteractions]int
+	rtSum         float64
+	rtMax         float64
+	inFlight      int
+
+	// Lifetime totals for conservation checking.
+	totalArrivals    int
+	totalCompletions int
+	totalRejections  int
+
+	// Autoscale accounting.
+	scaleUps   int
+	scaleDowns int
+
+	lastLoads []PoolLoad // loads of the last completed interval
+}
+
+// pool is one replica pool at runtime.
+type pool struct {
+	cfg  PoolConfig
+	reps []*replica
+	rr   int // round-robin routing cursor
+	down []*pool
+
+	offered      float64 // demand seconds offered this interval
+	totalOffered float64
+}
+
+// replica is one machine of a pool. A draining replica finishes its
+// in-flight work but receives no new requests and runs no housekeeping.
+type replica struct {
+	t        *tier
+	draining bool
+}
+
+// active returns the number of routable replicas.
+func (p *pool) active() int {
+	n := 0
+	for _, r := range p.reps {
+		if !r.draining {
+			n++
+		}
+	}
+	return n
+}
+
+// capacity returns the pool's active capacity in demand seconds per
+// second.
+func (p *pool) capacity() float64 {
+	return float64(p.active()) * p.cfg.Tier.Machine.Speed
+}
+
+// route picks the next replica round-robin, skipping draining machines.
+// Routing is deterministic: no randomness, so the degenerate single-
+// replica pool always routes to its only machine.
+func (p *pool) route() *replica {
+	for i := 0; i < len(p.reps); i++ {
+		r := p.reps[p.rr%len(p.reps)]
+		p.rr++
+		if !r.draining {
+			return r
+		}
+	}
+	// Every replica is draining (the scale-down guard prevents this);
+	// fall back to the first so in-flight traffic still lands somewhere.
+	return p.reps[0]
+}
+
+// NewDAGTestbed builds a DAG testbed for the given topology and load
+// schedule.
+func NewDAGTestbed(topo TopologyConfig, schedule tpcw.Schedule) (*DAGTestbed, error) {
+	if errs := topo.Validate(); len(errs) > 0 {
+		return nil, errors.Join(errs...)
+	}
+	if err := schedule.Validate(); err != nil {
+		return nil, err
+	}
+	engine := sim.NewEngine()
+	rng := sim.NewSource(topo.Seed)
+	tb := &DAGTestbed{
+		topo:     topo,
+		engine:   engine,
+		rng:      rng,
+		profiles: tpcw.DefaultProfiles(),
+		schedule: schedule,
+		byName:   make(map[string]*pool, len(topo.Pools)),
+	}
+	// Pools in declaration order, replicas in index order: the rng fork
+	// sequence is part of the determinism contract (and, for the
+	// degenerate topology, matches NewTestbed's app-then-db forks).
+	for _, pc := range topo.Pools {
+		p := &pool{cfg: pc}
+		for i := 0; i < pc.Replicas; i++ {
+			p.reps = append(p.reps, &replica{t: newTier(pc.Slot, pc.Tier, engine, rng.Fork())})
+		}
+		tb.pools = append(tb.pools, p)
+		tb.byName[pc.Name] = p
+	}
+	for _, p := range tb.pools {
+		for _, d := range p.cfg.Downstream {
+			p.down = append(p.down, tb.byName[d])
+		}
+	}
+	tb.entry = tb.byName[topo.Entry]
+	return tb, nil
+}
+
+// Engine exposes the simulation engine.
+func (tb *DAGTestbed) Engine() *sim.Engine { return tb.engine }
+
+// Now returns the current virtual time.
+func (tb *DAGTestbed) Now() float64 { return tb.engine.Now() }
+
+// Topology returns the testbed's (immutable) topology configuration.
+func (tb *DAGTestbed) Topology() TopologyConfig { return tb.topo }
+
+// SetAdmission installs an admission controller consulted at the entry
+// pool. It must be called before Start.
+func (tb *DAGTestbed) SetAdmission(f AdmissionFunc) { tb.admission = f }
+
+// Start arms the load schedule. It must be called exactly once before
+// RunInterval.
+func (tb *DAGTestbed) Start() error {
+	if tb.started {
+		return fmt.Errorf("server: DAG testbed already started")
+	}
+	tb.started = true
+	var elapsed float64
+	for _, p := range tb.schedule.Phases {
+		p := p
+		tb.engine.At(elapsed, func() { tb.applyPhase(p) })
+		elapsed += p.Duration
+	}
+	return nil
+}
+
+// applyPhase adjusts the EB population and mix to match the phase
+// (identical to Testbed.applyPhase).
+func (tb *DAGTestbed) applyPhase(p tpcw.Phase) {
+	live := 0
+	for _, r := range tb.browsers {
+		if r.alive {
+			r.browser.SetMix(p.Mix)
+			r.browser.SetThinkScale(p.ThinkScale)
+			live++
+		}
+	}
+	switch {
+	case live < p.EBs:
+		for i := live; i < p.EBs; i++ {
+			tb.spawnEB(p.Mix, p.ThinkScale)
+		}
+	case live > p.EBs:
+		toKill := live - p.EBs
+		for i := len(tb.browsers) - 1; i >= 0 && toKill > 0; i-- {
+			if tb.browsers[i].alive {
+				tb.browsers[i].alive = false
+				toKill--
+			}
+		}
+	}
+}
+
+// spawnEB creates a browser with a staggered initial think (identical to
+// Testbed.spawnEB).
+func (tb *DAGTestbed) spawnEB(mix tpcw.Mix, thinkScale float64) {
+	tb.nextEBID++
+	r := &ebRunner{
+		browser: tpcw.NewBrowser(tb.nextEBID, mix, tb.rng.Fork()),
+		alive:   true,
+	}
+	r.browser.SetThinkScale(thinkScale)
+	tb.browsers = append(tb.browsers, r)
+	initial := tb.rng.Float64() * r.browser.MeanThink
+	tb.engine.Schedule(initial, func() { tb.ebIssue(r) })
+}
+
+// ebIssue runs one browser iteration: issue, then think, while alive.
+func (tb *DAGTestbed) ebIssue(r *ebRunner) {
+	if !r.alive {
+		return
+	}
+	interaction := r.browser.Next()
+	tb.dispatch(interaction, func() {
+		if !r.alive {
+			return
+		}
+		tb.engine.Schedule(r.browser.Think(), func() { tb.ebIssue(r) })
+	})
+}
+
+// dispatch pushes one interaction through the DAG, calling done when the
+// response (or rejection) reaches the client. The entry pool's worker is
+// held across the whole downstream walk — the request dead time of the
+// paper, generalized to an arbitrary call chain.
+func (tb *DAGTestbed) dispatch(it tpcw.Interaction, done func()) {
+	prof, ok := tb.profiles[it]
+	if !ok {
+		done()
+		return
+	}
+	arrival := tb.engine.Now()
+	tb.arrivals++
+	tb.totalArrivals++
+	tb.classArrivals[it-tpcw.Home]++
+
+	ep := tb.entry
+	rep := ep.route()
+	if tb.admission != nil {
+		state := AdmissionState{
+			Now:          arrival,
+			WaitQueue:    len(rep.t.waitQueue),
+			BoundWorkers: rep.t.bound,
+		}
+		if !tb.admission(state) {
+			tb.rejections++
+			tb.totalRejections++
+			done()
+			return
+		}
+	}
+	tb.inFlight++
+
+	// Draw the request's actual demands once, up front — the same two
+	// draws, in the same order, as the legacy testbed.
+	appDemand := tb.rng.LogNormal(prof.AppDemand, prof.CV)
+	dbDemand := tb.rng.LogNormal(prof.DBDemand, prof.CV)
+	entryDemand := appDemand * ep.cfg.DemandFrac
+	preDemand := entryDemand * 0.6  // request parsing, servlet logic
+	postDemand := entryDemand * 0.4 // response rendering
+	workMB := prof.AppWorkMB * ep.cfg.WorkFrac
+	ep.offered += entryDemand
+	ep.totalOffered += entryDemand
+
+	finish := func() {
+		rep.t.release(workMB)
+		rt := tb.engine.Now() - arrival
+		tb.completions++
+		tb.totalCompletions++
+		tb.inFlight--
+		tb.rtSum += rt
+		if rt > tb.rtMax {
+			tb.rtMax = rt
+		}
+		done()
+	}
+
+	rep.t.acquire(workMB, func() {
+		rep.t.runBurst(preDemand, func() {
+			tb.descend(ep.down, 0, prof, dbDemand, func() {
+				rep.t.runBurst(postDemand, finish)
+			})
+		})
+	})
+}
+
+// descend walks one pool's downstream chain in order: hop to the next
+// pool, execute the request's share of work on one of its replicas,
+// recurse into that pool's own downstream (unless a cache hit absorbs
+// the visit), hop back, continue the chain, and finally call cont.
+func (tb *DAGTestbed) descend(chain []*pool, i int, prof tpcw.Profile, dbDemand float64, cont func()) {
+	if i >= len(chain) {
+		cont()
+		return
+	}
+	p := chain[i]
+	next := func() { tb.descend(chain, i+1, prof, dbDemand, cont) }
+	demand := dbDemand * p.cfg.DemandFrac
+	workMB := prof.DBWorkMB * p.cfg.WorkFrac
+	tb.hop(func() {
+		rep := p.route()
+		p.offered += demand
+		p.totalOffered += demand
+		if p.cfg.Kind == PoolCache && tb.rng.Float64() < p.cfg.HitRatio {
+			// Cache hit: answered locally, downstream untouched.
+			rep.t.submit(demand, workMB, func() { tb.hop(next) })
+			return
+		}
+		if len(p.down) > 0 {
+			rep.t.submit(demand, workMB, func() {
+				tb.descend(p.down, 0, prof, dbDemand, func() { tb.hop(next) })
+			})
+			return
+		}
+		rep.t.submit(demand, workMB, func() { tb.hop(next) })
+	})
+}
+
+// hop models one network traversal between pools (identical draw to
+// Testbed.hop).
+func (tb *DAGTestbed) hop(fn func()) {
+	tb.engine.Schedule(tb.topo.NetworkHop/2+tb.rng.Exp(tb.topo.NetworkHop/2), fn)
+}
+
+// AddPeriodicLoad schedules a recurring CPU burst on every replica of the
+// named pool every period seconds — the cost of per-machine collection
+// daemons. Call before the simulation advances past time zero; replicas
+// added later by AddReplica do not inherit it.
+func (tb *DAGTestbed) AddPeriodicLoad(poolName string, period, demand float64) {
+	p, ok := tb.byName[poolName]
+	if !ok {
+		return
+	}
+	for _, r := range p.reps {
+		t := r.t
+		var tick func()
+		tick = func() {
+			t.runBurst(demand, nil)
+			tb.engine.Schedule(period, tick)
+		}
+		tb.engine.Schedule(period, tick)
+	}
+}
+
+// AddReplica grows the named pool by one machine, reviving the most
+// recently drained replica if one exists (its caches are still warm) and
+// cold-starting a fresh tier otherwise. It reports the new active count
+// and whether anything changed; pools at MaxReplicas refuse.
+func (tb *DAGTestbed) AddReplica(poolName string) (int, bool) {
+	p, ok := tb.byName[poolName]
+	if !ok {
+		return 0, false
+	}
+	max := p.cfg.MaxReplicas
+	if max <= 0 {
+		max = p.cfg.Replicas
+	}
+	if p.active() >= max {
+		return p.active(), false
+	}
+	for i := len(p.reps) - 1; i >= 0; i-- {
+		r := p.reps[i]
+		if !r.draining {
+			continue
+		}
+		r.draining = false
+		t := r.t
+		t.stopped = false
+		// The housekeeping daemon restarts now; credit does not accrue
+		// over the drained gap.
+		t.bgAccrued = tb.engine.Now()
+		if t.cfg.BackgroundRate > 0 {
+			tb.engine.Schedule(0, func() {
+				if !t.cpuBusy {
+					t.cpuBusy = true
+					t.startNext()
+				}
+			})
+		}
+		tb.scaleUps++
+		return p.active(), true
+	}
+	p.reps = append(p.reps, &replica{t: newTier(p.cfg.Slot, p.cfg.Tier, tb.engine, tb.rng.Fork())})
+	tb.scaleUps++
+	return p.active(), true
+}
+
+// RemoveReplica drains the named pool's most recently added active
+// replica: it leaves the routing rotation immediately and stops its
+// housekeeping, but finishes whatever requests it holds. It reports the
+// new active count and whether anything changed; pools at MinReplicas
+// (or one machine) refuse.
+func (tb *DAGTestbed) RemoveReplica(poolName string) (int, bool) {
+	p, ok := tb.byName[poolName]
+	if !ok {
+		return 0, false
+	}
+	min := p.cfg.MinReplicas
+	if min < 1 {
+		min = 1
+	}
+	if p.active() <= min {
+		return p.active(), false
+	}
+	for i := len(p.reps) - 1; i >= 0; i-- {
+		r := p.reps[i]
+		if r.draining {
+			continue
+		}
+		r.draining = true
+		r.t.stopped = true
+		tb.scaleDowns++
+		return p.active(), true
+	}
+	return p.active(), false
+}
+
+// ScaleEvents returns the lifetime count of replica additions and
+// removals.
+func (tb *DAGTestbed) ScaleEvents() (ups, downs int) {
+	return tb.scaleUps, tb.scaleDowns
+}
+
+// Replicas returns the named pool's active replica count (0 for an
+// unknown pool).
+func (tb *DAGTestbed) Replicas(poolName string) int {
+	if p, ok := tb.byName[poolName]; ok {
+		return p.active()
+	}
+	return 0
+}
+
+// PoolLoads returns each pool's offered load versus capacity over the
+// last completed interval, in pool declaration order. Before the first
+// RunInterval it returns zero loads at current capacity.
+func (tb *DAGTestbed) PoolLoads() []PoolLoad {
+	if tb.lastLoads != nil {
+		return append([]PoolLoad(nil), tb.lastLoads...)
+	}
+	loads := make([]PoolLoad, len(tb.pools))
+	for i, p := range tb.pools {
+		loads[i] = PoolLoad{
+			Pool: p.cfg.Name, Slot: p.cfg.Slot, Kind: p.cfg.Kind,
+			Replicas: p.active(), Capacity: p.capacity(),
+		}
+	}
+	return loads
+}
+
+// LifetimeLoads returns each pool's mean offered load over the whole run
+// against its current capacity.
+func (tb *DAGTestbed) LifetimeLoads() []PoolLoad {
+	elapsed := tb.engine.Now()
+	loads := make([]PoolLoad, len(tb.pools))
+	for i, p := range tb.pools {
+		l := PoolLoad{
+			Pool: p.cfg.Name, Slot: p.cfg.Slot, Kind: p.cfg.Kind,
+			Replicas: p.active(), Capacity: p.capacity(),
+		}
+		if elapsed > 0 {
+			l.Offered = p.totalOffered / elapsed
+		}
+		loads[i] = l
+	}
+	return loads
+}
+
+// Bottleneck identifies the bottleneck pool — the maximal offered-load/
+// capacity ratio over the whole run (BottleneckPool's rule).
+func (tb *DAGTestbed) Bottleneck() string {
+	loads := tb.LifetimeLoads()
+	i := BottleneckPool(loads)
+	if i < 0 {
+		return ""
+	}
+	return loads[i].Pool
+}
+
+// PoolSnapshot is one pool's interval telemetry: the counter vector of
+// every replica (draining machines included, flagged), plus the pool's
+// offered load and active capacity.
+type PoolSnapshot struct {
+	Pool string
+	Kind PoolKind
+	Slot TierID
+	// Replicas holds the per-replica counter vectors; Draining flags the
+	// machines that are finishing in-flight work outside the rotation.
+	Replicas []TierSnapshot
+	Draining []bool
+	Active   int
+	// Offered is the demand offered to the pool over the interval, in
+	// demand seconds per second; Capacity what its active replicas can
+	// execute.
+	Offered  float64
+	Capacity float64
+}
+
+// Load converts the snapshot's offered/capacity pair to a PoolLoad.
+func (ps PoolSnapshot) Load() PoolLoad {
+	return PoolLoad{
+		Pool: ps.Pool, Slot: ps.Slot, Kind: ps.Kind,
+		Replicas: ps.Active, Offered: ps.Offered, Capacity: ps.Capacity,
+	}
+}
+
+// DAGSnapshot is the DAG testbed's telemetry for one sampling interval.
+type DAGSnapshot struct {
+	Time  float64
+	Pools []PoolSnapshot
+
+	Arrivals      int
+	Completions   int
+	Rejections    int
+	ClassArrivals [tpcw.NumInteractions]int
+	MeanRT        float64
+	MaxRT         float64
+
+	InFlight  int
+	ActiveEBs int
+}
+
+// Legacy folds the DAG snapshot into the fixed two-slot Snapshot the
+// metric collectors consume: each slot carries the replica-mean counters
+// of the (non-draining) replicas of every pool feeding it. A slot backed
+// by exactly one replica is copied bit for bit — which is what makes the
+// degenerate two-tier DAG's telemetry byte-identical to the legacy
+// testbed's.
+func (s DAGSnapshot) Legacy() Snapshot {
+	out := Snapshot{
+		Time:          s.Time,
+		Arrivals:      s.Arrivals,
+		Completions:   s.Completions,
+		Rejections:    s.Rejections,
+		ClassArrivals: s.ClassArrivals,
+		MeanRT:        s.MeanRT,
+		MaxRT:         s.MaxRT,
+		InFlight:      s.InFlight,
+		ActiveEBs:     s.ActiveEBs,
+	}
+	var bySlot [NumTiers][]TierSnapshot
+	for _, p := range s.Pools {
+		if p.Slot < 0 || p.Slot >= NumTiers {
+			continue
+		}
+		for i, ts := range p.Replicas {
+			if p.Draining[i] {
+				continue
+			}
+			bySlot[p.Slot] = append(bySlot[p.Slot], ts)
+		}
+	}
+	for slot, reps := range bySlot {
+		switch len(reps) {
+		case 0:
+			out.Tiers[slot] = TierSnapshot{Tier: TierID(slot), MeanDilation: 1}
+		case 1:
+			ts := reps[0]
+			ts.Tier = TierID(slot)
+			out.Tiers[slot] = ts
+		default:
+			out.Tiers[slot] = meanTierSnapshot(TierID(slot), reps)
+		}
+	}
+	return out
+}
+
+// meanTierSnapshot averages n replica snapshots into one machine-mean
+// snapshot: flows and gauges divide by n (integers rounding to nearest),
+// the dilation and miss-ratio diagnostics weight by busy time.
+func meanTierSnapshot(id TierID, reps []TierSnapshot) TierSnapshot {
+	n := float64(len(reps))
+	var out TierSnapshot
+	out.Tier = id
+	var dilSum, missSum float64
+	for _, ts := range reps {
+		out.BusySeconds += ts.BusySeconds
+		out.FgBusySeconds += ts.FgBusySeconds
+		out.Instructions += ts.Instructions
+		out.Cycles += ts.Cycles
+		out.L2Refs += ts.L2Refs
+		out.L2Misses += ts.L2Misses
+		out.CtxSwitches += ts.CtxSwitches
+		out.ITLBMisses += ts.ITLBMisses
+		out.Branches += ts.Branches
+		out.BranchMiss += ts.BranchMiss
+		out.Bursts += ts.Bursts
+		out.RunQueue += ts.RunQueue
+		out.BoundWorkers += ts.BoundWorkers
+		out.WaitQueue += ts.WaitQueue
+		out.WorkingSetMB += ts.WorkingSetMB
+		dilSum += ts.MeanDilation * ts.BusySeconds
+		missSum += ts.MeanMissRatio * ts.BusySeconds
+	}
+	out.BusySeconds /= n
+	out.FgBusySeconds /= n
+	out.Instructions /= n
+	out.Cycles /= n
+	out.L2Refs /= n
+	out.L2Misses /= n
+	out.CtxSwitches /= n
+	out.ITLBMisses /= n
+	out.Branches /= n
+	out.BranchMiss /= n
+	out.WorkingSetMB /= n
+	out.Bursts = roundDiv(out.Bursts, len(reps))
+	out.RunQueue = roundDiv(out.RunQueue, len(reps))
+	out.BoundWorkers = roundDiv(out.BoundWorkers, len(reps))
+	out.WaitQueue = roundDiv(out.WaitQueue, len(reps))
+	if out.BusySeconds > 0 {
+		out.MeanDilation = dilSum / (out.BusySeconds * n)
+		out.MeanMissRatio = missSum / (out.BusySeconds * n)
+	} else {
+		out.MeanDilation = 1
+	}
+	return out
+}
+
+// roundDiv divides non-negative integers rounding to nearest.
+func roundDiv(a, n int) int {
+	return (a + n/2) / n
+}
+
+// RunInterval advances the simulation dt seconds and returns the
+// interval's telemetry.
+func (tb *DAGTestbed) RunInterval(dt float64) DAGSnapshot {
+	target := tb.engine.Now() + dt
+	tb.engine.At(target, func() {})
+	tb.engine.RunUntil(target)
+	return tb.sample(dt)
+}
+
+// RunIntervalLegacy advances dt seconds and returns the interval's
+// telemetry already folded to the two-slot legacy layout — the drop-in
+// signature trace generation uses for either testbed.
+func (tb *DAGTestbed) RunIntervalLegacy(dt float64) Snapshot {
+	return tb.RunInterval(dt).Legacy()
+}
+
+// sample collects and resets interval accounting.
+func (tb *DAGTestbed) sample(dt float64) DAGSnapshot {
+	s := DAGSnapshot{
+		Time:          tb.engine.Now(),
+		Arrivals:      tb.arrivals,
+		Completions:   tb.completions,
+		Rejections:    tb.rejections,
+		ClassArrivals: tb.classArrivals,
+		MaxRT:         tb.rtMax,
+		InFlight:      tb.inFlight,
+	}
+	if tb.completions > 0 {
+		s.MeanRT = tb.rtSum / float64(tb.completions)
+	}
+	tb.lastLoads = tb.lastLoads[:0]
+	for _, p := range tb.pools {
+		ps := PoolSnapshot{
+			Pool:     p.cfg.Name,
+			Kind:     p.cfg.Kind,
+			Slot:     p.cfg.Slot,
+			Active:   p.active(),
+			Capacity: p.capacity(),
+		}
+		if dt > 0 {
+			ps.Offered = p.offered / dt
+		}
+		for _, r := range p.reps {
+			ps.Replicas = append(ps.Replicas, r.t.snapshot())
+			ps.Draining = append(ps.Draining, r.draining)
+		}
+		p.offered = 0
+		s.Pools = append(s.Pools, ps)
+		tb.lastLoads = append(tb.lastLoads, ps.Load())
+	}
+	for _, r := range tb.browsers {
+		if r.alive {
+			s.ActiveEBs++
+		}
+	}
+	tb.arrivals, tb.completions, tb.rejections = 0, 0, 0
+	tb.classArrivals = [tpcw.NumInteractions]int{}
+	tb.rtSum, tb.rtMax = 0, 0
+	return s
+}
+
+// Conservation returns lifetime totals for invariant checking.
+func (tb *DAGTestbed) Conservation() (arrivals, completions, rejections, inFlight int) {
+	return tb.totalArrivals, tb.totalCompletions, tb.totalRejections, tb.inFlight
+}

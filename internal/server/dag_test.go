@@ -1,0 +1,351 @@
+package server
+
+import (
+	"reflect"
+	"testing"
+
+	"hpcap/internal/tpcw"
+)
+
+// TestDAGSnapshotEquivalence pins the degenerate-DAG contract at the
+// telemetry level: the two-tier topology replays the legacy testbed
+// snapshot for snapshot, bit for bit, through load swings and admission
+// rejections. The experiment-layer differential test extends this to the
+// chaos and fusion golden transcripts.
+func TestDAGSnapshotEquivalence(t *testing.T) {
+	cfg := DefaultConfig()
+	sched := tpcw.Concat(
+		tpcw.Steady(tpcw.Browsing(), 120, 30),
+		tpcw.Ramp(tpcw.Ordering(), 120, 900, 4, 10),
+		tpcw.Steady(tpcw.Shopping(), 200, 30),
+	)
+	admit := func(s AdmissionState) bool { return s.WaitQueue < 60 }
+
+	legacy, err := NewTestbed(cfg, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy.SetAdmission(admit)
+	if err := legacy.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	dag, err := NewDAGTestbed(TwoTierTopology(cfg), sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dag.SetAdmission(admit)
+	if err := dag.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	for sec := 0; sec < 100; sec++ {
+		want := legacy.RunInterval(1)
+		got := dag.RunIntervalLegacy(1)
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("second %d: DAG snapshot diverged from legacy\nlegacy: %+v\ndag:    %+v", sec, want, got)
+		}
+	}
+	la, lc, lr, lf := legacy.Conservation()
+	da, dc, dr, df := dag.Conservation()
+	if la != da || lc != dc || lr != dr || lf != df {
+		t.Fatalf("conservation diverged: legacy (%d,%d,%d,%d) dag (%d,%d,%d,%d)",
+			la, lc, lr, lf, da, dc, dr, df)
+	}
+}
+
+func TestDAGRejectsBadInput(t *testing.T) {
+	bad := DefaultTopologyConfig()
+	bad.Entry = "ghost"
+	if _, err := NewDAGTestbed(bad, tpcw.Steady(tpcw.Browsing(), 10, 100)); err == nil {
+		t.Error("invalid topology not rejected")
+	}
+	if _, err := NewDAGTestbed(DefaultTopologyConfig(), tpcw.Schedule{}); err == nil {
+		t.Error("empty schedule not rejected")
+	}
+	tb, err := NewDAGTestbed(DefaultTopologyConfig(), tpcw.Steady(tpcw.Browsing(), 10, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Start(); err == nil {
+		t.Error("second Start not rejected")
+	}
+}
+
+func TestDAGConservation(t *testing.T) {
+	tb, err := NewDAGTestbed(DefaultTopologyConfig(), tpcw.Steady(tpcw.Shopping(), 300, 60))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb.SetAdmission(func(s AdmissionState) bool { return s.WaitQueue < 30 })
+	if err := tb.Start(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 60; i++ {
+		tb.RunInterval(1)
+	}
+	arr, comp, rej, inflight := tb.Conservation()
+	if arr != comp+rej+inflight {
+		t.Errorf("conservation violated: %d arrivals != %d completions + %d rejections + %d in flight",
+			arr, comp, rej, inflight)
+	}
+	if comp == 0 {
+		t.Error("no completions")
+	}
+}
+
+func TestDAGDeterminism(t *testing.T) {
+	run := func() []DAGSnapshot {
+		tb, err := NewDAGTestbed(DefaultTopologyConfig(), tpcw.Steady(tpcw.Browsing(), 150, 30))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tb.Start(); err != nil {
+			t.Fatal(err)
+		}
+		var out []DAGSnapshot
+		for i := 0; i < 30; i++ {
+			out = append(out, tb.RunInterval(1))
+		}
+		return out
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Error("identical DAG runs diverged")
+	}
+}
+
+func TestAddRemoveReplica(t *testing.T) {
+	topo := DefaultTopologyConfig() // app 2 of [1,6], cache 1 of [1,2], db 2 of [1,4]
+	tb, err := NewDAGTestbed(topo, tpcw.Steady(tpcw.Shopping(), 200, 120))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Start(); err != nil {
+		t.Fatal(err)
+	}
+	tb.RunInterval(5)
+
+	if n := tb.Replicas("app"); n != 2 {
+		t.Fatalf("app starts with %d replicas, want 2", n)
+	}
+	if n, ok := tb.AddReplica("app"); !ok || n != 3 {
+		t.Fatalf("AddReplica(app) = (%d,%v), want (3,true)", n, ok)
+	}
+	// Cache is at MaxReplicas 2 after one add; the next add refuses.
+	if n, ok := tb.AddReplica("cache"); !ok || n != 2 {
+		t.Fatalf("AddReplica(cache) = (%d,%v), want (2,true)", n, ok)
+	}
+	if _, ok := tb.AddReplica("cache"); ok {
+		t.Error("AddReplica above MaxReplicas not refused")
+	}
+	// Unknown pools refuse.
+	if _, ok := tb.AddReplica("ghost"); ok {
+		t.Error("AddReplica(ghost) not refused")
+	}
+	if _, ok := tb.RemoveReplica("ghost"); ok {
+		t.Error("RemoveReplica(ghost) not refused")
+	}
+
+	tb.RunInterval(5)
+	if n, ok := tb.RemoveReplica("app"); !ok || n != 2 {
+		t.Fatalf("RemoveReplica(app) = (%d,%v), want (2,true)", n, ok)
+	}
+	// The drained replica stays in the snapshot, flagged, until revived.
+	s := tb.RunInterval(5)
+	var appSnap PoolSnapshot
+	for _, ps := range s.Pools {
+		if ps.Pool == "app" {
+			appSnap = ps
+		}
+	}
+	if len(appSnap.Replicas) != 3 || appSnap.Active != 2 {
+		t.Fatalf("app snapshot has %d replicas (%d active), want 3 (2 active)",
+			len(appSnap.Replicas), appSnap.Active)
+	}
+	drained := 0
+	for _, d := range appSnap.Draining {
+		if d {
+			drained++
+		}
+	}
+	if drained != 1 {
+		t.Fatalf("app snapshot flags %d draining replicas, want 1", drained)
+	}
+	if appSnap.Capacity != 2*topo.Pools[0].Tier.Machine.Speed {
+		t.Errorf("drained replica still counted in capacity: %v", appSnap.Capacity)
+	}
+
+	// Scaling down to MinReplicas stops; reviving reuses the drained
+	// machine rather than growing the slice.
+	if n, ok := tb.RemoveReplica("app"); !ok || n != 1 {
+		t.Fatalf("RemoveReplica(app) = (%d,%v), want (1,true)", n, ok)
+	}
+	if _, ok := tb.RemoveReplica("app"); ok {
+		t.Error("RemoveReplica below MinReplicas not refused")
+	}
+	if n, ok := tb.AddReplica("app"); !ok || n != 2 {
+		t.Fatalf("revive AddReplica(app) = (%d,%v), want (2,true)", n, ok)
+	}
+	s = tb.RunInterval(5)
+	for _, ps := range s.Pools {
+		if ps.Pool == "app" && len(ps.Replicas) != 3 {
+			t.Errorf("revive grew the replica slice to %d, want reuse at 3", len(ps.Replicas))
+		}
+	}
+	ups, downs := tb.ScaleEvents()
+	if ups != 3 || downs != 2 {
+		t.Errorf("scale events = (%d up, %d down), want (3, 2)", ups, downs)
+	}
+	arr, comp, rej, inflight := tb.Conservation()
+	if arr != comp+rej+inflight {
+		t.Errorf("conservation violated across scaling: %d != %d+%d+%d", arr, comp, rej, inflight)
+	}
+}
+
+// meanMixDemand returns the mix-weighted mean profile demand: app demand
+// for front pools, DB demand otherwise.
+func meanMixDemand(mix tpcw.Mix, front bool) float64 {
+	profiles := tpcw.DefaultProfiles()
+	var sum float64
+	for _, it := range tpcw.Interactions() {
+		p := profiles[it]
+		d := p.DBDemand
+		if front {
+			d = p.AppDemand
+		}
+		sum += mix.Weights[it] * d
+	}
+	return sum
+}
+
+// TestBottleneckPoolProperty checks the bottleneck-pool rule on seeded
+// random chain DAGs (2–6 tiers, 1–8 replicas each): the pool the testbed
+// identifies from measured offered load is the one an analytic
+// visit-fraction model predicts to have the maximal load/capacity ratio,
+// and removing a replica from a non-bottleneck pool never changes the
+// verdict as long as the removal does not itself create a new bottleneck.
+func TestBottleneckPoolProperty(t *testing.T) {
+	mix := tpcw.Browsing()
+	base := DefaultConfig()
+	for seed := int64(1); seed <= 10; seed++ {
+		// A tiny deterministic PRNG so the cases are stable across runs.
+		state := uint64(seed)*2654435761 + 12345
+		rnd := func(n int) int {
+			state = state*6364136223846793005 + 1442695040888963407
+			return int((state >> 33) % uint64(n))
+		}
+
+		n := 2 + rnd(5) // 2..6 pools
+		topo := TopologyConfig{NetworkHop: base.NetworkHop, Seed: seed}
+		names := []string{"app", "t1", "t2", "t3", "t4", "t5"}
+		for i := 0; i < n; i++ {
+			p := PoolConfig{
+				Name:       names[i],
+				Replicas:   1 + rnd(8),
+				Tier:       base.App,
+				DemandFrac: 0.25 + float64(rnd(8))*0.25,
+				WorkFrac:   0.5,
+			}
+			// Deep pools get generous worker bounds so queueing in one
+			// pool does not mask demand offered to the next.
+			p.Tier.MaxWorkers = 400
+			p.Tier.Machine.Speed = 0.5 + float64(rnd(4))*0.5
+			switch {
+			case i == 0:
+				p.Kind = PoolFront
+				p.Slot = TierApp
+			case i < n-1 && rnd(3) == 0:
+				p.Kind = PoolCache
+				p.Slot = TierDB
+				p.HitRatio = float64(rnd(8)) / 10
+			default:
+				p.Kind = PoolStore
+				p.Slot = TierDB
+			}
+			if i < n-1 {
+				p.Downstream = []string{names[i+1]}
+			}
+			topo.Pools = append(topo.Pools, p)
+		}
+		topo.Entry = "app"
+		if errs := topo.Validate(); len(errs) > 0 {
+			t.Fatalf("seed %d: generated topology invalid: %v", seed, errs)
+		}
+
+		// Analytic per-request demand at each pool: visit fraction times
+		// demand fraction times the mix-mean profile demand. The arrival
+		// rate cancels out of the ratio comparison.
+		vf := topo.VisitFractions()
+		ratios := make([]float64, n)
+		for i, p := range topo.Pools {
+			d := vf[p.Name] * p.DemandFrac * meanMixDemand(mix, p.Kind == PoolFront)
+			ratios[i] = d / (float64(p.Replicas) * p.Tier.Machine.Speed)
+		}
+		best, second := -1, -1
+		for i, r := range ratios {
+			if best < 0 || r > ratios[best] {
+				second = best
+				best = i
+			} else if second < 0 || r > ratios[second] {
+				second = i
+			}
+		}
+		if second >= 0 && ratios[second] > 0.8*ratios[best] {
+			// Ambiguous case: sampling noise could legitimately flip the
+			// verdict. The property only holds for clear bottlenecks.
+			continue
+		}
+
+		tb, err := NewDAGTestbed(topo, tpcw.Steady(mix, 120, 60))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := tb.Start(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for i := 0; i < 40; i++ {
+			tb.RunInterval(1)
+		}
+
+		loads := tb.LifetimeLoads()
+		got := BottleneckPool(loads)
+		if got != best {
+			t.Errorf("seed %d: measured bottleneck %q (ratio %v), analytic model predicts %q (ratio %v)\nloads: %+v",
+				seed, loads[got].Pool, loads[got].Ratio(), topo.Pools[best].Name, ratios[best], loads)
+			continue
+		}
+		// The identified pool is by definition the max-ratio pool; check
+		// the invariant explicitly anyway.
+		for i, l := range loads {
+			if l.Ratio() > loads[got].Ratio() {
+				t.Errorf("seed %d: pool %d ratio %v exceeds identified bottleneck %v",
+					seed, i, l.Ratio(), loads[got].Ratio())
+			}
+		}
+		// Removing a replica from any non-bottleneck pool must not move
+		// the verdict, provided the shrunken pool stays below the
+		// bottleneck's ratio.
+		for i := range loads {
+			if i == got || loads[i].Replicas <= 1 {
+				continue
+			}
+			shrunk := append([]PoolLoad(nil), loads...)
+			shrunk[i].Replicas--
+			shrunk[i].Capacity = loads[i].Capacity * float64(shrunk[i].Replicas) / float64(loads[i].Replicas)
+			if shrunk[i].Ratio() >= loads[got].Ratio() {
+				continue // the removal created a new bottleneck; verdict may move
+			}
+			if after := BottleneckPool(shrunk); after != got {
+				t.Errorf("seed %d: removing a replica from non-bottleneck pool %q moved the verdict %q -> %q",
+					seed, loads[i].Pool, loads[got].Pool, shrunk[after].Pool)
+			}
+		}
+		if name := tb.Bottleneck(); name != loads[got].Pool {
+			t.Errorf("seed %d: Bottleneck() = %q, want %q", seed, name, loads[got].Pool)
+		}
+	}
+}

@@ -70,6 +70,11 @@ type tier struct {
 	bgAccrued float64 // virtual time of the last credit refill
 	bgWake    bool    // a wake-up event is pending
 
+	// stopped shuts the housekeeping loop down: a drained DAG replica
+	// finishes its in-flight request bursts but accrues no further
+	// background work. Always false on the legacy testbed's tiers.
+	stopped bool
+
 	acc intervalAccum
 }
 
@@ -229,7 +234,7 @@ func (t *tier) accrueBackground() {
 // reporting whether the CPU stays busy. With insufficient credit it arms a
 // wake-up for when the credit refills.
 func (t *tier) runBackground() bool {
-	if t.cfg.BackgroundRate <= 0 {
+	if t.cfg.BackgroundRate <= 0 || t.stopped {
 		return false
 	}
 	t.accrueBackground()
@@ -381,7 +386,7 @@ func (t *tier) snapshot() TierSnapshot {
 	// Background threads count as runnable whenever they hold credit: the
 	// OS run queue cannot tell housekeeping from request work.
 	bgRunnable := 0
-	if t.cfg.BackgroundRate > 0 {
+	if t.cfg.BackgroundRate > 0 && !t.stopped {
 		t.accrueBackground()
 		if t.bgCredit > 0.01 {
 			bgRunnable = t.cfg.BackgroundThreads

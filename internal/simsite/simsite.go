@@ -15,10 +15,29 @@ import (
 	"hpcap/internal/tpcw"
 )
 
+// Testbed is the simulation surface a site exposes — satisfied by the
+// legacy two-tier testbed and by the tier-DAG testbed through its legacy
+// snapshot fold, so one fleet loop drives either.
+type Testbed interface {
+	Start() error
+	RunInterval(dt float64) server.Snapshot
+	SetAdmission(f server.AdmissionFunc)
+	Conservation() (arrivals, completions, rejections, inFlight int)
+}
+
+// dagTB adapts the DAG testbed to the legacy-snapshot Testbed surface.
+type dagTB struct{ *server.DAGTestbed }
+
+func (d dagTB) RunInterval(dt float64) server.Snapshot { return d.RunIntervalLegacy(dt) }
+
 // Site is one simulated monitored website.
 type Site struct {
 	Name string
-	TB   *server.Testbed
+	TB   Testbed
+	// DAG is the tier-DAG testbed behind TB when the site was built by
+	// NewDAG — the actuator surface an autoscaler grows and shrinks.
+	// Legacy sites leave it nil.
+	DAG  *server.DAGTestbed
 	coll [server.NumTiers][]metrics.Collector
 }
 
@@ -60,15 +79,10 @@ func MetricNames(level metrics.Level) []string {
 	}
 }
 
-// New builds one monitored site. Sites alternate between the browsing
-// and ordering mixes and rotate their burst phase so the fleet does not
-// overload in lockstep; each has its own seed, a pure function of the
-// master seed and the site's index.
-func New(name string, base server.Config, level metrics.Level, index int, wb, wo experiment.Workload, seed int64, duration float64) (*Site, error) {
-	w := wb
-	if index%2 == 1 {
-		w = wo
-	}
+// rotatedSchedule builds one site's burst schedule: cruise below the
+// knee, burst past it, recover, with the cruise length rotated by index
+// so the fleet does not overload in lockstep.
+func rotatedSchedule(w experiment.Workload, index int, duration float64) tpcw.Schedule {
 	ebs := func(f float64) int {
 		n := int(float64(w.Knee)*f + 0.5)
 		if n < 1 {
@@ -76,8 +90,6 @@ func New(name string, base server.Config, level metrics.Level, index int, wb, wo
 		}
 		return n
 	}
-	// One cycle: cruise below the knee, burst past it, recover. Rotating
-	// the cruise length staggers the bursts across the fleet.
 	cruise := 120.0 + 30.0*float64(index%4)
 	cycle := tpcw.Concat(
 		tpcw.Steady(w.Mix, ebs(0.70), cruise),
@@ -88,19 +100,16 @@ func New(name string, base server.Config, level metrics.Level, index int, wb, wo
 	for sched.Duration() < duration {
 		sched = tpcw.Concat(sched, cycle)
 	}
+	return sched
+}
 
-	cfg := base
-	cfg.Seed = seed + 1000*int64(index+1)
-	tb, err := server.NewTestbed(cfg, sched)
-	if err != nil {
-		return nil, err
-	}
-	s := &Site{Name: name, TB: tb}
-	machines := [server.NumTiers]server.MachineConfig{cfg.App.Machine, cfg.DB.Machine}
+// buildCollectors attaches per-tier collectors for the level, seeded the
+// same way for legacy and DAG sites.
+func (s *Site) buildCollectors(level metrics.Level, machines [server.NumTiers]server.MachineConfig, seed int64) {
 	memMB := [server.NumTiers]float64{512, 1024}
 	for tier := server.TierID(0); tier < server.NumTiers; tier++ {
-		osColl := osstat.NewCollector(tier, memMB[tier], 0.05, cfg.Seed*10+int64(tier))
-		hpcColl := cpu.NewCollector(tier, machines[tier], 0.02, cfg.Seed*10+int64(tier)+100)
+		osColl := osstat.NewCollector(tier, memMB[tier], 0.05, seed*10+int64(tier))
+		hpcColl := cpu.NewCollector(tier, machines[tier], 0.02, seed*10+int64(tier)+100)
 		switch level {
 		case metrics.LevelOS:
 			s.coll[tier] = []metrics.Collector{osColl}
@@ -110,5 +119,52 @@ func New(name string, base server.Config, level metrics.Level, index int, wb, wo
 			s.coll[tier] = []metrics.Collector{osColl, hpcColl}
 		}
 	}
+}
+
+// New builds one monitored site. Sites alternate between the browsing
+// and ordering mixes and rotate their burst phase so the fleet does not
+// overload in lockstep; each has its own seed, a pure function of the
+// master seed and the site's index.
+func New(name string, base server.Config, level metrics.Level, index int, wb, wo experiment.Workload, seed int64, duration float64) (*Site, error) {
+	w := wb
+	if index%2 == 1 {
+		w = wo
+	}
+	cfg := base
+	cfg.Seed = seed + 1000*int64(index+1)
+	tb, err := server.NewTestbed(cfg, rotatedSchedule(w, index, duration))
+	if err != nil {
+		return nil, err
+	}
+	s := &Site{Name: name, TB: tb}
+	s.buildCollectors(level, [server.NumTiers]server.MachineConfig{cfg.App.Machine, cfg.DB.Machine}, cfg.Seed)
+	return s, nil
+}
+
+// NewDAG builds one monitored site on the tier-DAG testbed instead of the
+// legacy two-tier one: the same rotated burst schedule and the same
+// collector seeding, but requests flow through topo's replica pools and
+// the site exposes the DAG handle for autoscaling. Collector machine
+// models come from the first pool configured on each tier slot.
+func NewDAG(name string, topo server.TopologyConfig, level metrics.Level, index int, wb, wo experiment.Workload, seed int64, duration float64) (*Site, error) {
+	w := wb
+	if index%2 == 1 {
+		w = wo
+	}
+	topo.Seed = seed + 1000*int64(index+1)
+	tb, err := server.NewDAGTestbed(topo, rotatedSchedule(w, index, duration))
+	if err != nil {
+		return nil, err
+	}
+	s := &Site{Name: name, TB: dagTB{tb}, DAG: tb}
+	var machines [server.NumTiers]server.MachineConfig
+	seen := [server.NumTiers]bool{}
+	for _, pc := range topo.Pools {
+		if pc.Slot >= 0 && pc.Slot < server.NumTiers && !seen[pc.Slot] {
+			machines[pc.Slot] = pc.Tier.Machine
+			seen[pc.Slot] = true
+		}
+	}
+	s.buildCollectors(level, machines, topo.Seed)
 	return s, nil
 }

@@ -1,0 +1,210 @@
+package tpcw
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestDiurnalShape(t *testing.T) {
+	s := Diurnal(Browsing(), 100, 1000, 3600, 24)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Duration(); math.Abs(got-3600) > 1e-9 {
+		t.Errorf("duration = %v, want 3600", got)
+	}
+	// Trough at the edges, crest in the middle.
+	first, mid := s.Phases[0].EBs, s.Phases[12].EBs
+	if first >= mid {
+		t.Errorf("diurnal not cresting: first %d, mid %d", first, mid)
+	}
+	if mid < 990 || mid > 1000 {
+		t.Errorf("crest %d not near peak 1000", mid)
+	}
+	for _, p := range s.Phases {
+		if p.EBs < 100 || p.EBs > 1000 {
+			t.Errorf("phase EBs %d outside [base,peak]", p.EBs)
+		}
+	}
+}
+
+func TestFlashCrowdRampsToMillions(t *testing.T) {
+	s := FlashCrowd(Browsing(), 200, 2_000_000, 60, 30, 30, 12)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Duration(); math.Abs(got-120) > 1e-9 {
+		t.Errorf("duration = %v, want 120", got)
+	}
+	// The geometric ramp reaches the peak and holds it.
+	var peak int
+	for _, p := range s.Phases {
+		if p.EBs > peak {
+			peak = p.EBs
+		}
+	}
+	if peak != 2_000_000 {
+		t.Errorf("peak = %d, want 2000000", peak)
+	}
+	// Geometric, not linear: the first step is a small multiple of base,
+	// far below peak/steps.
+	if first := s.Phases[0].EBs; first > 100_000 {
+		t.Errorf("first ramp step %d looks linear, want geometric", first)
+	}
+	// Decay returns to base.
+	if last := s.Phases[len(s.Phases)-1].EBs; last != 200 {
+		t.Errorf("decay ends at %d, want 200", last)
+	}
+}
+
+func TestSlowLeak(t *testing.T) {
+	s := SlowLeak(Ordering(), 100, 2.5, 600, 60)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Duration(); math.Abs(got-600) > 1e-9 {
+		t.Errorf("duration = %v, want 600", got)
+	}
+	if s.Phases[0].EBs != 100 {
+		t.Errorf("leak starts at %d, want 100", s.Phases[0].EBs)
+	}
+	last := s.Phases[len(s.Phases)-1].EBs
+	if want := 100 + int(math.Round(2.5*540)); last != want {
+		t.Errorf("leak ends at %d, want %d", last, want)
+	}
+	for i := 1; i < len(s.Phases); i++ {
+		if s.Phases[i].EBs < s.Phases[i-1].EBs {
+			t.Errorf("leak not monotone at phase %d", i)
+		}
+	}
+}
+
+func TestMixByName(t *testing.T) {
+	for _, name := range []string{"browsing", "shopping", "ordering", "unknown"} {
+		m, ok := MixByName(name)
+		if !ok || m.Name != name {
+			t.Errorf("MixByName(%q) = (%q,%v)", name, m.Name, ok)
+		}
+		fm, ok := MixByName(name + "-flash")
+		if !ok || fm.Name != name+"-flash" {
+			t.Errorf("MixByName(%q) = (%q,%v)", name+"-flash", fm.Name, ok)
+		}
+	}
+	if _, ok := MixByName("nope"); ok {
+		t.Error("unknown mix accepted")
+	}
+	if _, ok := MixByName("-flash"); ok {
+		t.Error("bare -flash accepted")
+	}
+}
+
+func TestParseTrafficProgram(t *testing.T) {
+	text := `steady mix=browsing base=400 for=300
+flash mix=browsing-flash base=200 peak=2000000 for=120 hold=30 decay=30
+diurnal mix=shopping base=100 peak=900 for=3600 period=600 steps=24
+leak mix=ordering base=100 rate=2.5 for=600`
+	tr, err := ParseTraffic(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Shapes) != 4 {
+		t.Fatalf("parsed %d shapes, want 4", len(tr.Shapes))
+	}
+	kinds := []ShapeKind{ShapeSteady, ShapeFlash, ShapeDiurnal, ShapeLeak}
+	for i, k := range kinds {
+		if tr.Shapes[i].Kind != k {
+			t.Errorf("shape %d kind = %v, want %v", i, tr.Shapes[i].Kind, k)
+		}
+	}
+	s := tr.Schedule()
+	if err := s.Validate(); err != nil {
+		t.Fatalf("expanded schedule invalid: %v", err)
+	}
+	if got, want := s.Duration(), 300+120+3600+600.0; math.Abs(got-want) > 1e-6 {
+		t.Errorf("expanded duration = %v, want %v", got, want)
+	}
+	// Clause order is preserved through the canonical text (shapes are
+	// sequential, unlike chaos faults).
+	rt, err := ParseTraffic(tr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tr, rt) {
+		t.Errorf("round trip diverged:\n%v\n%v", tr, rt)
+	}
+}
+
+func TestParseTrafficErrors(t *testing.T) {
+	tests := []struct{ name, text, want string }{
+		{"unknown kind", "surge base=1 for=10", "unknown traffic shape"},
+		{"missing for", "steady base=1", "missing for="},
+		{"bad field", "steady base for=10", "bad field"},
+		{"unknown field", "steady zap=1 for=10", "unknown field"},
+		{"bad number", "steady base=x for=10", "bad base"},
+		{"unknown mix", "steady mix=nope for=10", "unknown mix"},
+		{"negative base", "steady base=-5 for=10", "base -5 outside"},
+		{"zero duration", "steady for=0", "bad duration"},
+		{"no ramp left", "flash for=60 hold=40 decay=30", "no ramp"},
+		{"empty program", "  ;  \n ", "no shapes"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := ParseTraffic(tt.text)
+			if err == nil || !strings.Contains(err.Error(), tt.want) {
+				t.Errorf("ParseTraffic(%q) err = %v, want mention of %q", tt.text, err, tt.want)
+			}
+		})
+	}
+}
+
+func TestTrafficValidateNeverPanicsOnGarbage(t *testing.T) {
+	tr := Traffic{Shapes: []Shape{
+		{Kind: ShapeKind(99)},
+		{Kind: ShapeFlash, Mix: "??", Base: -1, Peak: -2, Dur: math.NaN(),
+			Period: math.Inf(1), Rate: math.NaN(), Hold: -1, Decay: math.Inf(-1), Think: math.NaN()},
+	}}
+	errs := tr.Validate()
+	if len(errs) < 2 {
+		t.Errorf("garbage program produced %d errors: %v", len(errs), errs)
+	}
+	// Expansion of an unvalidated program must not panic either.
+	_ = tr.Schedule()
+}
+
+// FuzzTrafficShapeParse mirrors FuzzFaultScheduleParse for the traffic
+// grammar: parsing never panics, and any program that parses round-trips
+// through its canonical String exactly and expands to a schedule that
+// validates.
+func FuzzTrafficShapeParse(f *testing.F) {
+	f.Add("steady mix=browsing base=400 for=300")
+	f.Add("flash mix=browsing-flash base=200 peak=2000000 for=120 hold=30 decay=30 steps=12")
+	f.Add("diurnal mix=shopping base=100 peak=900 for=3600 period=600 steps=24; leak mix=ordering rate=2.5 for=600")
+	f.Add("ramp base=10 peak=1e5 for=60")
+	f.Add("leak rate=-3 for=10 think=0.5")
+	f.Fuzz(func(t *testing.T, text string) {
+		tr, err := ParseTraffic(text)
+		if err != nil {
+			return
+		}
+		if errs := tr.Validate(); len(errs) > 0 {
+			t.Fatalf("ParseTraffic returned an invalid program: %v", errs)
+		}
+		canon := tr.String()
+		rt, err := ParseTraffic(canon)
+		if err != nil {
+			t.Fatalf("canonical text %q does not re-parse: %v", canon, err)
+		}
+		if !reflect.DeepEqual(tr, rt) {
+			t.Fatalf("round trip diverged for %q:\n%#v\n%#v", text, tr, rt)
+		}
+		if canon != rt.String() {
+			t.Fatalf("canonical form unstable: %q vs %q", canon, rt.String())
+		}
+		s := tr.Schedule()
+		if err := s.Validate(); err != nil {
+			t.Fatalf("program %q expanded to invalid schedule: %v", canon, err)
+		}
+	})
+}
